@@ -1,0 +1,79 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one of the paper's tables/figures and prints
+the corresponding rows/series directly to the terminal (bypassing pytest
+capture), so `pytest benchmarks/ --benchmark-only` doubles as the
+reproduction report.  Scales are reduced from the paper's 2560-host ns-3
+runs to laptop budgets; the *shapes* (who wins, by what factor, where the
+curves settle) are what is reproduced.  Set ``REPRO_BENCH_SCALE=paper`` to
+run the full published scale instead.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.baselines.ga import GAConfig
+from repro.sim import ExperimentConfig
+
+PAPER_SCALE = os.environ.get("REPRO_BENCH_SCALE", "").lower() == "paper"
+
+
+def canonical_config(pattern: str = "sparse", **overrides) -> ExperimentConfig:
+    """Canonical-tree bench config (paper: 2560 hosts / 128 ToRs)."""
+    if PAPER_SCALE:
+        return ExperimentConfig.paper_canonical(pattern, **overrides)
+    base = ExperimentConfig(
+        topology="canonical",
+        n_racks=32,
+        hosts_per_rack=4,
+        tors_per_agg=8,
+        n_cores=4,
+        vms_per_host=8,
+        fill_fraction=0.85,
+        pattern=pattern,
+        seed=42,
+    )
+    return base.with_(**overrides) if overrides else base
+
+
+def fattree_config(pattern: str = "sparse", **overrides) -> ExperimentConfig:
+    """Fat-tree bench config (paper: k=16, 1024 hosts)."""
+    if PAPER_SCALE:
+        return ExperimentConfig.paper_fattree(pattern, **overrides)
+    base = ExperimentConfig(
+        topology="fattree",
+        fattree_k=8,
+        vms_per_host=8,
+        fill_fraction=0.85,
+        pattern=pattern,
+        seed=42,
+    )
+    return base.with_(**overrides) if overrides else base
+
+
+def bench_ga_config(seed: int = 42) -> GAConfig:
+    """GA reference sized for bench budgets (paper: population 1,000)."""
+    if PAPER_SCALE:
+        return GAConfig.paper_scale(seed=seed)
+    return GAConfig(population_size=60, max_generations=120, seed=seed)
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print lines to the real terminal, bypassing pytest capture."""
+
+    def _emit(*lines: str) -> None:
+        with capsys.disabled():
+            for line in lines:
+                print(line)
+
+    return _emit
+
+
+def format_series(series, every: int = 1) -> str:
+    """Render a (t, value) series compactly: 't:v t:v ...'."""
+    points = series[::every] if every > 1 else series
+    return "  ".join(f"{t:7.1f}s:{v:6.3f}" for t, v in points)

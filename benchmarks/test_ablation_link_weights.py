@@ -1,0 +1,57 @@
+"""Ablation — link-weight schemes (DESIGN.md §6).
+
+The paper chooses exponentially growing weights (c1=e^0, c2=e^1, c3=e^3)
+"to reflect the increasing cost of high-density, high-speed switches".
+This ablation compares the paper's weights against gentler exponential and
+linear schemes: steeper weights localize traffic harder, pushing a larger
+share of the remaining traffic down to the rack level.
+"""
+
+import pytest
+
+from conftest import canonical_config
+from repro.sim import build_environment, run_experiment
+
+SCHEMES = ["paper", "exponential", "linear"]
+
+
+def _run(weights: str):
+    config = canonical_config("sparse", policy="hlf", weights=weights)
+    env = build_environment(config)
+    result = run_experiment(config, environment=env)
+    by_level = env.cost_model.traffic_by_level(env.allocation, env.traffic)
+    total = sum(by_level.values())
+    core_share = by_level[3] / total if total else 0.0
+    local_share = (by_level[0] + by_level[1]) / total if total else 0.0
+    return result, core_share, local_share
+
+
+@pytest.mark.parametrize("weights", SCHEMES)
+def test_ablation_link_weights(benchmark, emit, weights):
+    result, core_share, local_share = benchmark.pedantic(
+        _run, args=(weights,), rounds=1, iterations=1
+    )
+    emit(
+        f"[Ablation weights] {weights:12s} cost_reduction={result.report.cost_reduction:.0%} "
+        f"final core-traffic share={core_share:.1%} "
+        f"rack-local share={local_share:.1%} "
+        f"migrations={result.report.total_migrations}"
+    )
+    # Any increasing weight scheme must still localize most traffic.
+    assert local_share > 0.5
+    assert result.report.cost_reduction > 0.3
+
+
+def test_ablation_steeper_weights_localize_harder(benchmark, emit):
+    def _compare():
+        return {w: _run(w) for w in ("paper", "linear")}
+
+    results = benchmark.pedantic(_compare, rounds=1, iterations=1)
+    paper_core = results["paper"][1]
+    linear_core = results["linear"][1]
+    emit(
+        f"[Ablation weights] final core-traffic share: paper={paper_core:.2%} "
+        f"linear={linear_core:.2%} (steeper weights should not leave more "
+        f"traffic in the core)"
+    )
+    assert paper_core <= linear_core + 0.02

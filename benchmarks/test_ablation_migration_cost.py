@@ -1,0 +1,44 @@
+"""Ablation — migration cost cm (paper §VI: "a DC operator may wish to
+limit the number of VM migrations over a temporal interval, [so] we have
+also experimented with different cm values").
+
+Raising cm trades migrations for residual cost: fewer (only high-gain)
+migrations happen, and the achieved reduction shrinks monotonically.
+"""
+
+import pytest
+
+from conftest import canonical_config
+from repro.sim import build_environment, run_experiment
+
+
+def _sweep():
+    env0 = build_environment(canonical_config("sparse"))
+    # Scale cm as fractions of the mean per-pair cost so the sweep is
+    # meaningful across traffic intensities.
+    base = env0.cost_model.total_cost(env0.allocation, env0.traffic)
+    mean_pair = base / max(env0.traffic.n_pairs, 1)
+    rows = []
+    for factor in (0.0, 0.1, 0.5, 2.0, 10.0):
+        cm = factor * mean_pair
+        config = canonical_config("sparse", policy="hlf", migration_cost=cm)
+        result = run_experiment(config)
+        rows.append((factor, result.report.total_migrations, result.report.cost_reduction))
+    return rows
+
+
+def test_ablation_migration_cost_tradeoff(benchmark, emit):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit(
+        "[Ablation cm] cm(x mean pair cost) -> migrations / cost reduction: "
+        + "  ".join(f"{f:g}x:{m}/{r:.0%}" for f, m, r in rows)
+    )
+    migrations = [m for _, m, _ in rows]
+    reductions = [r for _, _, r in rows]
+    # Monotone trade-off: higher cm, fewer migrations, less reduction.
+    assert all(b <= a for a, b in zip(migrations, migrations[1:]))
+    assert all(b <= a + 1e-9 for a, b in zip(reductions, reductions[1:]))
+    # Every migration that does happen still pays for itself.
+    assert reductions[-1] >= 0
+    # cm=0 migrates the most and reduces the most.
+    assert migrations[0] > migrations[-1]

@@ -1,0 +1,46 @@
+"""Capacity headroom — S-CORE gives flows their bandwidth back.
+
+The paper argues S-CORE "provid[es] the operators with increased network
+capacity headroom" (§VI-B).  This bench quantifies it with the max-min
+fair model: under a stressed sparse TM, compare per-flow demand
+satisfaction and aggregate achieved throughput before and after S-CORE.
+"""
+
+import pytest
+
+from conftest import canonical_config
+from repro.sim import build_environment, run_experiment
+from repro.sim.fairshare import MaxMinFairAllocator
+from repro.sim.network import LinkLoadCalculator
+
+
+def _run():
+    config = canonical_config("sparse", policy="hlf")
+    env = build_environment(config)
+    calc = LinkLoadCalculator(env.topology)
+    peak = calc.max_utilization(env.allocation, env.traffic)
+    env.traffic = env.traffic.scale(2.0 / peak)  # heavy oversubscription
+    allocator = MaxMinFairAllocator(env.topology)
+    before = allocator.allocate(env.allocation, env.traffic)
+    run_experiment(config, environment=env)
+    after = allocator.allocate(env.allocation, env.traffic)
+    return before, after
+
+
+def test_capacity_headroom(benchmark, emit):
+    before, after = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit(
+        f"[Headroom] mean flow satisfaction: {before.mean_satisfaction:.1%} -> "
+        f"{after.mean_satisfaction:.1%};  fully satisfied flows: "
+        f"{before.fully_satisfied_fraction:.1%} -> "
+        f"{after.fully_satisfied_fraction:.1%}"
+    )
+    emit(
+        f"[Headroom] aggregate achieved throughput: "
+        f"{before.total_achieved:.3g} -> {after.total_achieved:.3g} B/s "
+        f"(demand {before.total_demand:.3g} B/s);  bottleneck links: "
+        f"{len(before.bottleneck_links)} -> {len(after.bottleneck_links)}"
+    )
+    assert after.mean_satisfaction >= before.mean_satisfaction
+    assert after.total_achieved >= before.total_achieved
+    assert after.fully_satisfied_fraction >= before.fully_satisfied_fraction

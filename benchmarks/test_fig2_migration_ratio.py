@@ -1,0 +1,30 @@
+"""Fig. 2 — Ratio of migrated VMs in 5 consecutive token iterations.
+
+Paper result: the ratio plummets after the second iteration; S-CORE
+converges to a stable allocation within ~2 rounds for both RR and HLF.
+"""
+
+import pytest
+
+from conftest import canonical_config
+from repro.sim import run_experiment
+
+
+def _run(policy: str):
+    config = canonical_config("sparse", policy=policy, n_iterations=5)
+    return run_experiment(config)
+
+
+@pytest.mark.parametrize("policy", ["rr", "hlf"])
+def test_fig2_migrated_vm_ratio(benchmark, emit, policy):
+    result = benchmark.pedantic(_run, args=(policy,), rounds=1, iterations=1)
+    series = result.report.migrated_ratio_series()
+    emit(
+        f"[Fig 2] policy={policy}  migrated-VM ratio per iteration: "
+        + "  ".join(f"it{i}:{r:.3f}" for i, r in series)
+    )
+    ratios = [r for _, r in series]
+    # Paper shape: sharp drop after iteration 2, near-zero tail.
+    assert ratios[0] > ratios[2]
+    assert ratios[-1] <= 0.1
+    assert ratios[2] <= 0.5 * max(ratios[0], 1e-9)

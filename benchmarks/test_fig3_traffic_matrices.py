@@ -1,0 +1,63 @@
+"""Fig. 3a-c — The sparse / medium / dense ToR traffic matrices.
+
+The paper's heatmaps show sparse matrices where "only a handful of ToRs
+become hotspots" while density and load grow from (a) to (c).  The bench
+prints the matrix statistics that characterize those heatmaps: pair
+density, total load, and the skew (Gini) of the off-diagonal ToR matrix.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import canonical_config
+from repro.sim import build_environment
+from repro.util.stats import gini
+
+
+def _tor_stats(pattern: str):
+    env = build_environment(canonical_config(pattern))
+    tor = env.traffic.tor_matrix(env.allocation)
+    off_diag = tor[~np.eye(len(tor), dtype=bool)]
+    active = float((off_diag > 0).mean())
+    return {
+        "pattern": pattern,
+        "vm_pairs": env.traffic.n_pairs,
+        "total_rate": env.traffic.total_rate(),
+        "active_tor_pairs": active,
+        "tor_gini": gini(off_diag),
+        "hottest_share": float(off_diag.max() / max(off_diag.sum(), 1e-12)),
+    }
+
+
+@pytest.mark.parametrize("pattern", ["sparse", "medium", "dense"])
+def test_fig3abc_traffic_matrix(benchmark, emit, pattern):
+    stats = benchmark.pedantic(_tor_stats, args=(pattern,), rounds=1, iterations=1)
+    emit(
+        f"[Fig 3a-c] TM={pattern:7s}  vm_pairs={stats['vm_pairs']:5d}  "
+        f"total={stats['total_rate']:.3g} B/s  "
+        f"active_ToR_pairs={stats['active_tor_pairs']:.2%}  "
+        f"gini={stats['tor_gini']:.2f}  "
+        f"hottest_pair_share={stats['hottest_share']:.2%}"
+    )
+    # Hotspot structure: skewed off-diagonal mass in every density.
+    assert stats["tor_gini"] > 0.4
+
+
+def test_fig3abc_density_progression(benchmark, emit):
+    """Sparse -> medium -> dense must strictly grow pair count and load."""
+
+    def _all():
+        return [_tor_stats(p) for p in ("sparse", "medium", "dense")]
+
+    stats = benchmark.pedantic(_all, rounds=1, iterations=1)
+    sparse, medium, dense = stats
+    emit(
+        "[Fig 3a-c] density progression: "
+        f"pairs {sparse['vm_pairs']} -> {medium['vm_pairs']} -> {dense['vm_pairs']};  "
+        f"load {sparse['total_rate']:.3g} -> {medium['total_rate']:.3g} -> "
+        f"{dense['total_rate']:.3g} B/s"
+    )
+    assert sparse["vm_pairs"] < medium["vm_pairs"] < dense["vm_pairs"]
+    # The paper scales the TM x10 and x50.
+    assert medium["total_rate"] > 5 * sparse["total_rate"]
+    assert dense["total_rate"] > 20 * sparse["total_rate"]

@@ -1,0 +1,56 @@
+"""Headline result — "S-CORE reduces communication cost by as much as
+72%-87% of the GA-optimal in all scenarios, using only VM-local load
+information", with deviation from GA-optimal growing only from 13% to 28%
+as the TM densifies by x50.
+"""
+
+import pytest
+
+from conftest import bench_ga_config, canonical_config, fattree_config
+from repro.baselines.ga import GeneticOptimizer
+from repro.sim import build_environment, run_experiment
+
+SCENARIOS = [
+    ("canonical", "sparse"),
+    ("canonical", "medium"),
+    ("canonical", "dense"),
+    ("fattree", "sparse"),
+    ("fattree", "medium"),
+    ("fattree", "dense"),
+]
+
+
+def _run(topology: str, pattern: str):
+    factory = canonical_config if topology == "canonical" else fattree_config
+    config = factory(pattern, policy="hlf", n_iterations=5)
+    env = build_environment(config)
+    ga = GeneticOptimizer(
+        env.allocation, env.traffic, env.cost_model, bench_ga_config(config.seed)
+    ).run()
+    result = run_experiment(config, environment=env)
+    reference = min(ga.best_cost, result.final_cost)
+    achievable = result.initial_cost - reference
+    achieved = result.initial_cost - result.final_cost
+    share = achieved / achievable if achievable > 0 else 1.0
+    deviation = result.final_cost / reference - 1.0
+    return share, deviation, result
+
+
+@pytest.mark.parametrize("topology,pattern", SCENARIOS)
+def test_headline_reduction_share(benchmark, emit, topology, pattern):
+    share, deviation, result = benchmark.pedantic(
+        _run, args=(topology, pattern), rounds=1, iterations=1
+    )
+    emit(
+        f"[Headline] {topology:9s} TM={pattern:7s} HLF: achieved "
+        f"{share:.0%} of the optimal reduction (paper 72-87%), "
+        f"deviation from optimal {deviation:.0%} (paper 13-28%), "
+        f"migrations={result.report.total_migrations}"
+    )
+    # The shape claim: a large majority of the optimal reduction, from
+    # purely local decisions.  (At bench scale the *relative* deviation on
+    # the sparse TM exceeds the paper's 13% — absolute residual costs are
+    # tiny and the GA packs the few communicating services perfectly; see
+    # EXPERIMENTS.md.)
+    assert share > 0.6
+    assert deviation < 1.5

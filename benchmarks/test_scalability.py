@@ -1,0 +1,60 @@
+"""Scalability — the 'S' in S-CORE.
+
+The paper's scalability argument is architectural: each decision uses only
+VM-local state, and the token is 5 bytes per VM.  This bench quantifies
+both: per-token-hold decision time must stay roughly flat as the DC grows
+(the per-VM work depends on the VM's degree, not on |V|), and the token
+wire size must grow exactly linearly at 5 bytes/VM.
+"""
+
+import time
+
+import pytest
+
+from conftest import canonical_config
+from repro.core.token import Token
+from repro.sim import build_environment, run_experiment
+
+SCALES = [8, 16, 32]  # racks; hosts = racks * 4
+
+
+def _per_hold_times():
+    rows = []
+    for racks in SCALES:
+        config = canonical_config(
+            "sparse", n_racks=racks, tors_per_agg=4, policy="rr", n_iterations=2
+        )
+        env = build_environment(config)
+        n_vms = env.allocation.n_vms
+        t0 = time.perf_counter()
+        result = run_experiment(config, environment=env)
+        elapsed = time.perf_counter() - t0
+        holds = sum(stats.visits for stats in result.report.iterations)
+        rows.append((racks, n_vms, elapsed / holds * 1e6))
+    return rows
+
+
+def test_scalability_per_hold_decision_time(benchmark, emit):
+    rows = benchmark.pedantic(_per_hold_times, rounds=1, iterations=1)
+    emit(
+        "[Scalability] per-token-hold decision time: "
+        + "  ".join(f"{racks}racks/{vms}vms:{us:.0f}us" for racks, vms, us in rows)
+    )
+    smallest = rows[0][2]
+    largest = rows[-1][2]
+    # 4x the DC must not make a single decision 4x slower: the work is
+    # degree-local, not global.
+    assert largest < 3.0 * smallest
+
+
+def test_scalability_token_wire_size(benchmark, emit):
+    def _sizes():
+        return [(n, Token(range(1, n + 1)).wire_size) for n in (100, 1000, 10000)]
+
+    sizes = benchmark.pedantic(_sizes, rounds=1, iterations=1)
+    emit(
+        "[Scalability] token wire size: "
+        + "  ".join(f"{n}vms:{size}B" for n, size in sizes)
+    )
+    for n, size in sizes:
+        assert size == 5 * n  # u32 ID + u8 level per entry (§V-B2)

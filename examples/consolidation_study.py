@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Consolidation study: how much does traffic-aware migration save, from
+different starting placements and under different workload densities?
+
+Reproduces the spirit of the paper's Fig. 3: for each initial-placement
+strategy (random, load-balanced round-robin, adversarial striped) and each
+traffic density (sparse / medium / dense), runs S-CORE with the HLF token
+policy, computes the GA-optimal reference, and prints the cost ratios.
+
+Run:  python examples/consolidation_study.py
+"""
+
+from repro.baselines.ga import GAConfig, GeneticOptimizer
+from repro.sim import ExperimentConfig, build_environment, run_experiment
+
+PLACEMENTS = ["random", "round_robin", "striped"]
+PATTERNS = ["sparse", "medium", "dense"]
+
+
+def main() -> None:
+    print(f"{'placement':12s} {'TM':8s} {'initial/opt':>12s} {'final/opt':>10s} "
+          f"{'reduction':>10s} {'migrations':>11s}")
+    print("-" * 68)
+    for placement in PLACEMENTS:
+        for pattern in PATTERNS:
+            config = ExperimentConfig(
+                n_racks=16,
+                hosts_per_rack=4,
+                tors_per_agg=4,
+                n_cores=2,
+                vms_per_host=8,
+                fill_fraction=0.85,
+                placement=placement,
+                pattern=pattern,
+                policy="hlf",
+                seed=11,
+            )
+            env = build_environment(config)
+            ga = GeneticOptimizer(
+                env.allocation,
+                env.traffic,
+                env.cost_model,
+                GAConfig(population_size=40, max_generations=80, seed=11),
+            ).run()
+            result = run_experiment(config, environment=env)
+            reference = min(ga.best_cost, result.final_cost)
+            print(
+                f"{placement:12s} {pattern:8s} "
+                f"{result.initial_cost / reference:12.2f} "
+                f"{result.final_cost / reference:10.2f} "
+                f"{result.report.cost_reduction:10.0%} "
+                f"{result.report.total_migrations:11d}"
+            )
+    print(
+        "\nReading: S-CORE lands near the GA-optimal (final/opt -> ~1) from "
+        "every start;\nthe adversarial 'striped' start has the most to gain."
+    )
+
+
+if __name__ == "__main__":
+    main()

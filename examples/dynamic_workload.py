@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Dynamic workloads: does S-CORE oscillate when traffic drifts?
+
+The paper argues (§VI-B) that S-CORE is stable because it averages rates
+over long windows and DC hotspots move slowly.  This example re-estimates
+the traffic matrix over successive epochs with a hotspot-drift process and
+tracks (a) migrations per epoch and (b) the oscillation index — the
+fraction of migrations that return a VM to a host it previously left.
+
+Run:  python examples/dynamic_workload.py
+"""
+
+from repro.core import MigrationEngine
+from repro.core.policies import HighestLevelFirstPolicy
+from repro.sim import ExperimentConfig, build_environment, run_dynamic
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        n_racks=16,
+        hosts_per_rack=4,
+        tors_per_agg=4,
+        n_cores=2,
+        vms_per_host=8,
+        fill_fraction=0.85,
+        pattern="sparse",
+        seed=17,
+    )
+
+    print("Scenario A: slow drift (realistic DC: hotspots change slowly)")
+    env = build_environment(config)
+    slow = run_dynamic(
+        env,
+        HighestLevelFirstPolicy(),
+        MigrationEngine(env.cost_model),
+        epochs=6,
+        iterations_per_epoch=2,
+        noise=0.1,
+        redirect_prob=0.05,
+        seed=17,
+    )
+    print(f"  migrations per epoch: {slow.migrations_per_epoch}")
+    print(f"  oscillation index:    {slow.oscillation_index:.1%}")
+    print(f"  settled at the end:   {slow.settled}")
+
+    print("\nScenario B: aggressive churn (hotspot re-targets every epoch)")
+    env = build_environment(config)
+    fast = run_dynamic(
+        env,
+        HighestLevelFirstPolicy(),
+        MigrationEngine(env.cost_model),
+        epochs=6,
+        iterations_per_epoch=2,
+        noise=0.3,
+        redirect_prob=0.9,
+        seed=17,
+    )
+    print(f"  migrations per epoch: {fast.migrations_per_epoch}")
+    print(f"  oscillation index:    {fast.oscillation_index:.1%}")
+
+    print("\nScenario C: migration cost damping (cm > 0 suppresses marginal moves)")
+    env = build_environment(config)
+    mean_pair = env.cost_model.total_cost(env.allocation, env.traffic) / max(
+        env.traffic.n_pairs, 1
+    )
+    damped = run_dynamic(
+        env,
+        HighestLevelFirstPolicy(),
+        MigrationEngine(env.cost_model, migration_cost=0.5 * mean_pair),
+        epochs=6,
+        iterations_per_epoch=2,
+        noise=0.3,
+        redirect_prob=0.9,
+        seed=17,
+    )
+    print(f"  migrations per epoch: {damped.migrations_per_epoch}")
+    print(f"  oscillation index:    {damped.oscillation_index:.1%}")
+
+    print(
+        "\nReading: under realistic slow drift the system settles after the "
+        "first epoch\nand VMs almost never bounce back; under violent churn, "
+        "setting a non-zero\nmigration cost cm damps the churn-chasing "
+        "migrations, as §VI suggests."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""S-CORE vs Remedy: localization vs load balancing (paper Fig. 4).
+
+Both systems monitor traffic and migrate VMs, but to different ends:
+Remedy's centralized controller balances link utilization; S-CORE
+localizes traffic to cheap lower-layer links.  This example stresses a
+sparse hotspot workload until the hottest link nears saturation, runs
+both systems from identical starts, and prints layer-by-layer utilization
+plus the communication-cost outcome.
+
+Run:  python examples/score_vs_remedy.py
+"""
+
+import numpy as np
+
+from repro.baselines.remedy import RemedyConfig, RemedyController
+from repro.sim import ExperimentConfig, build_environment, run_experiment
+from repro.sim.network import LinkLoadCalculator
+
+LAYER = {1: "edge (host-ToR)", 2: "aggregation", 3: "core"}
+
+
+def build_stressed():
+    config = ExperimentConfig(
+        n_racks=16,
+        hosts_per_rack=4,
+        tors_per_agg=4,
+        n_cores=2,
+        vms_per_host=8,
+        fill_fraction=0.85,
+        pattern="sparse",
+        policy="hlf",
+        seed=23,
+    )
+    env = build_environment(config)
+    calc = LinkLoadCalculator(env.topology)
+    peak = calc.max_utilization(env.allocation, env.traffic)
+    env.traffic = env.traffic.scale(0.9 / peak)  # hottest link at 90%
+    return config, env, calc
+
+
+def print_utilization(title, calc, allocation, traffic):
+    print(f"\n{title}")
+    by_level = calc.utilizations_by_level(allocation, traffic)
+    for level in (3, 2, 1):
+        values = np.asarray(by_level[level])
+        print(
+            f"  {LAYER[level]:18s} mean={values.mean():7.4f} "
+            f"p95={np.percentile(values, 95):7.4f} max={values.max():7.4f}"
+        )
+
+
+def main() -> None:
+    config, score_env, calc = build_stressed()
+    _, remedy_env, _ = build_stressed()
+
+    print_utilization(
+        "Initial (traffic-agnostic placement):",
+        calc, score_env.allocation, score_env.traffic,
+    )
+
+    score = run_experiment(config, environment=score_env)
+    print_utilization(
+        "After S-CORE:", calc, score_env.allocation, score_env.traffic
+    )
+
+    remedy = RemedyController(
+        remedy_env.allocation,
+        remedy_env.traffic,
+        remedy_env.cost_model,
+        RemedyConfig(utilization_threshold=0.5, max_rounds=40),
+    ).run()
+    print_utilization(
+        "After Remedy:", calc, remedy_env.allocation, remedy_env.traffic
+    )
+
+    print("\nCommunication cost (paper Fig. 4b):")
+    print(f"  S-CORE reduction: {score.report.cost_reduction:6.0%} "
+          f"({score.report.total_migrations} migrations)")
+    print(f"  Remedy reduction: {remedy.cost_reduction:6.0%} "
+          f"({remedy.n_migrations} migrations; peak link "
+          f"{remedy.initial_max_utilization:.2f} -> "
+          f"{remedy.final_max_utilization:.2f})")
+    print(
+        "\nReading: Remedy flattens the hottest links but leaves the "
+        "topology-wide\ncost almost untouched; S-CORE empties the expensive "
+        "upper layers outright."
+    )
+
+
+if __name__ == "__main__":
+    main()

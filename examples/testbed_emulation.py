@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Testbed emulation: the §V implementation path, end to end.
+
+Runs the S-CORE deployment the way the Xen implementation does — wire-
+encoded tokens hopping between dom0 token servers, per-dom0 flow tables,
+capacity probes — then profiles the live-migration model that reproduces
+the paper's Fig. 5 measurements.
+
+Run:  python examples/testbed_emulation.py
+"""
+
+import numpy as np
+
+from repro import (
+    CostModel,
+    DCTrafficGenerator,
+    MigrationEngine,
+    RoundRobinPolicy,
+    SPARSE,
+)
+from repro.cluster import Cluster, PlacementManager, ServerCapacity
+from repro.cluster.placement import place_random
+from repro.testbed import PreCopyMigrationModel, TestbedDeployment
+from repro.topology import CanonicalTree
+
+
+def run_deployment() -> None:
+    topology = CanonicalTree(n_racks=8, hosts_per_rack=4, tors_per_agg=4, n_cores=2)
+    cluster = Cluster(topology, ServerCapacity(max_vms=8, ram_mb=8192, cpu=8.0))
+    manager = PlacementManager(cluster)
+    vms = manager.create_vms(128, ram_mb=196, cpu=0.5)  # 196 MiB testbed guests
+    allocation = place_random(cluster, vms, seed=5)
+    traffic = DCTrafficGenerator([v.vm_id for v in vms], SPARSE, seed=5).generate()
+
+    deployment = TestbedDeployment(
+        allocation, traffic, manager,
+        policy=RoundRobinPolicy(),
+        engine=MigrationEngine(CostModel(topology)),
+    )
+    deployment.populate_flow_tables(window_s=10.0)
+    flows = sum(len(n.flow_table) for n in deployment.nodes.values())
+    print(f"Deployment: {cluster}")
+    print(f"Flow tables populated: {flows} flow entries across "
+          f"{len(deployment.nodes)} dom0s")
+
+    cost0 = deployment.cost_model.total_cost(allocation, traffic)
+    for round_no in (1, 2, 3):
+        hops = deployment.run_round()
+        cost = deployment.cost_model.total_cost(allocation, traffic)
+        print(f"Token round {round_no}: {hops} hops, "
+              f"{deployment.network.bytes_sent:,} token bytes on the wire, "
+              f"cost now {cost / cost0:.0%} of initial")
+    print(f"Total migrations: {deployment.migrations_performed}")
+
+
+def profile_migrations() -> None:
+    print("\nLive-migration profile (paper Fig. 5b-d):")
+    model = PreCopyMigrationModel(seed=7)
+    outcomes = model.sample_migrations(200)
+    migrated = np.array([o.migrated_bytes_mb for o in outcomes])
+    print(f"  migrated bytes: mean={migrated.mean():.0f}MB "
+          f"std={migrated.std():.1f}MB max={migrated.max():.0f}MB "
+          f"(paper: 127 / 11 / <150)")
+    print(f"  {'bg load':>8s} {'total time':>11s} {'downtime':>9s}")
+    for load in (0.0, 0.25, 0.5, 0.75, 1.0):
+        sample = model.sample_migrations(50, background_load=load)
+        time_s = np.mean([o.total_time_s for o in sample])
+        down_ms = np.mean([o.downtime_ms for o in sample])
+        print(f"  {load:8.2f} {time_s:10.2f}s {down_ms:8.1f}ms")
+    print("  (paper: 2.94s idle -> 9.34s saturated; downtime < 50ms)")
+
+
+def main() -> None:
+    run_deployment()
+    profile_migrations()
+
+
+if __name__ == "__main__":
+    main()

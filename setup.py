@@ -1,0 +1,7 @@
+"""Legacy setup shim: environments without the `wheel` package cannot build
+PEP 517 editable installs, so `pip install -e . --no-use-pep517` (or plain
+`python setup.py develop`) goes through this file instead."""
+
+from setuptools import setup
+
+setup()

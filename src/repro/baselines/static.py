@@ -1,0 +1,52 @@
+"""Non-adaptive reference points.
+
+``no_migration_cost`` is the cost of leaving the initial allocation alone
+(the denominator-free baseline every adaptive scheme must beat), and
+``random_shuffle_cost`` estimates the expected cost of traffic-agnostic
+placement by averaging over random feasible re-placements — the "VMs are
+initially allocated at random" regime the paper starts from (§III).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cluster.allocation import Allocation
+from repro.cluster.placement import place_random
+from repro.core.cost import CostModel
+from repro.traffic.matrix import TrafficMatrix
+from repro.util.rng import SeedLike, make_rng
+
+
+def no_migration_cost(
+    allocation: Allocation, traffic: TrafficMatrix, cost_model: CostModel
+) -> float:
+    """Cost of the allocation as-is (the static, traffic-agnostic baseline)."""
+    return cost_model.total_cost(allocation, traffic)
+
+
+def random_shuffle_cost(
+    allocation: Allocation,
+    traffic: TrafficMatrix,
+    cost_model: CostModel,
+    samples: int = 10,
+    seed: SeedLike = None,
+) -> float:
+    """Mean cost over ``samples`` random feasible re-placements of all VMs.
+
+    Useful as the "expected cost of traffic-agnostic placement" reference:
+    S-CORE's reduction is usually reported against the *initial* allocation,
+    but a randomized average is a fairer anchor when the initial allocation
+    is adversarial.
+    """
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    rng = make_rng(seed)
+    vms = sorted(allocation.vms(), key=lambda vm: vm.vm_id)
+    costs: List[float] = []
+    for _ in range(samples):
+        shuffled = place_random(
+            allocation.cluster, vms, seed=int(rng.integers(0, 2**63 - 1))
+        )
+        costs.append(cost_model.total_cost(shuffled, traffic))
+    return sum(costs) / len(costs)

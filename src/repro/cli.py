@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    One S-CORE experiment: build topology/cluster/workload per flags, run
+    the token loop, print the cost series and summary (optionally with the
+    GA-optimal reference).
+``compare-policies``
+    Run every token policy on identical starts and print a comparison
+    table.
+``migration-profile``
+    Profile the live-migration model across background loads (Fig. 5c/d).
+``info``
+    Print version and the paper-scale configurations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.baselines.ga import GAConfig, GeneticOptimizer
+from repro.sim.experiment import (
+    ExperimentConfig,
+    build_environment,
+    run_experiment,
+)
+from repro.sim.metrics import convergence_iteration, resample_series
+
+
+def _add_experiment_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--topology", choices=["canonical", "fattree"], default="canonical"
+    )
+    parser.add_argument("--racks", type=int, default=16, help="canonical: ToR count")
+    parser.add_argument("--hosts-per-rack", type=int, default=4)
+    parser.add_argument("--tors-per-agg", type=int, default=4)
+    parser.add_argument("--cores", type=int, default=2)
+    parser.add_argument("--fattree-k", type=int, default=4)
+    parser.add_argument("--vms-per-host", type=int, default=8)
+    parser.add_argument("--fill", type=float, default=0.85, help="slot fill fraction")
+    parser.add_argument(
+        "--pattern", choices=["sparse", "medium", "dense"], default="sparse"
+    )
+    parser.add_argument(
+        "--placement",
+        choices=["random", "round_robin", "packed", "striped"],
+        default="random",
+    )
+    parser.add_argument(
+        "--policy", choices=["rr", "hlf", "random", "lrv"], default="hlf"
+    )
+    parser.add_argument("--weights", choices=["paper", "exponential", "linear"],
+                        default="paper")
+    parser.add_argument("--iterations", type=int, default=5)
+    parser.add_argument("--migration-cost", type=float, default=0.0)
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        topology=args.topology,
+        n_racks=args.racks,
+        hosts_per_rack=args.hosts_per_rack,
+        tors_per_agg=args.tors_per_agg,
+        n_cores=args.cores,
+        fattree_k=args.fattree_k,
+        vms_per_host=args.vms_per_host,
+        fill_fraction=args.fill,
+        pattern=args.pattern,
+        placement=args.placement,
+        policy=args.policy,
+        weights=args.weights,
+        n_iterations=args.iterations,
+        migration_cost=args.migration_cost,
+        seed=args.seed,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    env = build_environment(config)
+    print(f"topology:  {env.topology.describe()}")
+    print(f"vms:       {env.allocation.n_vms}  "
+          f"traffic pairs: {env.traffic.n_pairs}")
+    ga_cost: Optional[float] = None
+    if args.ga:
+        ga = GeneticOptimizer(
+            env.allocation, env.traffic, env.cost_model,
+            GAConfig(population_size=args.ga_population, seed=config.seed),
+        ).run()
+        ga_cost = ga.best_cost
+        print(f"GA-optimal reference: {ga_cost:,.0f} "
+              f"({ga.generations} generations)")
+    result = run_experiment(config, environment=env)
+    print(f"initial cost: {result.initial_cost:,.0f}")
+    print(f"final cost:   {result.final_cost:,.0f}  "
+          f"(reduction {result.report.cost_reduction:.0%}, "
+          f"{result.report.total_migrations} migrations, "
+          f"converged at iteration "
+          f"{convergence_iteration(result.report, tolerance=0.01)})")
+    reference = (
+        min(ga_cost, result.final_cost) if ga_cost is not None else None
+    )
+    if reference:
+        series = result.report.cost_ratio_series(reference)
+        grid = [series[-1][0] * f for f in (0, 0.25, 0.5, 0.75, 1.0)]
+        print("cost ratio vs optimal over time:")
+        for t, ratio in resample_series(series, grid):
+            print(f"  t={t:8.1f}s  ratio={ratio:.2f}")
+    return 0
+
+
+def _cmd_compare_policies(args: argparse.Namespace) -> int:
+    base = _config_from_args(args)
+    print(f"{'policy':8s} {'reduction':>10s} {'migrations':>11s} {'converged':>10s}")
+    for policy in ("rr", "hlf", "random", "lrv"):
+        result = run_experiment(base.with_(policy=policy))
+        print(
+            f"{policy:8s} {result.report.cost_reduction:10.0%} "
+            f"{result.report.total_migrations:11d} "
+            f"{convergence_iteration(result.report, tolerance=0.01):10d}"
+        )
+    return 0
+
+
+def _cmd_migration_profile(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.testbed.livemigration import PreCopyMigrationModel
+
+    model = PreCopyMigrationModel(ram_mb=args.ram, seed=args.seed)
+    print(f"{'bg load':>8s} {'total time':>11s} {'downtime':>10s} {'migrated':>10s}")
+    for load in np.linspace(0.0, 1.0, args.points):
+        sample = model.sample_migrations(args.samples, background_load=float(load))
+        print(
+            f"{load:8.2f} "
+            f"{np.mean([o.total_time_s for o in sample]):10.2f}s "
+            f"{np.mean([o.downtime_ms for o in sample]):8.1f}ms "
+            f"{np.mean([o.migrated_bytes_mb for o in sample]):8.0f}MB"
+        )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    print(f"repro {__version__} — S-CORE reproduction (ICDCS 2014)")
+    print("paper-scale configurations:")
+    canonical = ExperimentConfig.paper_canonical()
+    fattree = ExperimentConfig.paper_fattree()
+    print(f"  canonical: {canonical.n_racks} racks x "
+          f"{canonical.hosts_per_rack} hosts, {canonical.vms_per_host} VM slots")
+    print(f"  fat-tree:  k={fattree.fattree_k} "
+          f"({fattree.fattree_k ** 3 // 4} hosts), "
+          f"{fattree.vms_per_host} VM slots")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="S-CORE: scalable traffic-aware VM management (reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one S-CORE experiment")
+    _add_experiment_flags(run_parser)
+    run_parser.add_argument("--ga", action="store_true",
+                            help="also compute the GA-optimal reference")
+    run_parser.add_argument("--ga-population", type=int, default=60)
+    run_parser.set_defaults(func=_cmd_run)
+
+    compare_parser = sub.add_parser(
+        "compare-policies", help="compare all token policies"
+    )
+    _add_experiment_flags(compare_parser)
+    compare_parser.set_defaults(func=_cmd_compare_policies)
+
+    profile_parser = sub.add_parser(
+        "migration-profile", help="live-migration profile (Fig. 5c/d)"
+    )
+    profile_parser.add_argument("--ram", type=float, default=196.0)
+    profile_parser.add_argument("--points", type=int, default=6)
+    profile_parser.add_argument("--samples", type=int, default=30)
+    profile_parser.add_argument("--seed", type=int, default=42)
+    profile_parser.set_defaults(func=_cmd_migration_profile)
+
+    info_parser = sub.add_parser("info", help="version and paper-scale info")
+    info_parser.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,233 @@
+"""Allocation of VMs to servers (the paper's ``A`` and ``sigma_A``).
+
+An :class:`Allocation` is the single source of truth for *where every VM
+runs*.  It enforces server capacity (slots, RAM, CPU) on every placement and
+migration, supports cheap copying (the GA baseline evaluates thousands of
+candidate allocations), and exposes the queries the cost model needs:
+``server_of`` (the paper's ``sigma_A(u)``) and ``level_between``.
+
+State is kept in flat dictionaries/lists rather than in the stateful
+:class:`repro.cluster.server.Server` objects so that ``copy()`` is O(|V|);
+the ``Server`` class models a live machine for the testbed emulation layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.vm import VM
+
+
+class CapacityError(Exception):
+    """Raised when a placement or migration would exceed server capacity."""
+
+
+class Allocation:
+    """A capacity-checked mapping of VMs to servers."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self._cluster = cluster
+        self._vms: Dict[int, VM] = {}
+        self._host_of: Dict[int, int] = {}
+        n = cluster.n_servers
+        self._vms_on: List[Set[int]] = [set() for _ in range(n)]
+        self._used_ram: List[int] = [0] * n
+        self._used_cpu: List[float] = [0.0] * n
+
+    # -- basic accessors ------------------------------------------------------
+
+    @property
+    def cluster(self) -> Cluster:
+        """The cluster this allocation places VMs on."""
+        return self._cluster
+
+    @property
+    def topology(self):
+        """Shortcut to the cluster's network topology."""
+        return self._cluster.topology
+
+    @property
+    def n_vms(self) -> int:
+        """Number of placed VMs."""
+        return len(self._vms)
+
+    def vm(self, vm_id: int) -> VM:
+        """The VM object with the given ID."""
+        return self._vms[vm_id]
+
+    def vms(self) -> Iterator[VM]:
+        """Iterate over all placed VMs (unspecified order)."""
+        return iter(self._vms.values())
+
+    def vm_ids(self) -> Iterator[int]:
+        """Iterate over all placed VM IDs."""
+        return iter(self._vms.keys())
+
+    def __contains__(self, vm_id: int) -> bool:
+        return vm_id in self._vms
+
+    def server_of(self, vm_id: int) -> int:
+        """Host index currently running ``vm_id`` (the paper's sigma_A)."""
+        return self._host_of[vm_id]
+
+    def vms_on(self, host: int) -> FrozenSet[int]:
+        """IDs of the VMs currently on ``host``."""
+        return frozenset(self._vms_on[host])
+
+    def level_between(self, vm_u: int, vm_v: int) -> int:
+        """Communication level l_A(u, v) between two VMs (paper §II)."""
+        return self.topology.level_between(
+            self._host_of[vm_u], self._host_of[vm_v]
+        )
+
+    # -- capacity --------------------------------------------------------------
+
+    def free_slots(self, host: int) -> int:
+        """Remaining VM slots on ``host``."""
+        cap = self._cluster.server(host).capacity
+        return cap.max_vms - len(self._vms_on[host])
+
+    def free_ram_mb(self, host: int) -> int:
+        """Remaining guest RAM on ``host``."""
+        cap = self._cluster.server(host).capacity
+        return cap.ram_mb - self._used_ram[host]
+
+    def free_cpu(self, host: int) -> float:
+        """Remaining CPU cores on ``host``."""
+        cap = self._cluster.server(host).capacity
+        return cap.cpu - self._used_cpu[host]
+
+    def can_host(self, host: int, vm: VM) -> bool:
+        """Whether ``host`` has slot/RAM/CPU headroom for ``vm``."""
+        return (
+            self.free_slots(host) >= 1
+            and self.free_ram_mb(host) >= vm.ram_mb
+            and self.free_cpu(host) >= vm.cpu
+        )
+
+    # -- mutation -----------------------------------------------------------------
+
+    def add_vm(self, vm: VM, host: int) -> None:
+        """Place a new VM on ``host``; raises :class:`CapacityError` if full."""
+        if vm.vm_id in self._vms:
+            raise ValueError(f"VM {vm.vm_id} is already placed")
+        if not 0 <= host < self._cluster.n_servers:
+            raise ValueError(f"host index {host} out of range")
+        if not self.can_host(host, vm):
+            raise CapacityError(
+                f"host {host} cannot accommodate VM {vm.vm_id}: "
+                f"slots={self.free_slots(host)}, "
+                f"ram={self.free_ram_mb(host)}MiB, cpu={self.free_cpu(host)}"
+            )
+        self._vms[vm.vm_id] = vm
+        self._host_of[vm.vm_id] = host
+        self._vms_on[host].add(vm.vm_id)
+        self._used_ram[host] += vm.ram_mb
+        self._used_cpu[host] += vm.cpu
+
+    def remove_vm(self, vm_id: int) -> VM:
+        """Remove a VM from the allocation entirely and return it."""
+        vm = self._vms.pop(vm_id)
+        host = self._host_of.pop(vm_id)
+        self._vms_on[host].discard(vm_id)
+        self._used_ram[host] -= vm.ram_mb
+        self._used_cpu[host] -= vm.cpu
+        return vm
+
+    def migrate(self, vm_id: int, target_host: int) -> None:
+        """Move a VM to ``target_host`` (the paper's ``u -> x``).
+
+        Raises :class:`CapacityError` when the target lacks headroom; a
+        migration to the current host is a no-op.
+        """
+        current = self._host_of[vm_id]
+        if current == target_host:
+            return
+        vm = self._vms[vm_id]
+        if not self.can_host(target_host, vm):
+            raise CapacityError(
+                f"migration of VM {vm_id} to host {target_host} rejected: "
+                f"slots={self.free_slots(target_host)}, "
+                f"ram={self.free_ram_mb(target_host)}MiB, "
+                f"cpu={self.free_cpu(target_host)}"
+            )
+        self._vms_on[current].discard(vm_id)
+        self._used_ram[current] -= vm.ram_mb
+        self._used_cpu[current] -= vm.cpu
+        self._host_of[vm_id] = target_host
+        self._vms_on[target_host].add(vm_id)
+        self._used_ram[target_host] += vm.ram_mb
+        self._used_cpu[target_host] += vm.cpu
+
+    # -- bulk / copy -----------------------------------------------------------------
+
+    def copy(self) -> "Allocation":
+        """An independent copy sharing the (immutable) cluster."""
+        clone = Allocation(self._cluster)
+        clone._vms = dict(self._vms)
+        clone._host_of = dict(self._host_of)
+        clone._vms_on = [set(s) for s in self._vms_on]
+        clone._used_ram = list(self._used_ram)
+        clone._used_cpu = list(self._used_cpu)
+        return clone
+
+    def as_dict(self) -> Dict[int, int]:
+        """Snapshot of the VM → host mapping."""
+        return dict(self._host_of)
+
+    def apply_mapping(self, mapping: Dict[int, int]) -> None:
+        """Re-place already-known VMs according to ``mapping``.
+
+        Used by centralized baselines (GA) to install a computed allocation.
+        All VM IDs must already exist in this allocation; capacity is
+        enforced by removing every VM first and re-adding them, so a
+        mapping that violates capacity raises :class:`CapacityError` and
+        leaves the allocation in a *partially rebuilt* state — callers
+        should validate candidate mappings beforehand (see
+        :meth:`mapping_is_feasible`).
+        """
+        unknown = set(mapping) - set(self._vms)
+        if unknown:
+            raise ValueError(f"mapping contains unknown VM IDs: {sorted(unknown)[:5]}")
+        vms = {vm_id: self._vms[vm_id] for vm_id in mapping}
+        for vm_id in mapping:
+            self.remove_vm(vm_id)
+        for vm_id, host in mapping.items():
+            self.add_vm(vms[vm_id], host)
+
+    def mapping_is_feasible(self, mapping: Dict[int, int]) -> bool:
+        """Whether ``mapping`` respects every server's capacity."""
+        slots: Dict[int, int] = {}
+        ram: Dict[int, int] = {}
+        cpu: Dict[int, float] = {}
+        for vm_id, host in mapping.items():
+            vm = self._vms[vm_id]
+            slots[host] = slots.get(host, 0) + 1
+            ram[host] = ram.get(host, 0) + vm.ram_mb
+            cpu[host] = cpu.get(host, 0.0) + vm.cpu
+        for host, used in slots.items():
+            cap = self._cluster.server(host).capacity
+            if used > cap.max_vms or ram[host] > cap.ram_mb or cpu[host] > cap.cpu:
+                return False
+        return True
+
+    def validate(self) -> None:
+        """Internal-consistency check; raises AssertionError on corruption."""
+        for vm_id, host in self._host_of.items():
+            assert vm_id in self._vms_on[host], (
+                f"VM {vm_id} mapped to host {host} but missing from its set"
+            )
+        for host, vm_ids in enumerate(self._vms_on):
+            cap = self._cluster.server(host).capacity
+            assert len(vm_ids) <= cap.max_vms, f"host {host} over slot capacity"
+            ram = sum(self._vms[v].ram_mb for v in vm_ids)
+            cpu = sum(self._vms[v].cpu for v in vm_ids)
+            assert ram == self._used_ram[host], f"host {host} RAM accounting drift"
+            assert abs(cpu - self._used_cpu[host]) < 1e-9, (
+                f"host {host} CPU accounting drift"
+            )
+            assert ram <= cap.ram_mb, f"host {host} over RAM capacity"
+
+    def __repr__(self) -> str:
+        return f"Allocation(vms={len(self._vms)}, servers={self._cluster.n_servers})"

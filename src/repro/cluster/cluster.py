@@ -1,0 +1,67 @@
+"""A cluster couples a topology with one server per host."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.cluster.server import Server, ServerCapacity
+from repro.topology.base import Topology
+
+
+class Cluster:
+    """All servers of a data center, one per topology host.
+
+    The cluster owns the :class:`Server` objects; allocations manipulate
+    them through :class:`repro.cluster.allocation.Allocation`, which keeps
+    the VM → host mapping consistent with server occupancy.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        capacity: ServerCapacity = ServerCapacity(),
+        per_host_capacity: Optional[Dict[int, ServerCapacity]] = None,
+    ) -> None:
+        self._topology = topology
+        overrides = per_host_capacity or {}
+        self._servers: List[Server] = [
+            Server(host, overrides.get(host, capacity))
+            for host in topology.hosts
+        ]
+
+    @property
+    def topology(self) -> Topology:
+        """The network topology the servers attach to."""
+        return self._topology
+
+    @property
+    def n_servers(self) -> int:
+        """Number of physical servers."""
+        return len(self._servers)
+
+    @property
+    def total_vm_slots(self) -> int:
+        """Aggregate VM capacity across all servers."""
+        return sum(server.capacity.max_vms for server in self._servers)
+
+    def server(self, host: int) -> Server:
+        """The server on topology host ``host``."""
+        return self._servers[host]
+
+    def servers(self) -> Iterator[Server]:
+        """Iterate over all servers in host order."""
+        return iter(self._servers)
+
+    def servers_in_rack(self, rack: int) -> List[Server]:
+        """Servers attached to the given ToR switch."""
+        return [self._servers[h] for h in self._topology.hosts_in_rack(rack)]
+
+    def total_hosted_vms(self) -> int:
+        """Number of VMs currently placed on any server."""
+        return sum(server.n_vms for server in self._servers)
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster(servers={self.n_servers}, "
+            f"slots={self.total_vm_slots}, hosted={self.total_hosted_vms()})"
+        )

@@ -1,0 +1,144 @@
+"""Initial placement strategies.
+
+The paper notes (§III) that VMs "are initially allocated either at random or
+in a load-balanced manner"; S-CORE then improves whatever it is handed.
+Four strategies are provided:
+
+``place_random``
+    Each VM goes to a uniformly random feasible server.
+``place_round_robin``
+    Load-balanced: VMs are dealt one per server cyclically.
+``place_packed``
+    Servers are filled to capacity in host order (dense packing; this is
+    also how the GA baseline seeds its population, §VI-A).
+``place_striped``
+    Consecutive VM IDs are spread across *racks*, maximizing initial
+    communication cost for locality-structured workloads — a worst-case
+    stress start for S-CORE.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.cluster.allocation import Allocation, CapacityError
+from repro.cluster.cluster import Cluster
+from repro.cluster.vm import VM
+from repro.util.rng import SeedLike, make_rng
+
+
+def _require_capacity(cluster: Cluster, vms: Sequence[VM]) -> None:
+    if len(vms) > cluster.total_vm_slots:
+        raise CapacityError(
+            f"{len(vms)} VMs exceed the cluster's {cluster.total_vm_slots} slots"
+        )
+
+
+def place_packed(cluster: Cluster, vms: Iterable[VM]) -> Allocation:
+    """Fill servers to capacity in host order."""
+    vms = list(vms)
+    _require_capacity(cluster, vms)
+    allocation = Allocation(cluster)
+    host = 0
+    for vm in vms:
+        while host < cluster.n_servers and not allocation.can_host(host, vm):
+            host += 1
+        if host >= cluster.n_servers:
+            raise CapacityError(f"ran out of servers placing VM {vm.vm_id}")
+        allocation.add_vm(vm, host)
+    return allocation
+
+
+def place_round_robin(cluster: Cluster, vms: Iterable[VM]) -> Allocation:
+    """Deal VMs one per server cyclically (load-balanced placement)."""
+    vms = list(vms)
+    _require_capacity(cluster, vms)
+    allocation = Allocation(cluster)
+    n = cluster.n_servers
+    cursor = 0
+    for vm in vms:
+        placed = False
+        for offset in range(n):
+            host = (cursor + offset) % n
+            if allocation.can_host(host, vm):
+                allocation.add_vm(vm, host)
+                cursor = (host + 1) % n
+                placed = True
+                break
+        if not placed:
+            raise CapacityError(f"no server can accommodate VM {vm.vm_id}")
+    return allocation
+
+
+def place_random(cluster: Cluster, vms: Iterable[VM], seed: SeedLike = None) -> Allocation:
+    """Place each VM on a uniformly random feasible server.
+
+    The per-VM feasibility scan is O(hosts); at the paper's full scale
+    (2560 hosts x ~35k VMs) initial placement takes about a minute, which
+    only matters for ``REPRO_BENCH_SCALE=paper`` runs.
+    """
+    vms = list(vms)
+    _require_capacity(cluster, vms)
+    rng = make_rng(seed)
+    allocation = Allocation(cluster)
+    for vm in vms:
+        feasible = [
+            host for host in range(cluster.n_servers)
+            if allocation.can_host(host, vm)
+        ]
+        if not feasible:
+            raise CapacityError(f"no server can accommodate VM {vm.vm_id}")
+        host = int(rng.choice(feasible))
+        allocation.add_vm(vm, host)
+    return allocation
+
+
+def place_striped(cluster: Cluster, vms: Iterable[VM]) -> Allocation:
+    """Spread consecutive VMs across racks (adversarial locality).
+
+    VM i goes to rack ``i mod n_racks``, to the first feasible host there;
+    falls back to any feasible host when the target rack is full.
+    """
+    vms = list(vms)
+    _require_capacity(cluster, vms)
+    allocation = Allocation(cluster)
+    topology = cluster.topology
+    n_racks = topology.n_racks
+    for index, vm in enumerate(vms):
+        rack = index % n_racks
+        placed = False
+        for host in topology.hosts_in_rack(rack):
+            if allocation.can_host(host, vm):
+                allocation.add_vm(vm, host)
+                placed = True
+                break
+        if not placed:
+            for host in range(cluster.n_servers):
+                if allocation.can_host(host, vm):
+                    allocation.add_vm(vm, host)
+                    placed = True
+                    break
+        if not placed:
+            raise CapacityError(f"no server can accommodate VM {vm.vm_id}")
+    return allocation
+
+
+PLACEMENT_STRATEGIES = {
+    "packed": place_packed,
+    "round_robin": place_round_robin,
+    "striped": place_striped,
+}
+
+
+def place_by_name(
+    name: str, cluster: Cluster, vms: Iterable[VM], seed: SeedLike = None
+) -> Allocation:
+    """Dispatch a placement strategy by name (``random`` accepts a seed)."""
+    if name == "random":
+        return place_random(cluster, vms, seed)
+    try:
+        strategy = PLACEMENT_STRATEGIES[name]
+    except KeyError:
+        known = ["random", *sorted(PLACEMENT_STRATEGIES)]
+        raise ValueError(f"unknown placement strategy {name!r}; known: {known}")
+    return strategy(cluster, vms)

@@ -1,0 +1,135 @@
+"""Physical server model with capacity accounting.
+
+The paper caps each host at 16 VMs "to model a typical DC server's capacity"
+(§VI) and additionally checks residual RAM and bandwidth on migration
+targets (§V-B5: the capacity response reports how many more VMs a host can
+take and its available RAM; §V-C adds a link-load threshold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Set
+
+from repro.cluster.vm import VM
+
+
+@dataclass(frozen=True)
+class ServerCapacity:
+    """Static resource capacity of one server.
+
+    Attributes
+    ----------
+    max_vms:
+        VM slots (the paper's value is 16).
+    ram_mb:
+        Total RAM available for guest VMs.
+    cpu:
+        Total CPU cores available for guests.
+    nic_bps:
+        NIC line rate in bits/second (1 Gb/s in the testbed).
+    """
+
+    max_vms: int = 16
+    ram_mb: int = 32768
+    cpu: float = 16.0
+    nic_bps: float = 1e9
+
+    def __post_init__(self) -> None:
+        if self.max_vms <= 0:
+            raise ValueError(f"max_vms must be positive, got {self.max_vms}")
+        if self.ram_mb <= 0:
+            raise ValueError(f"ram_mb must be positive, got {self.ram_mb}")
+        if self.cpu <= 0:
+            raise ValueError(f"cpu must be positive, got {self.cpu}")
+        if self.nic_bps <= 0:
+            raise ValueError(f"nic_bps must be positive, got {self.nic_bps}")
+
+
+class Server:
+    """A physical host: identity, capacity and the VMs it currently runs."""
+
+    def __init__(self, host: int, capacity: ServerCapacity = ServerCapacity()) -> None:
+        if host < 0:
+            raise ValueError(f"host index must be >= 0, got {host}")
+        self._host = host
+        self._capacity = capacity
+        self._vms: Dict[int, VM] = {}
+        self._used_ram = 0
+        self._used_cpu = 0.0
+
+    @property
+    def host(self) -> int:
+        """Host (topology) index of this server."""
+        return self._host
+
+    @property
+    def capacity(self) -> ServerCapacity:
+        """Static capacity of this server."""
+        return self._capacity
+
+    @property
+    def vm_ids(self) -> FrozenSet[int]:
+        """IDs of the VMs currently hosted here."""
+        return frozenset(self._vms)
+
+    @property
+    def n_vms(self) -> int:
+        """Number of VMs currently hosted."""
+        return len(self._vms)
+
+    @property
+    def free_slots(self) -> int:
+        """Remaining VM slots (the §V-B5 capacity-response field)."""
+        return self._capacity.max_vms - len(self._vms)
+
+    @property
+    def free_ram_mb(self) -> int:
+        """Remaining guest RAM (the other §V-B5 capacity-response field)."""
+        return self._capacity.ram_mb - self._used_ram
+
+    @property
+    def free_cpu(self) -> float:
+        """Remaining CPU cores."""
+        return self._capacity.cpu - self._used_cpu
+
+    def hosts_vm(self, vm_id: int) -> bool:
+        """Whether the VM with ``vm_id`` currently runs on this server."""
+        return vm_id in self._vms
+
+    def can_host(self, vm: VM) -> bool:
+        """Whether this server has slot, RAM and CPU headroom for ``vm``."""
+        return (
+            self.free_slots >= 1
+            and self.free_ram_mb >= vm.ram_mb
+            and self.free_cpu >= vm.cpu
+        )
+
+    def admit(self, vm: VM) -> None:
+        """Place ``vm`` on this server (in-migration); capacity-checked."""
+        if vm.vm_id in self._vms:
+            raise ValueError(f"VM {vm.vm_id} is already on host {self._host}")
+        if not self.can_host(vm):
+            raise ValueError(
+                f"host {self._host} cannot accommodate VM {vm.vm_id}: "
+                f"slots={self.free_slots}, free_ram={self.free_ram_mb}MiB, "
+                f"free_cpu={self.free_cpu}"
+            )
+        self._vms[vm.vm_id] = vm
+        self._used_ram += vm.ram_mb
+        self._used_cpu += vm.cpu
+
+    def evict(self, vm_id: int) -> VM:
+        """Remove a VM from this server (out-migration) and return it."""
+        if vm_id not in self._vms:
+            raise KeyError(f"VM {vm_id} is not on host {self._host}")
+        vm = self._vms.pop(vm_id)
+        self._used_ram -= vm.ram_mb
+        self._used_cpu -= vm.cpu
+        return vm
+
+    def __repr__(self) -> str:
+        return (
+            f"Server(host={self._host}, vms={len(self._vms)}/"
+            f"{self._capacity.max_vms})"
+        )

@@ -1,0 +1,46 @@
+"""Virtual machine model.
+
+VMs are identified by unique 32-bit integers (paper §V-A uses the VM's IPv4
+address as its ID; here the ID is the integer form and the IP rendering
+lives in :mod:`repro.cluster.manager`).  Resource demands are what the
+capacity checks of §V-B5 inspect on a candidate target server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+MAX_VM_ID = 2**32 - 1
+
+
+@dataclass(frozen=True, order=True)
+class VM:
+    """A virtual machine and its resource demand.
+
+    Ordering is by ``vm_id``, which the Round-Robin token policy relies on
+    (token circulates in ascending ID order, §V-A1).
+
+    Attributes
+    ----------
+    vm_id:
+        Unique 32-bit identifier.
+    ram_mb:
+        Memory footprint in MiB; this is what live migration must copy
+        (the testbed VMs use 196 MiB, §VI-C).
+    cpu:
+        CPU demand in cores (may be fractional).
+    """
+
+    vm_id: int
+    ram_mb: int = field(default=1024, compare=False)
+    cpu: float = field(default=1.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.vm_id <= MAX_VM_ID:
+            raise ValueError(
+                f"vm_id must fit in 32 bits (0..{MAX_VM_ID}), got {self.vm_id}"
+            )
+        if self.ram_mb <= 0:
+            raise ValueError(f"ram_mb must be positive, got {self.ram_mb}")
+        if self.cpu <= 0:
+            raise ValueError(f"cpu must be positive, got {self.cpu}")

@@ -1,0 +1,240 @@
+"""Communication-cost model (paper §II–§III).
+
+Link weights ``c_i`` grow with the layer: utilization of cheap edge links is
+preferable to expensive, oversubscribed core links.  Traffic between VMs at
+communication level ``l`` traverses ``2l`` links — two at each layer
+``1..l`` — so it costs ``2 * λ(u,v) * Σ_{i=1..l} c_i`` (Eq. 1's inner term).
+
+* Per-VM cost, Eq. (1):  ``C_A(u) = 2 Σ_{v∈V_u} λ(u,v) Σ_{i≤l(u,v)} c_i``
+* Network-wide cost, Eq. (2): the same summed once per unordered pair.
+* Migration delta, Lemma 3: only the migrating VM's peers contribute, which
+  is what makes the decision computable from VM-local state.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.cluster.allocation import Allocation
+from repro.topology.base import Topology
+from repro.traffic.matrix import TrafficMatrix
+
+
+@dataclass(frozen=True)
+class LinkWeights:
+    """Per-level link weights ``c_1 < c_2 < ... < c_L`` (paper §II).
+
+    ``weights[i]`` is ``c_{i+1}`` (0-indexed storage, 1-indexed semantics).
+    The constructor enforces strictly increasing positive weights, matching
+    the paper's premise that upper layers are more expensive.
+    """
+
+    weights: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ValueError("at least one link weight is required")
+        if any(w <= 0 for w in self.weights):
+            raise ValueError(f"link weights must be positive, got {self.weights}")
+        if any(b <= a for a, b in zip(self.weights, self.weights[1:])):
+            raise ValueError(
+                f"link weights must be strictly increasing, got {self.weights}"
+            )
+
+    @classmethod
+    def paper(cls) -> "LinkWeights":
+        """The paper's §VI weights: c1 = e^0, c2 = e^1, c3 = e^3."""
+        return cls(weights=(math.e**0, math.e**1, math.e**3))
+
+    @classmethod
+    def exponential(cls, max_level: int = 3, base: float = math.e) -> "LinkWeights":
+        """Geometric weights ``c_i = base^(i-1)``."""
+        if max_level < 1:
+            raise ValueError(f"max_level must be >= 1, got {max_level}")
+        if base <= 1.0:
+            raise ValueError(f"base must be > 1 for increasing weights, got {base}")
+        return cls(weights=tuple(base ** (i - 1) for i in range(1, max_level + 1)))
+
+    @classmethod
+    def linear(cls, max_level: int = 3, step: float = 1.0) -> "LinkWeights":
+        """Arithmetic weights ``c_i = i * step`` (ablation alternative)."""
+        if max_level < 1:
+            raise ValueError(f"max_level must be >= 1, got {max_level}")
+        if step <= 0:
+            raise ValueError(f"step must be > 0, got {step}")
+        return cls(weights=tuple(step * i for i in range(1, max_level + 1)))
+
+    @property
+    def max_level(self) -> int:
+        """Highest level these weights cover."""
+        return len(self.weights)
+
+    def weight(self, level: int) -> float:
+        """``c_level`` for a 1-based level."""
+        if not 1 <= level <= len(self.weights):
+            raise ValueError(
+                f"level must be in [1, {len(self.weights)}], got {level}"
+            )
+        return self.weights[level - 1]
+
+    def path_weight(self, level: int) -> float:
+        """Cost per unit traffic at communication level ``level``.
+
+        Equals ``2 * Σ_{i=1..level} c_i`` — the full round of links a flow
+        at that level traverses.  Level 0 (co-located) costs nothing.
+        """
+        if level == 0:
+            return 0.0
+        if not 1 <= level <= len(self.weights):
+            raise ValueError(
+                f"level must be in [0, {len(self.weights)}], got {level}"
+            )
+        return 2.0 * sum(self.weights[:level])
+
+
+class CostModel:
+    """Evaluates communication costs for allocations over a topology.
+
+    Precomputes the cumulative path weights so every per-pair evaluation is
+    a table lookup, making Eq. (2) O(#communicating pairs).
+    """
+
+    def __init__(self, topology: Topology, weights: Optional[LinkWeights] = None) -> None:
+        self._topology = topology
+        self._weights = weights or LinkWeights.paper()
+        if self._weights.max_level < topology.max_level:
+            raise ValueError(
+                f"weights cover {self._weights.max_level} levels but topology "
+                f"has {topology.max_level}"
+            )
+        self._path_weight = tuple(
+            self._weights.path_weight(level)
+            for level in range(topology.max_level + 1)
+        )
+
+    @property
+    def topology(self) -> Topology:
+        """The topology levels are computed against."""
+        return self._topology
+
+    @property
+    def weights(self) -> LinkWeights:
+        """The link weights in effect."""
+        return self._weights
+
+    def pair_cost(self, rate: float, level: int) -> float:
+        """Cost contribution of one pair at ``level`` with rate λ."""
+        return rate * self._path_weight[level]
+
+    # -- Eq. (1) and Eq. (2) -----------------------------------------------------
+
+    def vm_cost(self, allocation: Allocation, traffic: TrafficMatrix, vm_u: int) -> float:
+        """C_A(u), Eq. (1): cost attributed to VM u under the allocation."""
+        host_u = allocation.server_of(vm_u)
+        topo = self._topology
+        total = 0.0
+        for peer, rate in traffic.peer_rates(vm_u).items():
+            level = topo.level_between(host_u, allocation.server_of(peer))
+            total += rate * self._path_weight[level]
+        return total
+
+    def total_cost(self, allocation: Allocation, traffic: TrafficMatrix) -> float:
+        """C_A, Eq. (2): network-wide communication cost."""
+        topo = self._topology
+        total = 0.0
+        for u, v, rate in traffic.pairs():
+            level = topo.level_between(
+                allocation.server_of(u), allocation.server_of(v)
+            )
+            total += rate * self._path_weight[level]
+        return total
+
+    def highest_level(self, allocation: Allocation, traffic: TrafficMatrix, vm_u: int) -> int:
+        """l_A(u) = max over peers of l(u, v) (paper §II); 0 if no peers."""
+        host_u = allocation.server_of(vm_u)
+        topo = self._topology
+        level = 0
+        for peer in traffic.peers_of(vm_u):
+            peer_level = topo.level_between(host_u, allocation.server_of(peer))
+            if peer_level > level:
+                level = peer_level
+                if level == topo.max_level:
+                    break
+        return level
+
+    # -- Lemma 3 / Theorem 1 --------------------------------------------------------
+
+    def migration_delta(
+        self,
+        allocation: Allocation,
+        traffic: TrafficMatrix,
+        vm_u: int,
+        target_host: int,
+    ) -> float:
+        """ΔC_A(u → x), Lemma 3: network-wide cost change of migrating u.
+
+        Positive values are *reductions*.  Only VM u's peers contribute;
+        everything needed is local to u, which is the crux of S-CORE's
+        scalability argument.
+        """
+        source_host = allocation.server_of(vm_u)
+        if source_host == target_host:
+            return 0.0
+        topo = self._topology
+        delta = 0.0
+        for peer, rate in traffic.peer_rates(vm_u).items():
+            peer_host = allocation.server_of(peer)
+            before = topo.level_between(peer_host, source_host)
+            after = topo.level_between(peer_host, target_host)
+            delta += rate * (self._path_weight[before] - self._path_weight[after])
+        return delta
+
+    def should_migrate(
+        self,
+        allocation: Allocation,
+        traffic: TrafficMatrix,
+        vm_u: int,
+        target_host: int,
+        migration_cost: float = 0.0,
+    ) -> bool:
+        """Theorem 1: migrate iff the cost reduction exceeds ``migration_cost``."""
+        if migration_cost < 0:
+            raise ValueError(f"migration_cost must be >= 0, got {migration_cost}")
+        return (
+            self.migration_delta(allocation, traffic, vm_u, target_host)
+            > migration_cost
+        )
+
+    # -- diagnostics ----------------------------------------------------------------
+
+    def cost_by_level(
+        self, allocation: Allocation, traffic: TrafficMatrix
+    ) -> Dict[int, float]:
+        """Break the network-wide cost down by communication level."""
+        topo = self._topology
+        breakdown: Dict[int, float] = {
+            level: 0.0 for level in range(topo.max_level + 1)
+        }
+        for u, v, rate in traffic.pairs():
+            level = topo.level_between(
+                allocation.server_of(u), allocation.server_of(v)
+            )
+            breakdown[level] += rate * self._path_weight[level]
+        return breakdown
+
+    def traffic_by_level(
+        self, allocation: Allocation, traffic: TrafficMatrix
+    ) -> Dict[int, float]:
+        """Aggregate rate per communication level (unweighted)."""
+        topo = self._topology
+        breakdown: Dict[int, float] = {
+            level: 0.0 for level in range(topo.max_level + 1)
+        }
+        for u, v, rate in traffic.pairs():
+            level = topo.level_between(
+                allocation.server_of(u), allocation.server_of(v)
+            )
+            breakdown[level] += rate
+        return breakdown

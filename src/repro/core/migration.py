@@ -1,0 +1,255 @@
+"""Migration decision logic: Theorem 1 plus target search (§V-B5, §V-C).
+
+When a VM holds the token, its hypervisor:
+
+1. ranks the VM's communication peers from highest to lowest communication
+   level (heaviest rate first within a level) — these peers' servers, and
+   the other servers in their racks, are the candidate targets;
+2. "probes" each candidate for capacity (free VM slot + RAM, §V-B5) and for
+   the operator's link-load threshold (§V-C);
+3. computes the Lemma 3 cost delta for each feasible candidate and migrates
+   to the best one iff the delta exceeds the migration cost ``cm``
+   (Theorem 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.cluster.allocation import Allocation
+from repro.core.cost import CostModel
+from repro.traffic.matrix import TrafficMatrix
+from repro.util.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class MigrationDecision:
+    """Outcome of one token-hold decision.
+
+    ``delta`` is the network-wide cost reduction of the chosen (or best
+    rejected) move; ``migrated`` records whether the move was performed;
+    ``reason`` explains why not, when it wasn't.
+    """
+
+    vm_id: int
+    source_host: int
+    target_host: Optional[int]
+    delta: float
+    migrated: bool
+    reason: str
+
+    @property
+    def improved(self) -> bool:
+        """Whether this decision reduced the network-wide cost."""
+        return self.migrated and self.delta > 0
+
+
+class MigrationEngine:
+    """Evaluates and (optionally) executes S-CORE migrations."""
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        migration_cost: float = 0.0,
+        bandwidth_threshold: Optional[float] = None,
+        max_candidates: Optional[int] = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        cost_model:
+            The communication-cost model (topology + link weights).
+        migration_cost:
+            The paper's ``cm``: a move happens only when the cost reduction
+            strictly exceeds it.  The paper sets 0 for the GA comparison and
+            sweeps other values.
+        bandwidth_threshold:
+            Optional fraction of a target server's NIC capacity that its
+            post-migration egress load may not exceed (§V-C); ``None``
+            disables the check.
+        max_candidates:
+            Optional cap on the number of candidate servers probed per
+            decision (bounds per-token-hold work on dense VMs).
+        """
+        check_non_negative("migration_cost", migration_cost)
+        if bandwidth_threshold is not None and not 0 < bandwidth_threshold <= 1:
+            raise ValueError(
+                f"bandwidth_threshold must be in (0, 1], got {bandwidth_threshold}"
+            )
+        if max_candidates is not None and max_candidates < 1:
+            raise ValueError(f"max_candidates must be >= 1, got {max_candidates}")
+        self._cost_model = cost_model
+        self._migration_cost = migration_cost
+        self._bandwidth_threshold = bandwidth_threshold
+        self._max_candidates = max_candidates
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The cost model used for deltas."""
+        return self._cost_model
+
+    @property
+    def migration_cost(self) -> float:
+        """The migration (overhead) cost ``cm``."""
+        return self._migration_cost
+
+    # -- candidate generation ----------------------------------------------------
+
+    def candidate_hosts(
+        self, allocation: Allocation, traffic: TrafficMatrix, vm_u: int
+    ) -> List[int]:
+        """Candidate target servers for VM u, in probing order.
+
+        Peers are ranked highest communication level first (heaviest traffic
+        first within a level, §V-B5); each contributes its own server first,
+        then the remaining servers of its rack (same level-1 benefit when
+        the peer's server itself is full).
+        """
+        source = allocation.server_of(vm_u)
+        topo = self._cost_model.topology
+        peer_rates = traffic.peer_rates(vm_u)
+        ranked = sorted(
+            peer_rates.items(),
+            key=lambda item: (
+                -topo.level_between(source, allocation.server_of(item[0])),
+                -item[1],
+                item[0],
+            ),
+        )
+        seen = {source}
+        candidates: List[int] = []
+        for peer, _rate in ranked:
+            peer_host = allocation.server_of(peer)
+            if peer_host not in seen:
+                seen.add(peer_host)
+                candidates.append(peer_host)
+            for host in topo.hosts_in_rack(topo.rack_of(peer_host)):
+                if host not in seen:
+                    seen.add(host)
+                    candidates.append(host)
+            if self._max_candidates and len(candidates) >= self._max_candidates:
+                return candidates[: self._max_candidates]
+        return candidates
+
+    # -- feasibility ----------------------------------------------------------------
+
+    def host_egress_rate(
+        self, allocation: Allocation, traffic: TrafficMatrix, host: int
+    ) -> float:
+        """Aggregate rate crossing ``host``'s NIC (bytes/second).
+
+        Sums λ between each VM on the host and each of its peers placed
+        elsewhere; intra-host traffic never touches the NIC.
+        """
+        total = 0.0
+        for vm_id in allocation.vms_on(host):
+            for peer, rate in traffic.peer_rates(vm_id).items():
+                if allocation.server_of(peer) != host:
+                    total += rate
+        return total
+
+    def bandwidth_feasible(
+        self,
+        allocation: Allocation,
+        traffic: TrafficMatrix,
+        vm_u: int,
+        target_host: int,
+    ) -> bool:
+        """§V-C check: target NIC load after the move stays under threshold."""
+        if self._bandwidth_threshold is None:
+            return True
+        capacity = allocation.cluster.server(target_host).capacity.nic_bps
+        budget = self._bandwidth_threshold * capacity
+        load = self.host_egress_rate(allocation, traffic, target_host)
+        # After the move, u's flows to VMs already on the target become
+        # intra-host (drop off the NIC); the rest are added to it.
+        incoming = 0.0
+        for peer, rate in traffic.peer_rates(vm_u).items():
+            if allocation.server_of(peer) == target_host:
+                load -= rate
+            else:
+                incoming += rate
+        return load + incoming <= budget
+
+    def feasible(
+        self,
+        allocation: Allocation,
+        traffic: TrafficMatrix,
+        vm_u: int,
+        target_host: int,
+    ) -> bool:
+        """Capacity (§V-B5) plus bandwidth (§V-C) feasibility of a move."""
+        vm = allocation.vm(vm_u)
+        if not allocation.can_host(target_host, vm):
+            return False
+        return self.bandwidth_feasible(allocation, traffic, vm_u, target_host)
+
+    # -- decision -----------------------------------------------------------------------
+
+    def evaluate(
+        self, allocation: Allocation, traffic: TrafficMatrix, vm_u: int
+    ) -> MigrationDecision:
+        """Pick the best feasible target for VM u (no mutation).
+
+        Returns a decision with ``migrated=False``; ``target_host`` is the
+        chosen target when the Theorem 1 condition is met, else ``None``.
+        """
+        source = allocation.server_of(vm_u)
+        if not traffic.peers_of(vm_u):
+            return MigrationDecision(
+                vm_id=vm_u,
+                source_host=source,
+                target_host=None,
+                delta=0.0,
+                migrated=False,
+                reason="no_peers",
+            )
+        best_host: Optional[int] = None
+        best_delta = 0.0
+        saw_candidate = False
+        for host in self.candidate_hosts(allocation, traffic, vm_u):
+            if not self.feasible(allocation, traffic, vm_u, host):
+                continue
+            saw_candidate = True
+            delta = self._cost_model.migration_delta(
+                allocation, traffic, vm_u, host
+            )
+            if delta > best_delta:
+                best_delta = delta
+                best_host = host
+        if best_host is not None and best_delta > self._migration_cost:
+            return MigrationDecision(
+                vm_id=vm_u,
+                source_host=source,
+                target_host=best_host,
+                delta=best_delta,
+                migrated=False,
+                reason="beneficial",
+            )
+        reason = "no_gain" if saw_candidate else "no_feasible_target"
+        return MigrationDecision(
+            vm_id=vm_u,
+            source_host=source,
+            target_host=None,
+            delta=best_delta,
+            migrated=False,
+            reason=reason,
+        )
+
+    def decide_and_migrate(
+        self, allocation: Allocation, traffic: TrafficMatrix, vm_u: int
+    ) -> MigrationDecision:
+        """Evaluate VM u and perform the migration when Theorem 1 holds."""
+        decision = self.evaluate(allocation, traffic, vm_u)
+        if decision.target_host is None:
+            return decision
+        allocation.migrate(vm_u, decision.target_host)
+        return MigrationDecision(
+            vm_id=decision.vm_id,
+            source_host=decision.source_host,
+            target_host=decision.target_host,
+            delta=decision.delta,
+            migrated=True,
+            reason="migrated",
+        )

@@ -1,0 +1,229 @@
+"""Token-passing policies (paper §V-A).
+
+The VM currently holding the token decides whether to migrate, then passes
+the token on according to the policy in force.  The paper evaluates two
+policies — Round-Robin and Highest-Level-First (Algorithm 1) — and refers
+to a broader design space in its companion technical report [21]; two
+additional members of that space (:class:`RandomPolicy` and
+:class:`LeastRecentlyVisitedPolicy`) are provided for the ablation benches.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional
+
+from repro.cluster.allocation import Allocation
+from repro.core.cost import CostModel
+from repro.core.token import Token
+from repro.traffic.matrix import TrafficMatrix
+from repro.util.rng import SeedLike, make_rng
+
+
+class TokenPolicy(ABC):
+    """Strategy deciding which VM receives the token next."""
+
+    #: Short name used in experiment configs and bench output.
+    name: str = "abstract"
+
+    def on_hold(
+        self,
+        token: Token,
+        vm_u: int,
+        allocation: Allocation,
+        traffic: TrafficMatrix,
+        cost_model: CostModel,
+    ) -> None:
+        """Update token state while ``vm_u`` holds it.
+
+        Called *after* the migration decision, so level updates reflect the
+        post-decision placement.  Default: no token state is maintained.
+        """
+
+    @abstractmethod
+    def next_vm(
+        self,
+        token: Token,
+        vm_u: int,
+        allocation: Allocation,
+        traffic: TrafficMatrix,
+        cost_model: CostModel,
+    ) -> int:
+        """Return the VM the token should be passed to."""
+
+
+class RoundRobinPolicy(TokenPolicy):
+    """§V-A1: circulate the token in ascending VM-ID order, wrapping."""
+
+    name = "round_robin"
+
+    def next_vm(
+        self,
+        token: Token,
+        vm_u: int,
+        allocation: Allocation,
+        traffic: TrafficMatrix,
+        cost_model: CostModel,
+    ) -> int:
+        return token.successor(vm_u)
+
+
+class HighestLevelFirstPolicy(TokenPolicy):
+    """§V-A2 / Algorithm 1: prioritize VMs communicating over high layers.
+
+    While holding the token, VM u refreshes its own entry with its actual
+    highest communication level and raises its peers' entries to at least
+    ``l(u, v)`` (estimates only ever increase until the VM itself refreshes
+    them).  The token then goes to the next *unchecked* VM — in cyclic ID
+    order after u — whose recorded level equals the current level ``cl``,
+    scanning ``cl`` downwards.  When every VM has been checked in the
+    current round (Algorithm 1's "No unchecked VMs are left"), the round
+    resets and the token restarts from the lowest-ID VM among those at the
+    maximum recorded level (line 16).  The checked set is what prevents the
+    token from ping-ponging between two high-level VMs that cannot migrate.
+    """
+
+    name = "highest_level_first"
+
+    def __init__(self) -> None:
+        self._checked: set = set()
+
+    def on_hold(
+        self,
+        token: Token,
+        vm_u: int,
+        allocation: Allocation,
+        traffic: TrafficMatrix,
+        cost_model: CostModel,
+    ) -> None:
+        self._checked.add(vm_u)
+        token.set_level(vm_u, cost_model.highest_level(allocation, traffic, vm_u))
+        host_u = allocation.server_of(vm_u)
+        for peer in traffic.peers_of(vm_u):
+            if peer in token:
+                level = cost_model.topology.level_between(
+                    host_u, allocation.server_of(peer)
+                )
+                token.raise_level(peer, level)
+
+    def next_vm(
+        self,
+        token: Token,
+        vm_u: int,
+        allocation: Allocation,
+        traffic: TrafficMatrix,
+        cost_model: CostModel,
+    ) -> int:
+        # Scan current level downwards; within a level, cyclic ID order
+        # starting just after u (the paper's z ← u ⊕ 1), skipping VMs
+        # already checked this round.
+        for level in range(token.level_of(vm_u), -1, -1):
+            candidate = self._next_at_level(token, vm_u, level)
+            if candidate is not None:
+                return candidate
+        # Also consider unchecked VMs recorded *above* the holder's level
+        # (stale overestimates still deserve their turn this round).
+        for level in range(token.max_recorded_level(), token.level_of(vm_u), -1):
+            candidate = self._next_at_level(token, vm_u, level)
+            if candidate is not None:
+                return candidate
+        # No unchecked VMs are left: new round.  Line 16 fallback — lowest
+        # ID among the VMs recorded at the maximum level.
+        self._checked.clear()
+        top = token.max_recorded_level()
+        return min(token.vms_at_level(top))
+
+    def _next_at_level(self, token: Token, vm_u: int, level: int) -> Optional[int]:
+        """First unchecked VM after u (cyclically) recorded at ``level``."""
+        candidate = token.successor(vm_u)
+        while candidate != vm_u:
+            if token.level_of(candidate) == level and candidate not in self._checked:
+                return candidate
+            candidate = token.successor(candidate)
+        return None
+
+
+class RandomPolicy(TokenPolicy):
+    """Pass the token to a uniformly random other VM (TR design space)."""
+
+    name = "random"
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self._rng = make_rng(seed)
+
+    def next_vm(
+        self,
+        token: Token,
+        vm_u: int,
+        allocation: Allocation,
+        traffic: TrafficMatrix,
+        cost_model: CostModel,
+    ) -> int:
+        ids = token.vm_ids
+        if len(ids) == 1:
+            return ids[0]
+        while True:
+            candidate = ids[int(self._rng.integers(0, len(ids)))]
+            if candidate != vm_u:
+                return candidate
+
+
+class LeastRecentlyVisitedPolicy(TokenPolicy):
+    """Pass the token to the VM that has waited longest (TR design space).
+
+    Fairness-first alternative: guarantees bounded token starvation even
+    when HLF would keep revisiting a hot clique.  Ties break by ascending
+    VM ID, so behaviour is deterministic.
+    """
+
+    name = "least_recently_visited"
+
+    def __init__(self) -> None:
+        self._last_visit: Dict[int, int] = {}
+        self._clock = 0
+
+    def on_hold(
+        self,
+        token: Token,
+        vm_u: int,
+        allocation: Allocation,
+        traffic: TrafficMatrix,
+        cost_model: CostModel,
+    ) -> None:
+        self._clock += 1
+        self._last_visit[vm_u] = self._clock
+
+    def next_vm(
+        self,
+        token: Token,
+        vm_u: int,
+        allocation: Allocation,
+        traffic: TrafficMatrix,
+        cost_model: CostModel,
+    ) -> int:
+        best: Optional[int] = None
+        best_key = None
+        for vm_id in token.vm_ids:
+            if vm_id == vm_u and len(token) > 1:
+                continue
+            key = (self._last_visit.get(vm_id, 0), vm_id)
+            if best_key is None or key < best_key:
+                best, best_key = vm_id, key
+        assert best is not None
+        return best
+
+
+def policy_by_name(name: str, seed: SeedLike = None) -> TokenPolicy:
+    """Instantiate a policy by its short name."""
+    if name == RoundRobinPolicy.name or name == "rr":
+        return RoundRobinPolicy()
+    if name == HighestLevelFirstPolicy.name or name == "hlf":
+        return HighestLevelFirstPolicy()
+    if name == RandomPolicy.name:
+        return RandomPolicy(seed)
+    if name == LeastRecentlyVisitedPolicy.name or name == "lrv":
+        return LeastRecentlyVisitedPolicy()
+    raise ValueError(
+        f"unknown token policy {name!r}; known: rr/round_robin, "
+        f"hlf/highest_level_first, random, lrv/least_recently_visited"
+    )

@@ -1,0 +1,52 @@
+"""Simulation harness: link loads, metrics, experiments, dynamics.
+
+:mod:`repro.sim.network`
+    Routes every traffic-matrix pair over the topology (deterministic ECMP)
+    and accounts per-link loads/utilizations — the data behind Fig. 4a.
+:mod:`repro.sim.metrics`
+    Utilization CDFs per layer, convergence detection, series resampling.
+:mod:`repro.sim.experiment`
+    Declarative experiment configs and the runner used by every benchmark:
+    build topology + cluster + VMs + traffic, run S-CORE (and optionally the
+    GA reference), return the series the paper plots.
+:mod:`repro.sim.dynamics`
+    S-CORE under a drifting traffic matrix (stability / oscillation study).
+"""
+
+from repro.sim.network import LinkLoadCalculator
+from repro.sim.metrics import (
+    convergence_iteration,
+    resample_series,
+    utilization_cdf_by_level,
+)
+from repro.sim.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    build_environment,
+    run_experiment,
+)
+from repro.sim.dynamics import DynamicRunResult, run_dynamic
+from repro.sim.fairshare import (
+    FairShareResult,
+    FlowAllocation,
+    MaxMinFairAllocator,
+)
+from repro.sim.energy import EnergyModel, energy_link_weights
+
+__all__ = [
+    "LinkLoadCalculator",
+    "utilization_cdf_by_level",
+    "convergence_iteration",
+    "resample_series",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "build_environment",
+    "run_experiment",
+    "DynamicRunResult",
+    "run_dynamic",
+    "MaxMinFairAllocator",
+    "FairShareResult",
+    "FlowAllocation",
+    "EnergyModel",
+    "energy_link_weights",
+]

@@ -1,0 +1,57 @@
+"""Emulation of the Xen testbed components (paper §V-B, §VI-C).
+
+The paper implements S-CORE inside dom0 of each Xen hypervisor.  This
+package rebuilds the same components as an in-process emulation:
+
+:mod:`repro.testbed.flowtable`
+    The dom0 flow table (§V-B1): add/update/lookup/delete flows, per-IP
+    retrieval, byte counts and throughput — stress-tested up to one million
+    flows for Fig. 5a.
+:mod:`repro.testbed.tokenserver`
+    Token servers and the §V-B2/B4/B5 message types (token, location
+    request/response, capacity request/response) with real wire encodings,
+    delivered over an in-process "network" keyed by dom0 IP.
+:mod:`repro.testbed.livemigration`
+    The pre-copy live-migration model (Clark et al., NSDI'05): iterative
+    page copying under a dirty rate, with bandwidth shared against CBR
+    background traffic — reproduces Fig. 5b-d (migrated bytes, total
+    migration time, stop-and-copy downtime).
+:mod:`repro.testbed.hypervisor`
+    A dom0 node tying the pieces together: it answers location/capacity
+    probes and runs the S-CORE decision for the VMs it hosts.
+"""
+
+from repro.testbed.flowtable import FlowKey, FlowRecord, FlowTable
+from repro.testbed.livemigration import (
+    MigrationOutcome,
+    PreCopyMigrationModel,
+)
+from repro.testbed.tokenserver import (
+    CapacityRequest,
+    CapacityResponse,
+    LocationRequest,
+    LocationResponse,
+    LossyTokenNetwork,
+    TokenLostError,
+    TokenNetwork,
+    TokenServer,
+)
+from repro.testbed.hypervisor import HypervisorNode, TestbedDeployment
+
+__all__ = [
+    "FlowKey",
+    "FlowRecord",
+    "FlowTable",
+    "MigrationOutcome",
+    "PreCopyMigrationModel",
+    "TokenNetwork",
+    "LossyTokenNetwork",
+    "TokenLostError",
+    "TokenServer",
+    "LocationRequest",
+    "LocationResponse",
+    "CapacityRequest",
+    "CapacityResponse",
+    "HypervisorNode",
+    "TestbedDeployment",
+]

@@ -1,0 +1,34 @@
+"""Data-center network topologies (paper §II, Fig. 1).
+
+Two concrete layered tree topologies are provided, mirroring the paper's
+evaluation setups:
+
+:class:`CanonicalTree`
+    The classic host → ToR → aggregation → core tree (Fig. 1a).  The paper's
+    simulation instance uses 2560 hosts, 128 ToR switches and 20 hosts per
+    rack; :meth:`CanonicalTree.paper_scale` builds exactly that.
+:class:`FatTree`
+    A k-ary fat-tree (Fig. 1b).  The paper uses k = 16 (1024 hosts);
+    :meth:`FatTree.paper_scale` builds it.
+
+Both expose the same :class:`Topology` interface: O(1) *communication level*
+queries (``level_between``), per-level link inventories, and deterministic
+ECMP path enumeration used for link-utilization accounting.
+"""
+
+from repro.topology.base import Node, Topology
+from repro.topology.links import Link, LinkId, canonical_link_id
+from repro.topology.tree import CanonicalTree
+from repro.topology.fattree import FatTree
+from repro.topology.routing import ReferenceRouter
+
+__all__ = [
+    "Node",
+    "Topology",
+    "Link",
+    "LinkId",
+    "canonical_link_id",
+    "CanonicalTree",
+    "FatTree",
+    "ReferenceRouter",
+]

@@ -1,0 +1,186 @@
+"""Abstract topology interface shared by the canonical tree and fat-tree.
+
+The S-CORE cost model (paper §III) only needs, for any two *hosts*, the
+*communication level* ``l(u, v) = h(x, y) / 2`` — 0 when co-located, 1 when
+in the same rack, 2 within the same aggregation domain/pod, 3 across the
+core.  The simulator additionally needs actual link-level paths so it can
+account utilization per link (Fig. 4a).  Subclasses provide both: the level
+queries run in O(1) from host coordinates, and ``path_links`` enumerates the
+physical links traversed by a flow (with deterministic ECMP hashing when the
+topology offers multiple equal-cost paths).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.topology.links import Link, LinkId, Node
+
+
+class Topology(ABC):
+    """A layered data-center network topology.
+
+    Hosts are identified by integer indices ``0 .. n_hosts - 1``; racks by
+    integer indices ``0 .. n_racks - 1``.  The *level* terminology follows
+    paper §II: links between servers and ToR switches are 1-level links,
+    ToR–aggregation links are 2-level, aggregation–core links are 3-level.
+    """
+
+    #: Highest communication level in the topology (3 for both paper topologies).
+    max_level: int = 3
+
+    def __init__(self) -> None:
+        self._links: Dict[LinkId, Link] = {}
+        self._links_by_level: Dict[int, List[LinkId]] = {}
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def n_hosts(self) -> int:
+        """Number of physical hosts (servers)."""
+
+    @property
+    @abstractmethod
+    def n_racks(self) -> int:
+        """Number of racks (ToR switches)."""
+
+    @property
+    def hosts(self) -> range:
+        """Iterable of all host indices."""
+        return range(self.n_hosts)
+
+    @property
+    def racks(self) -> range:
+        """Iterable of all rack indices."""
+        return range(self.n_racks)
+
+    @abstractmethod
+    def rack_of(self, host: int) -> int:
+        """Rack (ToR switch) index that ``host`` is attached to."""
+
+    @abstractmethod
+    def pod_of(self, host: int) -> int:
+        """Aggregation-domain (pod / agg group) index of ``host``."""
+
+    def hosts_in_rack(self, rack: int) -> range:
+        """Host indices attached to ``rack``; contiguous in both topologies."""
+        per = self.n_hosts // self.n_racks
+        self._check_rack(rack)
+        return range(rack * per, (rack + 1) * per)
+
+    # -- levels and paths ---------------------------------------------------
+
+    def level_between(self, host_a: int, host_b: int) -> int:
+        """Communication level between two hosts (paper §II).
+
+        0 when co-located, 1 when same rack, 2 when same pod, 3 across core.
+        """
+        self._check_host(host_a)
+        self._check_host(host_b)
+        if host_a == host_b:
+            return 0
+        if self.rack_of(host_a) == self.rack_of(host_b):
+            return 1
+        if self.pod_of(host_a) == self.pod_of(host_b):
+            return 2
+        return 3
+
+    def hops_between(self, host_a: int, host_b: int) -> int:
+        """Shortest-path hop count h(x, y); always 2 * level (paper §II)."""
+        return 2 * self.level_between(host_a, host_b)
+
+    @abstractmethod
+    def path_links(self, host_a: int, host_b: int, flow_key: int = 0) -> Tuple[LinkId, ...]:
+        """Physical links traversed by traffic between two hosts.
+
+        ``flow_key`` selects among equal-cost paths deterministically (ECMP):
+        the same key always yields the same path, different keys spread load.
+        Co-located hosts (level 0) traverse no physical links.
+        """
+
+    # -- link inventory ------------------------------------------------------
+
+    @property
+    def links(self) -> Dict[LinkId, Link]:
+        """All physical links, keyed by canonical link id."""
+        return self._links
+
+    def links_at_level(self, level: int) -> Sequence[LinkId]:
+        """Identifiers of every link at ``level`` (1-based)."""
+        if level not in self._links_by_level:
+            raise ValueError(
+                f"level must be one of {sorted(self._links_by_level)}, got {level}"
+            )
+        return self._links_by_level[level]
+
+    def link_level(self, link_id: LinkId) -> int:
+        """Level of the link with id ``link_id``."""
+        return self._links[link_id].level
+
+    def _register_link(self, link: Link) -> None:
+        """Record a link in the inventory (subclass constructors only)."""
+        if link.link_id in self._links:
+            raise ValueError(f"duplicate link {link.link_id!r}")
+        self._links[link.link_id] = link
+        self._links_by_level.setdefault(link.level, []).append(link.link_id)
+
+    # -- interop -------------------------------------------------------------
+
+    def to_networkx(self):
+        """Return the topology as an undirected :mod:`networkx` graph.
+
+        Nodes are ``(kind, index)`` tuples; host nodes additionally appear.
+        Used by :class:`repro.topology.routing.ReferenceRouter` to validate
+        the O(1) level computations against true shortest paths.
+        """
+        import networkx as nx
+
+        graph = nx.Graph()
+        for link in self._links.values():
+            a, b = link.endpoints
+            graph.add_edge(a, b, level=link.level, capacity_bps=link.capacity_bps)
+        return graph
+
+    # -- validation helpers ---------------------------------------------------
+
+    def _check_host(self, host: int) -> None:
+        if not 0 <= host < self.n_hosts:
+            raise ValueError(f"host index {host} out of range [0, {self.n_hosts})")
+
+    def _check_rack(self, rack: int) -> None:
+        if not 0 <= rack < self.n_racks:
+            raise ValueError(f"rack index {rack} out of range [0, {self.n_racks})")
+
+    # -- convenience -----------------------------------------------------------
+
+    def describe(self) -> str:
+        """One-line human-readable description of the topology instance."""
+        per_level = {
+            level: len(ids) for level, ids in sorted(self._links_by_level.items())
+        }
+        return (
+            f"{type(self).__name__}(hosts={self.n_hosts}, racks={self.n_racks}, "
+            f"links_per_level={per_level})"
+        )
+
+
+def host_node(host: int) -> Node:
+    """Node tuple for a host index."""
+    return ("host", host)
+
+
+def tor_node(rack: int) -> Node:
+    """Node tuple for a ToR (edge) switch index."""
+    return ("tor", rack)
+
+
+def agg_node(agg: int) -> Node:
+    """Node tuple for an aggregation switch index."""
+    return ("agg", agg)
+
+
+def core_node(core: int) -> Node:
+    """Node tuple for a core switch index."""
+    return ("core", core)

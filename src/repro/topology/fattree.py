@@ -1,0 +1,179 @@
+"""k-ary fat-tree topology (paper Fig. 1b; Al-Fares et al., SIGCOMM'08).
+
+A fat-tree with parameter ``k`` (even) has ``k`` pods.  Each pod contains
+``k/2`` edge (ToR) switches and ``k/2`` aggregation switches; each edge
+switch serves ``k/2`` hosts, so the tree hosts ``k^3 / 4`` servers in total.
+There are ``(k/2)^2`` core switches arranged in ``k/2`` groups of ``k/2``:
+the j-th aggregation switch of every pod connects to every core switch of
+group j.  All links have the same capacity — the fat-tree achieves full
+bisection bandwidth through path multiplicity, not faster upper links.
+
+The paper's instance is k = 16 (1024 hosts); build it with
+:meth:`FatTree.paper_scale`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.topology.base import (
+    Topology,
+    agg_node,
+    core_node,
+    host_node,
+    tor_node,
+)
+from repro.topology.links import Link, LinkId, canonical_link_id
+from repro.util.rng import stable_hash32
+
+
+class FatTree(Topology):
+    """k-ary fat-tree.
+
+    Parameters
+    ----------
+    k:
+        Arity; must be even and >= 2.  Yields ``k^3/4`` hosts.
+    capacity_bps:
+        Uniform link capacity (fat-trees use homogeneous commodity links);
+        defaults to 1 Gb/s.
+    """
+
+    def __init__(self, k: int = 4, capacity_bps: float = 1e9) -> None:
+        super().__init__()
+        if k < 2 or k % 2 != 0:
+            raise ValueError(f"fat-tree arity k must be even and >= 2, got {k}")
+        if capacity_bps <= 0:
+            raise ValueError(f"capacity_bps must be positive, got {capacity_bps}")
+        self._k = k
+        self._half = k // 2
+        self._capacity = capacity_bps
+        self._build_links()
+
+    @classmethod
+    def paper_scale(cls) -> "FatTree":
+        """The paper's simulation instance: k = 16, 1024 hosts."""
+        return cls(k=16)
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        """Fat-tree arity."""
+        return self._k
+
+    @property
+    def n_hosts(self) -> int:
+        return self._k**3 // 4
+
+    @property
+    def n_racks(self) -> int:
+        # One rack per edge switch: k pods x k/2 edge switches.
+        return self._k * self._half
+
+    @property
+    def n_pods(self) -> int:
+        """Number of pods (= k)."""
+        return self._k
+
+    @property
+    def hosts_per_rack(self) -> int:
+        """Hosts per edge switch (= k/2)."""
+        return self._half
+
+    @property
+    def n_cores(self) -> int:
+        """Number of core switches (= (k/2)^2)."""
+        return self._half * self._half
+
+    def rack_of(self, host: int) -> int:
+        self._check_host(host)
+        return host // self._half
+
+    def pod_of(self, host: int) -> int:
+        hosts_per_pod = self._half * self._half
+        self._check_host(host)
+        return host // hosts_per_pod
+
+    def agg_index(self, pod: int, j: int) -> int:
+        """Global index of the j-th aggregation switch in ``pod``."""
+        if not 0 <= pod < self._k:
+            raise ValueError(f"pod {pod} out of range [0, {self._k})")
+        if not 0 <= j < self._half:
+            raise ValueError(f"agg position {j} out of range [0, {self._half})")
+        return pod * self._half + j
+
+    def core_index(self, group: int, member: int) -> int:
+        """Global index of core switch ``member`` within core ``group``."""
+        if not 0 <= group < self._half or not 0 <= member < self._half:
+            raise ValueError(
+                f"core (group={group}, member={member}) out of range for k={self._k}"
+            )
+        return group * self._half + member
+
+    # -- paths -------------------------------------------------------------------
+
+    def path_links(self, host_a: int, host_b: int, flow_key: int = 0) -> Tuple[LinkId, ...]:
+        level = self.level_between(host_a, host_b)
+        if level == 0:
+            return ()
+        rack_a, rack_b = self.rack_of(host_a), self.rack_of(host_b)
+        up_a = canonical_link_id(host_node(host_a), tor_node(rack_a))
+        up_b = canonical_link_id(host_node(host_b), tor_node(rack_b))
+        if level == 1:
+            return (up_a, up_b)
+        # ECMP choice of the aggregation "column" j is deterministic in the
+        # flow key; mixing with FNV keeps consecutive keys well spread.
+        mixed = stable_hash32(str(flow_key))
+        j = mixed % self._half
+        pod_a, pod_b = self.pod_of(host_a), self.pod_of(host_b)
+        agg_a = self.agg_index(pod_a, j)
+        tor_up_a = canonical_link_id(tor_node(rack_a), agg_node(agg_a))
+        if level == 2:
+            tor_up_b = canonical_link_id(tor_node(rack_b), agg_node(agg_a))
+            return (up_a, tor_up_a, tor_up_b, up_b)
+        member = (mixed >> 8) % self._half
+        core = self.core_index(j, member)
+        agg_b = self.agg_index(pod_b, j)
+        agg_up_a = canonical_link_id(agg_node(agg_a), core_node(core))
+        agg_up_b = canonical_link_id(agg_node(agg_b), core_node(core))
+        tor_up_b = canonical_link_id(tor_node(rack_b), agg_node(agg_b))
+        return (up_a, tor_up_a, agg_up_a, agg_up_b, tor_up_b, up_b)
+
+    # -- construction ----------------------------------------------------------------
+
+    def _build_links(self) -> None:
+        cap = self._capacity
+        for host in range(self.n_hosts):
+            rack = host // self._half
+            self._register_link(
+                Link(
+                    link_id=canonical_link_id(host_node(host), tor_node(rack)),
+                    level=1,
+                    capacity_bps=cap,
+                )
+            )
+        for pod in range(self._k):
+            for e in range(self._half):
+                rack = pod * self._half + e
+                for j in range(self._half):
+                    agg = self.agg_index(pod, j)
+                    self._register_link(
+                        Link(
+                            link_id=canonical_link_id(tor_node(rack), agg_node(agg)),
+                            level=2,
+                            capacity_bps=cap,
+                        )
+                    )
+        for pod in range(self._k):
+            for j in range(self._half):
+                agg = self.agg_index(pod, j)
+                for member in range(self._half):
+                    core = self.core_index(j, member)
+                    self._register_link(
+                        Link(
+                            link_id=canonical_link_id(agg_node(agg), core_node(core)),
+                            level=3,
+                            capacity_bps=cap,
+                        )
+                    )

@@ -1,0 +1,64 @@
+"""Link primitives for layered DC topologies.
+
+A *node* is a ``(kind, index)`` tuple, e.g. ``("host", 17)`` or
+``("tor", 3)``.  A *link* is an undirected edge between two nodes; its
+identifier is the endpoint pair in canonical (sorted) order so that
+``(a, b)`` and ``(b, a)`` refer to the same link.
+
+Links carry the *level* they belong to (paper §II): 1-level links connect
+servers to ToR switches, 2-level links connect ToR to aggregation switches,
+3-level links connect aggregation to core switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+Node = Tuple[str, int]
+LinkId = Tuple[Node, Node]
+
+#: Default link capacities in bits/second per level, reflecting commodity DC
+#: gear: 1 Gb/s host uplinks, 10 Gb/s switch-to-switch links.
+DEFAULT_CAPACITY_BPS = {1: 1e9, 2: 10e9, 3: 10e9}
+
+
+def canonical_link_id(a: Node, b: Node) -> LinkId:
+    """Return the canonical (order-independent) identifier for link a—b."""
+    if a == b:
+        raise ValueError(f"a link must connect two distinct nodes, got {a!r} twice")
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass(frozen=True)
+class Link:
+    """An undirected physical link between two topology nodes.
+
+    Attributes
+    ----------
+    link_id:
+        Canonical endpoint pair.
+    level:
+        Topology layer of this link (1 = host–ToR, 2 = ToR–agg, 3 = agg–core).
+    capacity_bps:
+        Nominal capacity in bits per second.
+    """
+
+    link_id: LinkId
+    level: int
+    capacity_bps: float
+
+    def __post_init__(self) -> None:
+        if self.level < 1:
+            raise ValueError(f"link level must be >= 1, got {self.level}")
+        if self.capacity_bps <= 0:
+            raise ValueError(
+                f"link capacity must be positive, got {self.capacity_bps}"
+            )
+        if canonical_link_id(*self.link_id) != self.link_id:
+            raise ValueError(f"link_id {self.link_id!r} is not in canonical order")
+
+    @property
+    def endpoints(self) -> Tuple[Node, Node]:
+        """The two nodes this link connects."""
+        return self.link_id

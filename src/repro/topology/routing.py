@@ -1,0 +1,84 @@
+"""Reference shortest-path routing used to validate topologies.
+
+The concrete topologies compute communication levels and paths analytically
+in O(1).  :class:`ReferenceRouter` performs the same queries with networkx
+shortest paths over the full link graph; tests assert both agree, which
+pins the analytical formulas (`level = hops / 2`, paper §II) to the actual
+wiring.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import networkx as nx
+
+from repro.topology.base import Topology, host_node
+from repro.topology.links import LinkId, canonical_link_id
+
+
+class ReferenceRouter:
+    """Dijkstra-based oracle over a topology's link graph."""
+
+    def __init__(self, topology: Topology) -> None:
+        self._topology = topology
+        self._graph = topology.to_networkx()
+
+    def hops_between(self, host_a: int, host_b: int) -> int:
+        """True shortest-path hop count between two hosts."""
+        if host_a == host_b:
+            return 0
+        return nx.shortest_path_length(
+            self._graph, host_node(host_a), host_node(host_b)
+        )
+
+    def level_between(self, host_a: int, host_b: int) -> int:
+        """Communication level derived from true hop counts (hops / 2)."""
+        hops = self.hops_between(host_a, host_b)
+        if hops % 2 != 0:
+            raise AssertionError(
+                f"layered tree invariant violated: odd hop count {hops} "
+                f"between hosts {host_a} and {host_b}"
+            )
+        return hops // 2
+
+    def shortest_path_links(self, host_a: int, host_b: int) -> Tuple[LinkId, ...]:
+        """One shortest path between the hosts, as canonical link ids."""
+        if host_a == host_b:
+            return ()
+        nodes = nx.shortest_path(self._graph, host_node(host_a), host_node(host_b))
+        return tuple(
+            canonical_link_id(a, b) for a, b in zip(nodes, nodes[1:])
+        )
+
+    def is_connected(self) -> bool:
+        """Whether every pair of nodes can reach each other."""
+        return nx.is_connected(self._graph)
+
+    def validate_path(self, host_a: int, host_b: int, flow_key: int = 0) -> bool:
+        """Check the topology's analytic path is a valid shortest path.
+
+        The path must (i) consist of existing links, (ii) form a host-to-host
+        walk, and (iii) have exactly ``hops_between`` links.
+        """
+        path = self._topology.path_links(host_a, host_b, flow_key)
+        expected_len = self.hops_between(host_a, host_b)
+        if len(path) != expected_len:
+            return False
+        if not path:
+            return host_a == host_b
+        for link_id in path:
+            if link_id not in self._topology.links:
+                return False
+        # Walk continuity: consecutive links must share an endpoint, and the
+        # walk must start/end at the two hosts.
+        endpoints = [set(link) for link in path]
+        if host_node(host_a) not in endpoints[0]:
+            return False
+        if host_node(host_b) not in endpoints[-1]:
+            return False
+        for first, second in zip(endpoints, endpoints[1:]):
+            if not first & second:
+                return False
+        return True

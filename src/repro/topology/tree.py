@@ -1,0 +1,190 @@
+"""Canonical layered tree topology (paper Fig. 1a).
+
+Structure: every host attaches to one ToR switch; ToR switches are grouped,
+each group hanging off one aggregation switch; every aggregation switch
+connects to every core switch.  Bandwidth oversubscription grows towards the
+core, which is exactly the asymmetry S-CORE exploits by localizing traffic.
+
+The paper's simulated instance is 2560 hosts / 128 ToR switches / 20 hosts
+per rack; build it with :meth:`CanonicalTree.paper_scale`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.topology.base import (
+    Topology,
+    agg_node,
+    core_node,
+    host_node,
+    tor_node,
+)
+from repro.topology.links import (
+    DEFAULT_CAPACITY_BPS,
+    Link,
+    LinkId,
+    canonical_link_id,
+)
+from repro.util.validation import check_positive
+
+
+class CanonicalTree(Topology):
+    """Host → ToR → aggregation → core tree.
+
+    Parameters
+    ----------
+    n_racks:
+        Number of ToR switches.
+    hosts_per_rack:
+        Hosts attached to each ToR switch.
+    tors_per_agg:
+        ToR switches per aggregation switch (aggregation domain size).
+        ``n_racks`` must be divisible by it.
+    n_cores:
+        Number of core switches; every aggregation switch connects to every
+        core switch, giving ECMP fan-out at the core layer.
+    capacity_bps:
+        Optional per-level link capacities, ``{1: ..., 2: ..., 3: ...}``;
+        defaults to 1 Gb/s host links and 10 Gb/s switch links.
+    """
+
+    def __init__(
+        self,
+        n_racks: int = 8,
+        hosts_per_rack: int = 20,
+        tors_per_agg: int = 4,
+        n_cores: int = 2,
+        capacity_bps: Optional[Dict[int, float]] = None,
+    ) -> None:
+        super().__init__()
+        check_positive("n_racks", n_racks)
+        check_positive("hosts_per_rack", hosts_per_rack)
+        check_positive("tors_per_agg", tors_per_agg)
+        check_positive("n_cores", n_cores)
+        if n_racks % tors_per_agg != 0:
+            raise ValueError(
+                f"n_racks ({n_racks}) must be divisible by tors_per_agg "
+                f"({tors_per_agg})"
+            )
+        self._n_racks = n_racks
+        self._hosts_per_rack = hosts_per_rack
+        self._tors_per_agg = tors_per_agg
+        self._n_aggs = n_racks // tors_per_agg
+        self._n_cores = n_cores
+        caps = dict(DEFAULT_CAPACITY_BPS)
+        if capacity_bps:
+            caps.update(capacity_bps)
+        self._build_links(caps)
+
+    @classmethod
+    def paper_scale(cls) -> "CanonicalTree":
+        """The paper's simulation instance: 2560 hosts, 128 ToRs, 20/rack."""
+        return cls(n_racks=128, hosts_per_rack=20, tors_per_agg=8, n_cores=4)
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def n_hosts(self) -> int:
+        return self._n_racks * self._hosts_per_rack
+
+    @property
+    def n_racks(self) -> int:
+        return self._n_racks
+
+    @property
+    def hosts_per_rack(self) -> int:
+        """Hosts attached to each ToR switch."""
+        return self._hosts_per_rack
+
+    @property
+    def n_aggs(self) -> int:
+        """Number of aggregation switches (= aggregation domains)."""
+        return self._n_aggs
+
+    @property
+    def n_cores(self) -> int:
+        """Number of core switches."""
+        return self._n_cores
+
+    def rack_of(self, host: int) -> int:
+        self._check_host(host)
+        return host // self._hosts_per_rack
+
+    def pod_of(self, host: int) -> int:
+        return self.rack_of(host) // self._tors_per_agg
+
+    def agg_of_rack(self, rack: int) -> int:
+        """Aggregation switch serving ``rack``."""
+        self._check_rack(rack)
+        return rack // self._tors_per_agg
+
+    # -- paths -----------------------------------------------------------------
+
+    def path_links(self, host_a: int, host_b: int, flow_key: int = 0) -> Tuple[LinkId, ...]:
+        level = self.level_between(host_a, host_b)
+        if level == 0:
+            return ()
+        rack_a, rack_b = self.rack_of(host_a), self.rack_of(host_b)
+        up_a = canonical_link_id(host_node(host_a), tor_node(rack_a))
+        up_b = canonical_link_id(host_node(host_b), tor_node(rack_b))
+        if level == 1:
+            return (up_a, up_b)
+        agg_a, agg_b = self.agg_of_rack(rack_a), self.agg_of_rack(rack_b)
+        tor_up_a = canonical_link_id(tor_node(rack_a), agg_node(agg_a))
+        tor_up_b = canonical_link_id(tor_node(rack_b), agg_node(agg_b))
+        if level == 2:
+            return (up_a, tor_up_a, tor_up_b, up_b)
+        core = flow_key % self._n_cores
+        agg_up_a = canonical_link_id(agg_node(agg_a), core_node(core))
+        agg_up_b = canonical_link_id(agg_node(agg_b), core_node(core))
+        return (up_a, tor_up_a, agg_up_a, agg_up_b, tor_up_b, up_b)
+
+    # -- construction ------------------------------------------------------------
+
+    def _build_links(self, caps: Dict[int, float]) -> None:
+        for host in range(self.n_hosts):
+            rack = host // self._hosts_per_rack
+            self._register_link(
+                Link(
+                    link_id=canonical_link_id(host_node(host), tor_node(rack)),
+                    level=1,
+                    capacity_bps=caps[1],
+                )
+            )
+        for rack in range(self._n_racks):
+            agg = rack // self._tors_per_agg
+            self._register_link(
+                Link(
+                    link_id=canonical_link_id(tor_node(rack), agg_node(agg)),
+                    level=2,
+                    capacity_bps=caps[2],
+                )
+            )
+        for agg in range(self._n_aggs):
+            for core in range(self._n_cores):
+                self._register_link(
+                    Link(
+                        link_id=canonical_link_id(agg_node(agg), core_node(core)),
+                        level=3,
+                        capacity_bps=caps[3],
+                    )
+                )
+
+    def oversubscription_ratio(self, level: int) -> float:
+        """Worst-case oversubscription at ``level`` (downlink : uplink capacity).
+
+        Quantifies the paper's premise that upper layers are oversubscribed:
+        e.g. a ToR with 20 × 1 Gb/s host links and a single 10 Gb/s uplink is
+        2:1 oversubscribed at level 2.
+        """
+        caps = {link.level: link.capacity_bps for link in self._links.values()}
+        if level == 2:
+            down = self._hosts_per_rack * caps[1]
+            up = caps[2]
+        elif level == 3:
+            down = self._tors_per_agg * caps[2]
+            up = self._n_cores * caps[3]
+        else:
+            raise ValueError(f"oversubscription is defined for levels 2 and 3, got {level}")
+        return down / up

@@ -1,0 +1,51 @@
+"""DC traffic modelling (paper §VI and the measurement studies it cites).
+
+The S-CORE cost function consumes pairwise average rates λ(u, v) between
+VMs; this package provides:
+
+:class:`TrafficMatrix`
+    A sparse, symmetric pairwise-rate structure with fast per-VM peer
+    queries (the paper's ``V_u``) and ToR-level aggregation (for Fig. 3a-c
+    style heatmaps).
+:class:`DCTrafficGenerator`
+    Synthetic workload generator reproducing the published DC traffic
+    characteristics: sparse ToR matrices with few hotspots, and long-tailed
+    flow sizes where mice dominate counts and elephants dominate bytes
+    (Kandula et al. IMC'09, Benson et al. IMC'10).
+:mod:`repro.traffic.flows`
+    Individual flow model + the elephant/mice size mixture.
+:mod:`repro.traffic.temporal`
+    Sliding-window and EWMA rate estimators (§IV requires averaging over a
+    window "on the order of minutes to hours") and a slowly-drifting
+    hotspot process for stability experiments.
+"""
+
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.generator import (
+    DCTrafficGenerator,
+    TrafficPattern,
+    DENSE,
+    MEDIUM,
+    SPARSE,
+)
+from repro.traffic.flows import Flow, FlowSizeDistribution, flows_to_matrix
+from repro.traffic.temporal import (
+    EwmaRateEstimator,
+    HotspotDriftProcess,
+    SlidingWindowRateEstimator,
+)
+
+__all__ = [
+    "TrafficMatrix",
+    "DCTrafficGenerator",
+    "TrafficPattern",
+    "SPARSE",
+    "MEDIUM",
+    "DENSE",
+    "Flow",
+    "FlowSizeDistribution",
+    "flows_to_matrix",
+    "EwmaRateEstimator",
+    "SlidingWindowRateEstimator",
+    "HotspotDriftProcess",
+]

@@ -1,0 +1,147 @@
+"""Sparse symmetric pairwise traffic matrix.
+
+λ(u, v) is the average rate (bytes per second, incoming plus outgoing)
+exchanged between VMs u and v over the measurement window (paper §III).
+The matrix is undirected/symmetric — the cost model only ever uses the
+combined rate — and sparse, since DC measurement studies consistently show
+most VM pairs never talk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.util.validation import check_non_negative
+
+
+class TrafficMatrix:
+    """Pairwise VM-to-VM average traffic rates.
+
+    Rates are stored once per unordered pair; ``peers_of(u)`` returns the
+    paper's ``V_u`` in O(1) via an adjacency index.
+    """
+
+    def __init__(self) -> None:
+        self._adj: Dict[int, Dict[int, float]] = {}
+
+    # -- mutation ----------------------------------------------------------
+
+    def set_rate(self, vm_u: int, vm_v: int, rate: float) -> None:
+        """Set λ(u, v); a rate of exactly 0 removes the pair."""
+        if vm_u == vm_v:
+            raise ValueError(f"self-traffic is not modelled (VM {vm_u})")
+        check_non_negative("rate", rate)
+        if rate == 0.0:
+            self._adj.get(vm_u, {}).pop(vm_v, None)
+            self._adj.get(vm_v, {}).pop(vm_u, None)
+            if vm_u in self._adj and not self._adj[vm_u]:
+                del self._adj[vm_u]
+            if vm_v in self._adj and not self._adj[vm_v]:
+                del self._adj[vm_v]
+            return
+        self._adj.setdefault(vm_u, {})[vm_v] = rate
+        self._adj.setdefault(vm_v, {})[vm_u] = rate
+
+    def add_rate(self, vm_u: int, vm_v: int, rate: float) -> None:
+        """Accumulate onto λ(u, v)."""
+        check_non_negative("rate", rate)
+        self.set_rate(vm_u, vm_v, self.rate(vm_u, vm_v) + rate)
+
+    def scale(self, factor: float) -> "TrafficMatrix":
+        """Return a new matrix with every rate multiplied by ``factor``.
+
+        This is the paper's TM ×10 / ×50 load-stress scaling (§VI).
+        """
+        check_non_negative("factor", factor)
+        scaled = TrafficMatrix()
+        for u, v, rate in self.pairs():
+            scaled.set_rate(u, v, rate * factor)
+        return scaled
+
+    # -- queries --------------------------------------------------------------
+
+    def rate(self, vm_u: int, vm_v: int) -> float:
+        """λ(u, v); zero when the pair does not communicate."""
+        return self._adj.get(vm_u, {}).get(vm_v, 0.0)
+
+    def peers_of(self, vm_u: int) -> FrozenSet[int]:
+        """The paper's ``V_u``: every VM exchanging data with u."""
+        return frozenset(self._adj.get(vm_u, ()))
+
+    def peer_rates(self, vm_u: int) -> Mapping[int, float]:
+        """Mapping peer → λ(u, peer); the local state S-CORE decides from."""
+        return dict(self._adj.get(vm_u, {}))
+
+    def degree(self, vm_u: int) -> int:
+        """Number of communication peers of u."""
+        return len(self._adj.get(vm_u, ()))
+
+    def pairs(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate (u, v, rate) once per unordered pair, with u < v."""
+        for u, neighbors in self._adj.items():
+            for v, rate in neighbors.items():
+                if u < v:
+                    yield (u, v, rate)
+
+    @property
+    def n_pairs(self) -> int:
+        """Number of communicating pairs."""
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    @property
+    def vms_with_traffic(self) -> FrozenSet[int]:
+        """All VMs that appear in at least one communicating pair."""
+        return frozenset(self._adj)
+
+    def total_rate(self) -> float:
+        """Sum of λ over all pairs (bytes/second)."""
+        return sum(rate for _, _, rate in self.pairs())
+
+    def vm_load(self, vm_u: int) -> float:
+        """Aggregate rate between u and all its peers."""
+        return sum(self._adj.get(vm_u, {}).values())
+
+    # -- aggregation -------------------------------------------------------------
+
+    def tor_matrix(self, allocation, n_racks: int = 0) -> np.ndarray:
+        """Aggregate the VM matrix to a rack-to-rack (ToR) matrix.
+
+        This is the view shown in the paper's Fig. 3a-c heatmaps.  Traffic
+        between co-rack VMs lands on the diagonal.  ``allocation`` must map
+        every VM in this matrix.
+        """
+        racks = n_racks or allocation.topology.n_racks
+        tor = np.zeros((racks, racks), dtype=float)
+        topo = allocation.topology
+        for u, v, rate in self.pairs():
+            rack_u = topo.rack_of(allocation.server_of(u))
+            rack_v = topo.rack_of(allocation.server_of(v))
+            tor[rack_u, rack_v] += rate
+            if rack_u != rack_v:
+                tor[rack_v, rack_u] += rate
+        return tor
+
+    def copy(self) -> "TrafficMatrix":
+        """Deep copy."""
+        clone = TrafficMatrix()
+        clone._adj = {u: dict(nbrs) for u, nbrs in self._adj.items()}
+        return clone
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterator[Tuple[int, int, float]]) -> "TrafficMatrix":
+        """Build a matrix from (u, v, rate) triples (rates accumulate)."""
+        matrix = cls()
+        for u, v, rate in pairs:
+            matrix.add_rate(u, v, rate)
+        return matrix
+
+    def __len__(self) -> int:
+        return self.n_pairs
+
+    def __repr__(self) -> str:
+        return (
+            f"TrafficMatrix(pairs={self.n_pairs}, "
+            f"vms={len(self._adj)}, total={self.total_rate():.3g} B/s)"
+        )

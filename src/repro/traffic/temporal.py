@@ -1,0 +1,172 @@
+"""Temporal rate estimation and slowly-drifting workloads.
+
+Paper §IV: "Traffic load λ(u, v) can be captured dynamically by monitoring
+incoming and outgoing traffic between VMs u and v, averaged over a given
+time interval … the size of the time window can be set on the order of
+minutes to hours."  The estimators here implement that averaging; the
+:class:`HotspotDriftProcess` models the cited measurement finding that "DC
+traffic exhibits fixed-set hotspots that change slowly over time", which is
+what makes S-CORE stable (§VI-B, VM-oscillation discussion).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Tuple
+
+from repro.traffic.matrix import TrafficMatrix
+from repro.util.rng import SeedLike, make_rng
+from repro.util.validation import check_positive, check_probability
+
+
+def _pair(vm_u: int, vm_v: int) -> Tuple[int, int]:
+    if vm_u == vm_v:
+        raise ValueError(f"self-traffic is not modelled (VM {vm_u})")
+    return (vm_u, vm_v) if vm_u < vm_v else (vm_v, vm_u)
+
+
+class SlidingWindowRateEstimator:
+    """Average pairwise rate over a fixed trailing window.
+
+    ``record`` logs byte counts with timestamps; ``rate(u, v, now)``
+    divides the bytes observed inside ``[now - window, now]`` by the window
+    length.  Old samples are evicted lazily.
+    """
+
+    def __init__(self, window_s: float) -> None:
+        check_positive("window_s", window_s)
+        self._window = window_s
+        self._samples: Dict[Tuple[int, int], Deque[Tuple[float, float]]] = {}
+
+    @property
+    def window_s(self) -> float:
+        """Averaging-window length in seconds."""
+        return self._window
+
+    def record(self, vm_u: int, vm_v: int, n_bytes: float, timestamp: float) -> None:
+        """Log ``n_bytes`` exchanged between u and v at ``timestamp``."""
+        if n_bytes < 0:
+            raise ValueError(f"n_bytes must be >= 0, got {n_bytes}")
+        self._samples.setdefault(_pair(vm_u, vm_v), deque()).append(
+            (timestamp, n_bytes)
+        )
+
+    def rate(self, vm_u: int, vm_v: int, now: float) -> float:
+        """Average rate (bytes/s) over the trailing window ending at ``now``."""
+        key = _pair(vm_u, vm_v)
+        queue = self._samples.get(key)
+        if not queue:
+            return 0.0
+        horizon = now - self._window
+        while queue and queue[0][0] < horizon:
+            queue.popleft()
+        total = sum(n for ts, n in queue if ts <= now)
+        return total / self._window
+
+    def snapshot(self, now: float) -> TrafficMatrix:
+        """Materialize the current estimates into a :class:`TrafficMatrix`."""
+        matrix = TrafficMatrix()
+        for (u, v) in list(self._samples):
+            rate = self.rate(u, v, now)
+            if rate > 0:
+                matrix.set_rate(u, v, rate)
+        return matrix
+
+
+class EwmaRateEstimator:
+    """Exponentially-weighted moving average of pairwise rates.
+
+    A cheaper alternative to the sliding window: ``update`` folds each new
+    interval's observed rate into the estimate with weight ``alpha``.
+    """
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        check_probability("alpha", alpha)
+        if alpha == 0.0:
+            raise ValueError("alpha must be > 0 or the estimate never updates")
+        self._alpha = alpha
+        self._estimates: Dict[Tuple[int, int], float] = {}
+
+    def update(self, vm_u: int, vm_v: int, interval_rate: float) -> float:
+        """Fold one interval's observed rate in; returns the new estimate."""
+        if interval_rate < 0:
+            raise ValueError(f"interval_rate must be >= 0, got {interval_rate}")
+        key = _pair(vm_u, vm_v)
+        previous = self._estimates.get(key)
+        if previous is None:
+            estimate = interval_rate
+        else:
+            estimate = self._alpha * interval_rate + (1 - self._alpha) * previous
+        self._estimates[key] = estimate
+        return estimate
+
+    def rate(self, vm_u: int, vm_v: int) -> float:
+        """Current smoothed estimate for the pair."""
+        return self._estimates.get(_pair(vm_u, vm_v), 0.0)
+
+    def snapshot(self) -> TrafficMatrix:
+        """Materialize current estimates into a :class:`TrafficMatrix`."""
+        matrix = TrafficMatrix()
+        for (u, v), rate in self._estimates.items():
+            if rate > 0:
+                matrix.set_rate(u, v, rate)
+        return matrix
+
+
+class HotspotDriftProcess:
+    """A traffic-matrix sequence whose hotspots drift slowly.
+
+    Starting from a base matrix, each step perturbs per-pair rates with
+    bounded multiplicative noise and, with small probability
+    ``redirect_prob`` per step, re-targets one heavy pair to a new peer —
+    modelling slow hotspot churn.  Used by the stability experiments to
+    confirm that S-CORE does not oscillate under realistic dynamics.
+    """
+
+    def __init__(
+        self,
+        base: TrafficMatrix,
+        noise: float = 0.1,
+        redirect_prob: float = 0.05,
+        seed: SeedLike = None,
+    ) -> None:
+        check_probability("redirect_prob", redirect_prob)
+        if not 0 <= noise < 1:
+            raise ValueError(f"noise must be in [0, 1), got {noise}")
+        self._current = base.copy()
+        self._noise = noise
+        self._redirect_prob = redirect_prob
+        self._rng = make_rng(seed)
+
+    @property
+    def current(self) -> TrafficMatrix:
+        """The current matrix (do not mutate; copy if needed)."""
+        return self._current
+
+    def step(self) -> TrafficMatrix:
+        """Advance one interval and return the new matrix."""
+        rng = self._rng
+        pairs = list(self._current.pairs())
+        if not pairs:
+            return self._current.copy()
+        updated = TrafficMatrix()
+        for u, v, rate in pairs:
+            jitter = 1.0 + self._noise * (2 * rng.random() - 1.0)
+            updated.set_rate(u, v, rate * jitter)
+        if rng.random() < self._redirect_prob:
+            # Move the heaviest pair's traffic to a new random peer.
+            u, v, rate = max(pairs, key=lambda p: p[2])
+            vms = list(updated.vms_with_traffic)
+            candidate = vms[int(rng.integers(0, len(vms)))]
+            if candidate not in (u, v):
+                updated.set_rate(u, v, 0.0)
+                updated.add_rate(u, candidate, rate)
+        self._current = updated
+        return updated.copy()
+
+    def run(self, steps: int) -> Iterator[TrafficMatrix]:
+        """Yield ``steps`` successive matrices."""
+        if steps < 0:
+            raise ValueError(f"steps must be >= 0, got {steps}")
+        for _ in range(steps):
+            yield self.step()

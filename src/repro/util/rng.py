@@ -1,0 +1,55 @@
+"""Deterministic random number generation helpers.
+
+All stochastic behaviour in the library flows through :class:`numpy.random.
+Generator` objects created here.  Components never call the global numpy RNG;
+they receive a seed (or an already-constructed generator) so that experiments
+are exactly reproducible and independent components do not perturb each
+other's random streams.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may be an ``int`` (deterministic stream), an existing generator
+    (returned unchanged, so callers can thread one generator through a
+    pipeline), or ``None`` (OS entropy; only sensible for ad-hoc use).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator, stream: int) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    The child is seeded from the parent's bit stream mixed with ``stream`` so
+    that, e.g., the traffic generator and the placement engine of one
+    experiment use decorrelated streams while remaining reproducible.
+    """
+    if stream < 0:
+        raise ValueError(f"stream index must be non-negative, got {stream}")
+    root = int(rng.integers(0, 2**63 - 1))
+    return np.random.default_rng((root, stream))
+
+
+def stable_hash32(value: str) -> int:
+    """Return a stable (process-independent) 32-bit hash of ``value``.
+
+    Python's built-in ``hash`` is salted per process which would break
+    reproducibility of anything keyed on it.  This is FNV-1a, which is cheap
+    and well distributed for short identifier strings.
+    """
+    h = 0x811C9DC5
+    for byte in value.encode("utf-8"):
+        h ^= byte
+        h = (h * 0x01000193) & 0xFFFFFFFF
+    return h

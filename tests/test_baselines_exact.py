@@ -1,0 +1,124 @@
+"""Tests for the exact branch-and-bound optimizer, and the sandwich
+invariant exact <= GA <= S-CORE-final <= initial on tiny instances."""
+
+import itertools
+
+import pytest
+
+from repro import (
+    CostModel,
+    LinkWeights,
+    MigrationEngine,
+    RoundRobinPolicy,
+    SCOREScheduler,
+)
+from repro.baselines.exact import ExactOptimizer, ExactResult
+from repro.baselines.ga import GAConfig, GeneticOptimizer
+from repro.cluster import Cluster, ServerCapacity, VM
+from repro.cluster.allocation import Allocation
+from repro.topology import CanonicalTree
+from repro.traffic import TrafficMatrix
+
+
+def tiny_instance(n_vms=6, seed_pairs=((1, 2, 100), (3, 4, 50), (1, 5, 10))):
+    topo = CanonicalTree(n_racks=4, hosts_per_rack=2, tors_per_agg=2, n_cores=1)
+    cluster = Cluster(topo, ServerCapacity(max_vms=2, ram_mb=2048, cpu=4.0))
+    allocation = Allocation(cluster)
+    for vm_id in range(1, n_vms + 1):
+        # Spread adversarially: consecutive VMs in different agg domains.
+        host = (vm_id * 5) % topo.n_hosts
+        vm = VM(vm_id, ram_mb=128, cpu=0.1)
+        if not allocation.can_host(host, vm):
+            host = next(h for h in topo.hosts if allocation.can_host(h, vm))
+        allocation.add_vm(vm, host)
+    traffic = TrafficMatrix()
+    for u, v, rate in seed_pairs:
+        traffic.set_rate(u, v, rate)
+    model = CostModel(topo, LinkWeights(weights=(1.0, 2.0, 4.0)))
+    return allocation, traffic, model
+
+
+class TestExactOptimizer:
+    def test_finds_colocation_optimum(self):
+        allocation, traffic, model = tiny_instance()
+        result = ExactOptimizer(allocation, traffic, model).run()
+        trial = allocation.copy()
+        trial.apply_mapping(result.best_mapping)
+        assert model.total_cost(trial, traffic) == pytest.approx(result.best_cost)
+        # Heavy pairs 1-2 and 3-4 fit on single hosts; pair 1-5 can reach
+        # level <= 1, so only its cost may remain.
+        assert result.best_cost <= 10 * 2.0  # rate 10 at level-1 path weight 2
+
+    def test_matches_brute_force_enumeration(self):
+        """Cross-check against unpruned enumeration on a 4-VM instance."""
+        allocation, traffic, model = tiny_instance(
+            n_vms=4, seed_pairs=((1, 2, 7), (2, 3, 3), (1, 4, 1))
+        )
+        result = ExactOptimizer(allocation, traffic, model).run()
+        vm_ids = sorted(allocation.vm_ids())
+        best = float("inf")
+        for hosts in itertools.product(range(8), repeat=4):
+            mapping = dict(zip(vm_ids, hosts))
+            if not allocation.mapping_is_feasible(mapping):
+                continue
+            trial = allocation.copy()
+            trial.apply_mapping(mapping)
+            best = min(best, model.total_cost(trial, traffic))
+        assert result.best_cost == pytest.approx(best)
+
+    def test_mapping_is_feasible(self):
+        allocation, traffic, model = tiny_instance()
+        result = ExactOptimizer(allocation, traffic, model).run()
+        assert allocation.mapping_is_feasible(result.best_mapping)
+
+    def test_size_limits_enforced(self):
+        topo = CanonicalTree(n_racks=4, hosts_per_rack=4, tors_per_agg=2, n_cores=1)
+        cluster = Cluster(topo, ServerCapacity(max_vms=16))
+        allocation = Allocation(cluster)
+        with pytest.raises(ValueError, match="hosts"):
+            ExactOptimizer(allocation, TrafficMatrix(), CostModel(topo))
+
+    def test_vm_limit_enforced(self):
+        allocation, traffic, model = tiny_instance()
+        for vm_id in range(100, 110):
+            host = next(
+                h for h in allocation.topology.hosts
+                if allocation.can_host(h, VM(vm_id, ram_mb=1, cpu=0.01))
+            )
+            allocation.add_vm(VM(vm_id, ram_mb=1, cpu=0.01), host)
+        with pytest.raises(ValueError, match="VMs"):
+            ExactOptimizer(allocation, traffic, model)
+
+
+class TestSandwichInvariant:
+    """exact <= GA <= S-CORE-final <= initial cost."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_orderings_hold(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        pairs = []
+        for _ in range(6):
+            u, v = rng.choice(range(1, 8), size=2, replace=False)
+            pairs.append((int(u), int(v), float(rng.uniform(1, 100))))
+        allocation, traffic, model = tiny_instance(n_vms=8, seed_pairs=[])
+        for u, v, rate in pairs:
+            traffic.add_rate(u, v, rate)
+
+        initial = model.total_cost(allocation, traffic)
+        exact = ExactOptimizer(allocation.copy(), traffic, model).run()
+        ga = GeneticOptimizer(
+            allocation.copy(), traffic, model,
+            GAConfig(population_size=30, max_generations=60, seed=seed),
+        ).run()
+        score_alloc = allocation.copy()
+        SCOREScheduler(
+            score_alloc, traffic, RoundRobinPolicy(), MigrationEngine(model)
+        ).run(n_iterations=5)
+        score_final = model.total_cost(score_alloc, traffic)
+
+        assert exact.best_cost <= ga.best_cost + 1e-9
+        assert exact.best_cost <= score_final + 1e-9
+        assert ga.best_cost <= initial + 1e-9
+        assert score_final <= initial + 1e-9

@@ -1,0 +1,108 @@
+"""Tests for the GA-optimal baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ga import GAConfig, GeneticOptimizer
+from repro.core import CostModel
+
+
+@pytest.fixture
+def optimizer(populated, cost_model):
+    allocation, traffic, _ = populated
+    return GeneticOptimizer(
+        allocation, traffic, cost_model, GAConfig(population_size=30, seed=3)
+    )
+
+
+class TestGAConfig:
+    def test_paper_scale(self):
+        cfg = GAConfig.paper_scale()
+        assert cfg.population_size == 1000
+        assert cfg.improvement_threshold == 0.01
+        assert cfg.patience == 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"population_size": 0},
+            {"tournament_k": 1},
+            {"crossover_rate": 1.5},
+            {"improvement_threshold": 0},
+            {"patience": 0},
+            {"max_generations": 0},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GAConfig(**kwargs)
+
+
+class TestVectorizedCost:
+    def test_matches_cost_model(self, populated, cost_model, optimizer):
+        allocation, traffic, _ = populated
+        assignment = np.array(
+            [allocation.server_of(vm_id) for vm_id in sorted(allocation.vm_ids())]
+        )
+        assert optimizer.cost_of(assignment) == pytest.approx(
+            cost_model.total_cost(allocation, traffic), rel=1e-9
+        )
+
+    def test_feasibility_check(self, populated, optimizer):
+        allocation, _, _ = populated
+        assignment = np.array(
+            [allocation.server_of(vm_id) for vm_id in sorted(allocation.vm_ids())]
+        )
+        assert optimizer.is_feasible(assignment)
+        # Cramming everything onto host 0 exceeds its 4 slots.
+        assert not optimizer.is_feasible(np.zeros_like(assignment))
+
+
+class TestRun:
+    def test_improves_and_is_feasible(self, populated, cost_model, optimizer):
+        allocation, traffic, _ = populated
+        result = optimizer.run()
+        assert result.best_cost <= result.initial_cost
+        assert result.cost_reduction >= 0
+        assert allocation.mapping_is_feasible(result.best_mapping)
+        # The mapping covers exactly the allocation's VM population.
+        assert set(result.best_mapping) == set(allocation.vm_ids())
+
+    def test_mapping_cost_matches_reported(self, populated, cost_model, optimizer):
+        allocation, traffic, _ = populated
+        result = optimizer.run()
+        trial = allocation.copy()
+        trial.apply_mapping(result.best_mapping)
+        assert cost_model.total_cost(trial, traffic) == pytest.approx(
+            result.best_cost, rel=1e-9
+        )
+
+    def test_history_is_monotone_nonincreasing(self, optimizer):
+        result = optimizer.run()
+        assert all(b <= a + 1e-9 for a, b in zip(result.history, result.history[1:]))
+
+    def test_reproducible(self, populated, cost_model):
+        allocation, traffic, _ = populated
+        results = []
+        for _ in range(2):
+            ga = GeneticOptimizer(
+                allocation, traffic, cost_model,
+                GAConfig(population_size=20, max_generations=20, seed=9),
+            )
+            results.append(ga.run())
+        assert results[0].best_cost == results[1].best_cost
+        assert results[0].best_mapping == results[1].best_mapping
+
+    def test_substantially_beats_random_start(self, populated, cost_model, optimizer):
+        """GA must find allocations far better than the random start."""
+        result = optimizer.run()
+        assert result.cost_reduction > 0.5
+
+    def test_stops_within_budget(self, populated, cost_model):
+        allocation, traffic, _ = populated
+        ga = GeneticOptimizer(
+            allocation, traffic, cost_model,
+            GAConfig(population_size=10, max_generations=5, seed=1),
+        )
+        result = ga.run()
+        assert result.generations <= 5

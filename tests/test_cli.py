@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.topology == "canonical"
+        assert args.policy == "hlf"
+        assert args.ga is False
+
+    def test_invalid_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policy", "bogus"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "S-CORE" in out
+        assert "128 racks" in out
+
+    def test_run_small(self, capsys):
+        code = main(
+            [
+                "run",
+                "--racks", "4", "--hosts-per-rack", "2", "--tors-per-agg", "2",
+                "--cores", "1", "--vms-per-host", "4", "--iterations", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "initial cost" in out
+        assert "reduction" in out
+
+    def test_run_with_ga(self, capsys):
+        code = main(
+            [
+                "run",
+                "--racks", "4", "--hosts-per-rack", "2", "--tors-per-agg", "2",
+                "--cores", "1", "--vms-per-host", "4", "--iterations", "2",
+                "--ga", "--ga-population", "10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GA-optimal reference" in out
+        assert "cost ratio vs optimal" in out
+
+    def test_run_fattree(self, capsys):
+        code = main(
+            ["run", "--topology", "fattree", "--fattree-k", "4",
+             "--vms-per-host", "4", "--iterations", "2"]
+        )
+        assert code == 0
+        assert "topology:" in capsys.readouterr().out
+
+    def test_compare_policies(self, capsys):
+        code = main(
+            [
+                "compare-policies",
+                "--racks", "4", "--hosts-per-rack", "2", "--tors-per-agg", "2",
+                "--cores", "1", "--vms-per-host", "4", "--iterations", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for policy in ("rr", "hlf", "random", "lrv"):
+            assert policy in out
+
+    def test_migration_profile(self, capsys):
+        code = main(["migration-profile", "--points", "3", "--samples", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "downtime" in out
+        assert out.count("\n") >= 4

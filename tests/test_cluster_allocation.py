@@ -1,0 +1,142 @@
+"""Tests for the Allocation state machine."""
+
+import pytest
+
+from repro.cluster import Allocation, CapacityError, Cluster, ServerCapacity, VM
+from repro.topology import CanonicalTree
+
+
+@pytest.fixture
+def cluster():
+    topo = CanonicalTree(n_racks=4, hosts_per_rack=2, tors_per_agg=2, n_cores=1)
+    return Cluster(topo, ServerCapacity(max_vms=2, ram_mb=2048, cpu=4.0))
+
+
+@pytest.fixture
+def allocation(cluster):
+    return Allocation(cluster)
+
+
+def vm(vm_id, ram=256, cpu=0.5):
+    return VM(vm_id, ram_mb=ram, cpu=cpu)
+
+
+class TestPlacement:
+    def test_add_and_lookup(self, allocation):
+        allocation.add_vm(vm(1), 3)
+        assert allocation.server_of(1) == 3
+        assert 1 in allocation
+        assert allocation.vms_on(3) == frozenset({1})
+        assert allocation.n_vms == 1
+
+    def test_duplicate_add_rejected(self, allocation):
+        allocation.add_vm(vm(1), 0)
+        with pytest.raises(ValueError, match="already"):
+            allocation.add_vm(vm(1), 1)
+
+    def test_slot_capacity_enforced(self, allocation):
+        allocation.add_vm(vm(1), 0)
+        allocation.add_vm(vm(2), 0)
+        with pytest.raises(CapacityError):
+            allocation.add_vm(vm(3), 0)
+
+    def test_ram_capacity_enforced(self, allocation):
+        allocation.add_vm(vm(1, ram=1536), 0)
+        with pytest.raises(CapacityError):
+            allocation.add_vm(vm(2, ram=1024), 0)
+
+    def test_remove(self, allocation):
+        allocation.add_vm(vm(1), 0)
+        removed = allocation.remove_vm(1)
+        assert removed.vm_id == 1
+        assert 1 not in allocation
+        assert allocation.free_slots(0) == 2
+
+    def test_bad_host_rejected(self, allocation):
+        with pytest.raises(ValueError):
+            allocation.add_vm(vm(1), 99)
+
+
+class TestMigration:
+    def test_migrate_moves_vm(self, allocation):
+        allocation.add_vm(vm(1), 0)
+        allocation.migrate(1, 5)
+        assert allocation.server_of(1) == 5
+        assert allocation.vms_on(0) == frozenset()
+        assert allocation.vms_on(5) == frozenset({1})
+
+    def test_migrate_to_self_is_noop(self, allocation):
+        allocation.add_vm(vm(1), 0)
+        allocation.migrate(1, 0)
+        assert allocation.server_of(1) == 0
+
+    def test_migrate_respects_capacity(self, allocation):
+        allocation.add_vm(vm(1), 0)
+        allocation.add_vm(vm(2), 1)
+        allocation.add_vm(vm(3), 1)
+        with pytest.raises(CapacityError):
+            allocation.migrate(1, 1)
+        # Failed migration must not corrupt state.
+        assert allocation.server_of(1) == 0
+        allocation.validate()
+
+    def test_accounting_after_migrations(self, allocation):
+        allocation.add_vm(vm(1, ram=512), 0)
+        allocation.add_vm(vm(2, ram=512), 0)
+        allocation.migrate(1, 2)
+        assert allocation.free_ram_mb(0) == 2048 - 512
+        assert allocation.free_ram_mb(2) == 2048 - 512
+        allocation.validate()
+
+
+class TestLevels:
+    def test_level_between_vms(self, allocation):
+        allocation.add_vm(vm(1), 0)
+        allocation.add_vm(vm(2), 1)  # same rack (2 hosts per rack)
+        allocation.add_vm(vm(3), 2)  # next rack, same agg
+        allocation.add_vm(vm(4), 6)  # other agg
+        assert allocation.level_between(1, 2) == 1
+        assert allocation.level_between(1, 3) == 2
+        assert allocation.level_between(1, 4) == 3
+
+    def test_colocated_level_zero(self, allocation):
+        allocation.add_vm(vm(1), 0)
+        allocation.add_vm(vm(2), 0)
+        assert allocation.level_between(1, 2) == 0
+
+
+class TestCopyAndMappings:
+    def test_copy_is_independent(self, allocation):
+        allocation.add_vm(vm(1), 0)
+        clone = allocation.copy()
+        clone.migrate(1, 4)
+        assert allocation.server_of(1) == 0
+        assert clone.server_of(1) == 4
+        allocation.validate()
+        clone.validate()
+
+    def test_as_dict_roundtrip(self, allocation):
+        allocation.add_vm(vm(1), 0)
+        allocation.add_vm(vm(2), 3)
+        mapping = allocation.as_dict()
+        assert mapping == {1: 0, 2: 3}
+
+    def test_apply_mapping(self, allocation):
+        allocation.add_vm(vm(1), 0)
+        allocation.add_vm(vm(2), 0)
+        allocation.apply_mapping({1: 4, 2: 5})
+        assert allocation.server_of(1) == 4
+        assert allocation.server_of(2) == 5
+        allocation.validate()
+
+    def test_apply_mapping_unknown_vm_rejected(self, allocation):
+        allocation.add_vm(vm(1), 0)
+        with pytest.raises(ValueError, match="unknown"):
+            allocation.apply_mapping({9: 0})
+
+    def test_mapping_feasibility(self, allocation):
+        allocation.add_vm(vm(1), 0)
+        allocation.add_vm(vm(2), 1)
+        allocation.add_vm(vm(3), 2)
+        assert allocation.mapping_is_feasible({1: 0, 2: 0, 3: 1})
+        assert not allocation.mapping_is_feasible({1: 0, 2: 0, 3: 0})

@@ -1,0 +1,79 @@
+"""Tests for the placement manager: IDs, addressing, location lookups."""
+
+import pytest
+
+from repro.cluster import Cluster, PlacementManager, ServerCapacity
+from repro.cluster.manager import vm_id_from_ip, vm_ip
+from repro.topology import CanonicalTree
+
+
+@pytest.fixture
+def manager():
+    topo = CanonicalTree(n_racks=4, hosts_per_rack=3, tors_per_agg=2, n_cores=1)
+    return PlacementManager(Cluster(topo, ServerCapacity(max_vms=4)))
+
+
+class TestVmIds:
+    def test_sequential_unique_ids(self, manager):
+        vms = manager.create_vms(5)
+        ids = [vm.vm_id for vm in vms]
+        assert ids == [1, 2, 3, 4, 5]
+
+    def test_issued_vms_sorted(self, manager):
+        manager.create_vms(3)
+        assert [vm.vm_id for vm in manager.issued_vms()] == [1, 2, 3]
+
+    def test_negative_count_rejected(self, manager):
+        with pytest.raises(ValueError):
+            manager.create_vms(-1)
+
+    def test_custom_resources(self, manager):
+        vm = manager.create_vm(ram_mb=196, cpu=0.5)
+        assert vm.ram_mb == 196 and vm.cpu == 0.5
+
+
+class TestVmAddressing:
+    def test_ip_roundtrip(self):
+        for vm_id in (1, 255, 65536, 2**24 - 1):
+            assert vm_id_from_ip(vm_ip(vm_id)) == vm_id
+
+    def test_ip_in_tenant_space(self):
+        assert vm_ip(1) == "10.0.0.1"
+        assert vm_ip(256) == "10.0.1.0"
+
+    def test_non_tenant_ip_rejected(self):
+        with pytest.raises(ValueError):
+            vm_id_from_ip("192.168.0.1")
+
+
+class TestDom0Addressing:
+    def test_roundtrip_every_host(self, manager):
+        topo = manager.cluster.topology
+        for host in topo.hosts:
+            ip = manager.dom0_ip(host)
+            assert manager.host_from_dom0_ip(ip) == host
+
+    def test_same_rack_shares_prefix(self, manager):
+        # Hosts 0..2 are in rack 0.
+        ips = [manager.dom0_ip(h) for h in range(3)]
+        prefixes = {ip.rsplit(".", 1)[0] for ip in ips}
+        assert len(prefixes) == 1
+
+    def test_rack_recoverable_from_ip(self, manager):
+        topo = manager.cluster.topology
+        for host in topo.hosts:
+            assert manager.rack_from_dom0_ip(manager.dom0_ip(host)) == topo.rack_of(host)
+
+    def test_level_between_dom0(self, manager):
+        # Hosts 0,1 same rack; host 3 next rack (same agg); host 6 other agg.
+        ip0, ip1 = manager.dom0_ip(0), manager.dom0_ip(1)
+        ip3, ip6 = manager.dom0_ip(3), manager.dom0_ip(6)
+        assert manager.level_between_dom0(ip0, ip1) == 1
+        assert manager.level_between_dom0(ip0, ip3) == 2
+        assert manager.level_between_dom0(ip0, ip6) == 3
+
+    def test_invalid_dom0_ip_rejected(self, manager):
+        with pytest.raises(ValueError):
+            manager.host_from_dom0_ip("10.0.0.1")
+        with pytest.raises(ValueError):
+            manager.host_from_dom0_ip("172.16.99.99")

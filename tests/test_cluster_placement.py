@@ -1,0 +1,92 @@
+"""Tests for initial placement strategies."""
+
+import pytest
+
+from repro.cluster import (
+    CapacityError,
+    Cluster,
+    ServerCapacity,
+    VM,
+    place_packed,
+    place_random,
+    place_round_robin,
+    place_striped,
+)
+from repro.cluster.placement import place_by_name
+from repro.topology import CanonicalTree
+
+
+@pytest.fixture
+def cluster():
+    topo = CanonicalTree(n_racks=4, hosts_per_rack=2, tors_per_agg=2, n_cores=1)
+    return Cluster(topo, ServerCapacity(max_vms=2, ram_mb=4096, cpu=4.0))
+
+
+def make_vms(n):
+    return [VM(i + 1, ram_mb=256, cpu=0.25) for i in range(n)]
+
+
+class TestPacked:
+    def test_fills_in_host_order(self, cluster):
+        allocation = place_packed(cluster, make_vms(5))
+        assert allocation.server_of(1) == 0
+        assert allocation.server_of(2) == 0
+        assert allocation.server_of(3) == 1
+        assert allocation.server_of(5) == 2
+
+    def test_capacity_overflow_rejected(self, cluster):
+        with pytest.raises(CapacityError):
+            place_packed(cluster, make_vms(17))
+
+
+class TestRoundRobin:
+    def test_deals_one_per_host(self, cluster):
+        allocation = place_round_robin(cluster, make_vms(8))
+        for host in range(8):
+            assert len(allocation.vms_on(host)) == 1
+
+    def test_wraps_after_full_cycle(self, cluster):
+        allocation = place_round_robin(cluster, make_vms(10))
+        assert len(allocation.vms_on(0)) == 2
+        assert len(allocation.vms_on(1)) == 2
+
+
+class TestRandom:
+    def test_reproducible(self, cluster):
+        a = place_random(cluster, make_vms(8), seed=3).as_dict()
+        b = place_random(cluster, make_vms(8), seed=3).as_dict()
+        assert a == b
+
+    def test_respects_capacity(self, cluster):
+        allocation = place_random(cluster, make_vms(16), seed=1)
+        allocation.validate()
+        assert allocation.n_vms == 16
+
+    def test_different_seeds_differ(self, cluster):
+        a = place_random(cluster, make_vms(8), seed=1).as_dict()
+        b = place_random(cluster, make_vms(8), seed=2).as_dict()
+        assert a != b
+
+
+class TestStriped:
+    def test_spreads_consecutive_ids_across_racks(self, cluster):
+        allocation = place_striped(cluster, make_vms(4))
+        topo = cluster.topology
+        racks = [topo.rack_of(allocation.server_of(i)) for i in range(1, 5)]
+        assert racks == [0, 1, 2, 3]
+
+    def test_falls_back_when_rack_full(self, cluster):
+        allocation = place_striped(cluster, make_vms(16))
+        allocation.validate()
+        assert allocation.n_vms == 16
+
+
+class TestDispatch:
+    def test_by_name(self, cluster):
+        for name in ("packed", "round_robin", "striped", "random"):
+            allocation = place_by_name(name, cluster, make_vms(4), seed=0)
+            assert allocation.n_vms == 4
+
+    def test_unknown_name_rejected(self, cluster):
+        with pytest.raises(ValueError, match="unknown placement"):
+            place_by_name("bogus", cluster, make_vms(2))

@@ -1,0 +1,93 @@
+"""Tests for VM and Server models."""
+
+import pytest
+
+from repro.cluster import Server, ServerCapacity, VM
+
+
+class TestVM:
+    def test_defaults(self):
+        vm = VM(vm_id=1)
+        assert vm.ram_mb == 1024
+        assert vm.cpu == 1.0
+
+    def test_ordering_by_id_only(self):
+        assert VM(1, ram_mb=4096) < VM(2, ram_mb=128)
+
+    def test_equality_ignores_resources(self):
+        assert VM(7, ram_mb=128) == VM(7, ram_mb=512)
+
+    @pytest.mark.parametrize("vm_id", [-1, 2**32])
+    def test_id_range_enforced(self, vm_id):
+        with pytest.raises(ValueError, match="32 bits"):
+            VM(vm_id=vm_id)
+
+    def test_bad_resources_rejected(self):
+        with pytest.raises(ValueError):
+            VM(1, ram_mb=0)
+        with pytest.raises(ValueError):
+            VM(1, cpu=0)
+
+
+class TestServerCapacity:
+    def test_paper_default_slots(self):
+        assert ServerCapacity().max_vms == 16
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"max_vms": 0}, {"ram_mb": 0}, {"cpu": 0}, {"nic_bps": 0}],
+    )
+    def test_non_positive_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ServerCapacity(**kwargs)
+
+
+class TestServer:
+    def make(self, **kwargs):
+        defaults = dict(max_vms=2, ram_mb=2048, cpu=2.0)
+        defaults.update(kwargs)
+        return Server(0, ServerCapacity(**defaults))
+
+    def test_admit_and_evict(self):
+        server = self.make()
+        vm = VM(1, ram_mb=512, cpu=0.5)
+        server.admit(vm)
+        assert server.hosts_vm(1)
+        assert server.n_vms == 1
+        assert server.free_ram_mb == 2048 - 512
+        evicted = server.evict(1)
+        assert evicted == vm
+        assert server.n_vms == 0
+        assert server.free_ram_mb == 2048
+
+    def test_slot_limit(self):
+        server = self.make()
+        server.admit(VM(1, ram_mb=100, cpu=0.1))
+        server.admit(VM(2, ram_mb=100, cpu=0.1))
+        assert not server.can_host(VM(3, ram_mb=100, cpu=0.1))
+        with pytest.raises(ValueError, match="cannot accommodate"):
+            server.admit(VM(3, ram_mb=100, cpu=0.1))
+
+    def test_ram_limit(self):
+        server = self.make()
+        server.admit(VM(1, ram_mb=1536, cpu=0.1))
+        assert not server.can_host(VM(2, ram_mb=1024, cpu=0.1))
+
+    def test_cpu_limit(self):
+        server = self.make()
+        server.admit(VM(1, ram_mb=128, cpu=1.5))
+        assert not server.can_host(VM(2, ram_mb=128, cpu=1.0))
+
+    def test_double_admit_rejected(self):
+        server = self.make()
+        server.admit(VM(1, ram_mb=128, cpu=0.1))
+        with pytest.raises(ValueError, match="already"):
+            server.admit(VM(1, ram_mb=128, cpu=0.1))
+
+    def test_evict_missing_rejected(self):
+        with pytest.raises(KeyError):
+            self.make().evict(9)
+
+    def test_negative_host_rejected(self):
+        with pytest.raises(ValueError):
+            Server(-1)

@@ -1,0 +1,177 @@
+"""Tests for token-passing policies (§V-A, Algorithm 1)."""
+
+import pytest
+
+from repro.cluster import Cluster, ServerCapacity, VM
+from repro.cluster.allocation import Allocation
+from repro.core import CostModel, LinkWeights, Token
+from repro.core.policies import (
+    HighestLevelFirstPolicy,
+    LeastRecentlyVisitedPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    policy_by_name,
+)
+from repro.topology import CanonicalTree
+from repro.traffic import TrafficMatrix
+
+
+@pytest.fixture
+def env():
+    topo = CanonicalTree(n_racks=4, hosts_per_rack=2, tors_per_agg=2, n_cores=1)
+    cluster = Cluster(topo, ServerCapacity(max_vms=4, ram_mb=4096, cpu=8.0))
+    allocation = Allocation(cluster)
+    # VM 1 on host 0; VM 2 on host 1 (same rack); VM 3 on host 2 (same agg);
+    # VM 4 on host 4 (cross agg); VM 5 on host 0 (colocated with 1).
+    for vm_id, host in [(1, 0), (2, 1), (3, 2), (4, 4), (5, 0)]:
+        allocation.add_vm(VM(vm_id, ram_mb=128, cpu=0.1), host)
+    tm = TrafficMatrix()
+    tm.set_rate(1, 2, 10)  # level 1
+    tm.set_rate(1, 4, 5)   # level 3
+    tm.set_rate(3, 4, 2)   # level 3
+    model = CostModel(topo, LinkWeights(weights=(1.0, 2.0, 4.0)))
+    return allocation, tm, model
+
+
+class TestRoundRobin:
+    def test_ascending_cyclic(self, env):
+        allocation, tm, model = env
+        token = Token([1, 2, 3, 4, 5])
+        policy = RoundRobinPolicy()
+        assert policy.next_vm(token, 1, allocation, tm, model) == 2
+        assert policy.next_vm(token, 5, allocation, tm, model) == 1
+
+    def test_visits_all_vms_in_one_round(self, env):
+        allocation, tm, model = env
+        token = Token([1, 2, 3, 4, 5])
+        policy = RoundRobinPolicy()
+        visited = []
+        holder = token.lowest_id
+        for _ in range(len(token)):
+            visited.append(holder)
+            holder = policy.next_vm(token, holder, allocation, tm, model)
+        assert sorted(visited) == [1, 2, 3, 4, 5]
+
+
+class TestHighestLevelFirst:
+    def test_on_hold_updates_own_and_peer_levels(self, env):
+        allocation, tm, model = env
+        token = Token([1, 2, 3, 4, 5])
+        policy = HighestLevelFirstPolicy()
+        policy.on_hold(token, 1, allocation, tm, model)
+        assert token.level_of(1) == 3  # VM 1 talks to VM 4 across the core
+        assert token.level_of(2) == 1
+        assert token.level_of(4) == 3
+        assert token.level_of(3) == 0  # not a peer of 1; untouched
+
+    def test_peer_levels_only_raised(self, env):
+        allocation, tm, model = env
+        token = Token([1, 2, 3, 4, 5])
+        token.set_level(2, 3)  # stale overestimate
+        policy = HighestLevelFirstPolicy()
+        policy.on_hold(token, 1, allocation, tm, model)
+        assert token.level_of(2) == 3  # not lowered (Algorithm 1 line 4)
+
+    def test_next_prefers_same_level(self, env):
+        allocation, tm, model = env
+        token = Token([1, 2, 3, 4, 5])
+        policy = HighestLevelFirstPolicy()
+        policy.on_hold(token, 1, allocation, tm, model)
+        # Holder is at level 3; the next VM at level 3 after 1 is 4.
+        assert policy.next_vm(token, 1, allocation, tm, model) == 4
+
+    def test_next_descends_levels(self, env):
+        allocation, tm, model = env
+        token = Token([1, 2, 3, 4, 5])
+        token.set_level(1, 2)
+        token.set_level(3, 1)
+        # No VM at level 2 other than the holder: descend to level 1 -> VM 3.
+        policy = HighestLevelFirstPolicy()
+        assert policy.next_vm(token, 1, allocation, tm, model) == 3
+
+    def test_fallback_to_lowest_id_at_max_level(self, env):
+        allocation, tm, model = env
+        token = Token([1, 2, 3])
+        token.set_level(1, 0)
+        token.set_level(2, 5)
+        token.set_level(3, 5)
+        # Holder at level 0; all others are above it, so the downward scan
+        # from 0 only ever checks level 0 and fails -> line 16 fallback.
+        token.set_level(1, 0)
+        policy = HighestLevelFirstPolicy()
+        # Scan at level 0 finds nobody else at level 0; fallback picks the
+        # lowest ID among max-level VMs.
+        assert policy.next_vm(token, 1, allocation, tm, model) == 2
+
+    def test_cyclic_scan_starts_after_holder(self, env):
+        allocation, tm, model = env
+        token = Token([1, 2, 3, 4])
+        for vm_id in (1, 2, 3, 4):
+            token.set_level(vm_id, 2)
+        policy = HighestLevelFirstPolicy()
+        assert policy.next_vm(token, 3, allocation, tm, model) == 4
+        assert policy.next_vm(token, 4, allocation, tm, model) == 1
+
+
+class TestRandomPolicy:
+    def test_never_returns_holder(self, env):
+        allocation, tm, model = env
+        token = Token([1, 2, 3])
+        policy = RandomPolicy(seed=1)
+        for _ in range(50):
+            assert policy.next_vm(token, 2, allocation, tm, model) != 2
+
+    def test_single_vm_token(self, env):
+        allocation, tm, model = env
+        token = Token([1])
+        policy = RandomPolicy(seed=1)
+        assert policy.next_vm(token, 1, allocation, tm, model) == 1
+
+    def test_reproducible(self, env):
+        allocation, tm, model = env
+        token = Token([1, 2, 3, 4])
+        a = [RandomPolicy(seed=9).next_vm(token, 1, allocation, tm, model) for _ in range(3)]
+        b = [RandomPolicy(seed=9).next_vm(token, 1, allocation, tm, model) for _ in range(3)]
+        assert a == b
+
+
+class TestLeastRecentlyVisited:
+    def test_prefers_unvisited_lowest_id(self, env):
+        allocation, tm, model = env
+        token = Token([1, 2, 3])
+        policy = LeastRecentlyVisitedPolicy()
+        policy.on_hold(token, 1, allocation, tm, model)
+        assert policy.next_vm(token, 1, allocation, tm, model) == 2
+
+    def test_cycles_fairly(self, env):
+        allocation, tm, model = env
+        token = Token([1, 2, 3])
+        policy = LeastRecentlyVisitedPolicy()
+        holder = 1
+        visited = []
+        for _ in range(6):
+            policy.on_hold(token, holder, allocation, tm, model)
+            visited.append(holder)
+            holder = policy.next_vm(token, holder, allocation, tm, model)
+        assert sorted(visited[:3]) == [1, 2, 3]
+        assert sorted(visited[3:]) == [1, 2, 3]
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("rr", RoundRobinPolicy),
+            ("round_robin", RoundRobinPolicy),
+            ("hlf", HighestLevelFirstPolicy),
+            ("highest_level_first", HighestLevelFirstPolicy),
+            ("random", RandomPolicy),
+            ("lrv", LeastRecentlyVisitedPolicy),
+        ],
+    )
+    def test_known_names(self, name, cls):
+        assert isinstance(policy_by_name(name), cls)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown token policy"):
+            policy_by_name("bogus")

@@ -1,0 +1,132 @@
+"""Tests for the token structure and its wire format (§V-A, §V-B2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.token import MAX_LEVEL_VALUE, Token, TokenEntry
+
+
+class TestTokenEntry:
+    def test_valid(self):
+        entry = TokenEntry(vm_id=5, level=3)
+        assert entry.vm_id == 5 and entry.level == 3
+
+    def test_id_range(self):
+        with pytest.raises(ValueError):
+            TokenEntry(vm_id=2**32)
+
+    def test_level_range(self):
+        with pytest.raises(ValueError):
+            TokenEntry(vm_id=1, level=256)
+
+
+class TestTokenBasics:
+    def test_ids_sorted_and_deduped(self):
+        token = Token([5, 1, 3, 3])
+        assert token.vm_ids == (1, 3, 5)
+        assert len(token) == 3
+        assert token.lowest_id == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Token([])
+
+    def test_levels_initialized_zero(self):
+        token = Token([1, 2])
+        assert token.level_of(1) == 0 and token.level_of(2) == 0
+
+    def test_set_and_raise_level(self):
+        token = Token([1, 2])
+        token.set_level(1, 3)
+        assert token.level_of(1) == 3
+        assert not token.raise_level(1, 2)  # lower: ignored (Algorithm 1 rule)
+        assert token.level_of(1) == 3
+        assert token.raise_level(1, 5)
+        assert token.level_of(1) == 5
+
+    def test_set_level_bounds(self):
+        token = Token([1])
+        with pytest.raises(ValueError):
+            token.set_level(1, 300)
+        with pytest.raises(KeyError):
+            token.set_level(9, 1)
+
+    def test_membership_management(self):
+        token = Token([1, 3])
+        token.add_vm(2, level=1)
+        assert token.vm_ids == (1, 2, 3)
+        token.remove_vm(3)
+        assert token.vm_ids == (1, 2)
+        with pytest.raises(ValueError):
+            token.add_vm(2)
+        with pytest.raises(KeyError):
+            token.remove_vm(99)
+
+    def test_cannot_remove_last(self):
+        token = Token([1])
+        with pytest.raises(ValueError):
+            token.remove_vm(1)
+
+
+class TestCirculation:
+    def test_successor_wraps(self):
+        token = Token([1, 5, 9])
+        assert token.successor(1) == 5
+        assert token.successor(5) == 9
+        assert token.successor(9) == 1
+
+    def test_successor_by_value(self):
+        token = Token([1, 5, 9])
+        assert token.successor(3) == 5
+        assert token.successor(10) == 1
+
+    def test_vms_at_level(self):
+        token = Token([1, 2, 3])
+        token.set_level(2, 3)
+        assert token.vms_at_level(3) == [2]
+        assert token.vms_at_level(0) == [1, 3]
+
+    def test_max_recorded_level(self):
+        token = Token([1, 2])
+        assert token.max_recorded_level() == 0
+        token.set_level(2, 2)
+        assert token.max_recorded_level() == 2
+
+
+class TestWireFormat:
+    def test_entry_size_is_five_bytes(self):
+        token = Token([1, 2, 3])
+        assert token.wire_size == 15
+        assert len(token.encode()) == 15
+
+    def test_roundtrip(self):
+        token = Token([7, 100, 2**31])
+        token.set_level(100, 3)
+        decoded = Token.decode(token.encode())
+        assert decoded.vm_ids == token.vm_ids
+        for vm_id in token.vm_ids:
+            assert decoded.level_of(vm_id) == token.level_of(vm_id)
+
+    def test_reject_bad_size(self):
+        with pytest.raises(ValueError, match="multiple"):
+            Token.decode(b"\x00" * 7)
+        with pytest.raises(ValueError):
+            Token.decode(b"")
+
+    def test_reject_unsorted(self):
+        token_a = Token([5])
+        token_b = Token([1])
+        payload = token_a.encode() + token_b.encode()
+        with pytest.raises(ValueError, match="ascending"):
+            Token.decode(payload)
+
+    @given(
+        st.sets(st.integers(0, 2**32 - 1), min_size=1, max_size=40),
+        st.integers(0, MAX_LEVEL_VALUE),
+    )
+    def test_roundtrip_property(self, ids, level):
+        token = Token(ids)
+        token.set_level(token.lowest_id, level)
+        decoded = Token.decode(token.encode())
+        assert decoded.vm_ids == token.vm_ids
+        assert decoded.level_of(token.lowest_id) == level

@@ -1,0 +1,87 @@
+"""Tests for VM arrival/departure during S-CORE operation (tenant churn)."""
+
+import pytest
+
+from repro import (
+    CostModel,
+    MigrationEngine,
+    RoundRobinPolicy,
+    SCOREScheduler,
+    VM,
+)
+from repro.cluster import Cluster, ServerCapacity
+from repro.cluster.allocation import Allocation
+from repro.topology import CanonicalTree
+from repro.traffic import TrafficMatrix
+
+
+@pytest.fixture
+def scheduler_env():
+    topo = CanonicalTree(n_racks=4, hosts_per_rack=2, tors_per_agg=2, n_cores=1)
+    cluster = Cluster(topo, ServerCapacity(max_vms=4, ram_mb=4096, cpu=8.0))
+    allocation = Allocation(cluster)
+    for vm_id, host in [(1, 0), (2, 4), (3, 6)]:
+        allocation.add_vm(VM(vm_id, ram_mb=256, cpu=0.25), host)
+    traffic = TrafficMatrix()
+    traffic.set_rate(1, 2, 100)
+    traffic.set_rate(2, 3, 10)
+    engine = MigrationEngine(CostModel(topo))
+    scheduler = SCOREScheduler(allocation, traffic, RoundRobinPolicy(), engine)
+    return scheduler, allocation, traffic
+
+
+class TestAdmission:
+    def test_admitted_vm_joins_token(self, scheduler_env):
+        scheduler, allocation, traffic = scheduler_env
+        scheduler.admit_vm(VM(4, ram_mb=256, cpu=0.25), 1)
+        assert 4 in scheduler.token
+        assert allocation.server_of(4) == 1
+        report = scheduler.run(n_iterations=1)
+        assert report.iterations[0].visits == 4
+
+    def test_admitted_vm_gets_optimized(self, scheduler_env):
+        scheduler, allocation, traffic = scheduler_env
+        scheduler.admit_vm(VM(4, ram_mb=256, cpu=0.25), 7)
+        traffic.set_rate(4, 1, 500)  # heavy traffic to VM 1 on host 0
+        scheduler.run(n_iterations=2)
+        assert allocation.level_between(4, 1) == 0
+
+    def test_admission_respects_capacity(self, scheduler_env):
+        scheduler, allocation, traffic = scheduler_env
+        for vm_id in (10, 11, 12):
+            scheduler.admit_vm(VM(vm_id, ram_mb=256, cpu=0.25), 0)
+        from repro.cluster.allocation import CapacityError
+
+        with pytest.raises(CapacityError):
+            scheduler.admit_vm(VM(13, ram_mb=256, cpu=0.25), 0)
+        assert 13 not in scheduler.token
+
+
+class TestRetirement:
+    def test_retired_vm_leaves_everything(self, scheduler_env):
+        scheduler, allocation, traffic = scheduler_env
+        scheduler.retire_vm(2)
+        assert 2 not in scheduler.token
+        assert 2 not in allocation
+        assert traffic.peers_of(2) == frozenset()
+        assert traffic.rate(1, 2) == 0.0
+
+    def test_run_after_retirement(self, scheduler_env):
+        scheduler, allocation, traffic = scheduler_env
+        scheduler.retire_vm(2)
+        report = scheduler.run(n_iterations=1)
+        assert report.iterations[0].visits == 2
+        allocation.validate()
+
+    def test_churn_sequence_keeps_costs_consistent(self, scheduler_env):
+        scheduler, allocation, traffic = scheduler_env
+        model = scheduler.cost_model
+        scheduler.run(n_iterations=1)
+        scheduler.retire_vm(3)
+        scheduler.admit_vm(VM(5, ram_mb=256, cpu=0.25), 6)
+        traffic.set_rate(5, 1, 50)
+        report = scheduler.run(n_iterations=2)
+        assert report.final_cost == pytest.approx(
+            model.total_cost(allocation, traffic), rel=1e-9
+        )
+        allocation.validate()

@@ -1,0 +1,111 @@
+"""Tests for the experiment runner and dynamics harness."""
+
+import pytest
+
+from repro.baselines.ga import GAConfig
+from repro.core import MigrationEngine
+from repro.core.policies import HighestLevelFirstPolicy
+from repro.sim import (
+    ExperimentConfig,
+    build_environment,
+    run_dynamic,
+    run_experiment,
+)
+
+SMALL = ExperimentConfig(
+    n_racks=8, hosts_per_rack=2, tors_per_agg=4, n_cores=2,
+    vms_per_host=4, fill_fraction=0.8, n_iterations=3, seed=5,
+)
+
+
+class TestConfig:
+    def test_with_changes(self):
+        cfg = SMALL.with_(policy="rr", pattern="dense")
+        assert cfg.policy == "rr" and cfg.pattern == "dense"
+        assert cfg.n_racks == SMALL.n_racks
+
+    def test_paper_configs(self):
+        canonical = ExperimentConfig.paper_canonical()
+        assert canonical.n_racks == 128 and canonical.vms_per_host == 16
+        fattree = ExperimentConfig.paper_fattree("dense")
+        assert fattree.topology == "fattree" and fattree.fattree_k == 16
+        assert fattree.pattern == "dense"
+
+    def test_invalid_topology_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(topology="mesh")
+
+    def test_invalid_fill_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(fill_fraction=0.0)
+
+
+class TestBuildEnvironment:
+    def test_builds_consistent_environment(self):
+        env = build_environment(SMALL)
+        expected_vms = int(env.cluster.total_vm_slots * SMALL.fill_fraction)
+        assert env.allocation.n_vms == expected_vms
+        env.allocation.validate()
+        assert env.traffic.n_pairs > 0
+        assert env.cost_model.topology is env.topology
+
+    def test_deterministic_for_seed(self):
+        a = build_environment(SMALL)
+        b = build_environment(SMALL)
+        assert a.allocation.as_dict() == b.allocation.as_dict()
+        assert sorted(a.traffic.pairs()) == sorted(b.traffic.pairs())
+
+    def test_fattree_environment(self):
+        env = build_environment(SMALL.with_(topology="fattree", fattree_k=4))
+        assert env.topology.n_hosts == 16
+
+
+class TestRunExperiment:
+    def test_reduces_cost(self):
+        result = run_experiment(SMALL)
+        assert result.final_cost < result.initial_cost
+        assert result.report.total_migrations > 0
+
+    def test_ga_reference_and_ratio(self):
+        result = run_experiment(
+            SMALL, compute_ga=True, ga_config=GAConfig(population_size=20, seed=5)
+        )
+        series = result.cost_ratio_series()
+        assert series[0][1] >= series[-1][1] >= 1.0
+        assert 0 < result.reduction_vs_optimal <= 1.2
+
+    def test_utilization_capture(self):
+        result = run_experiment(SMALL, compute_utilization=True)
+        assert set(result.utilization_before) == {1, 2, 3}
+        # Localization: mean core utilization must not increase.
+        import numpy as np
+        before = np.mean(result.utilization_before[3])
+        after = np.mean(result.utilization_after[3])
+        assert after <= before + 1e-12
+
+    def test_policies_run(self):
+        for policy in ("rr", "hlf", "random", "lrv"):
+            result = run_experiment(SMALL.with_(policy=policy, n_iterations=2))
+            assert result.final_cost <= result.initial_cost
+
+
+class TestRunDynamic:
+    def test_stability_under_drift(self):
+        env = build_environment(SMALL)
+        engine = MigrationEngine(env.cost_model)
+        result = run_dynamic(
+            env, HighestLevelFirstPolicy(), engine,
+            epochs=4, iterations_per_epoch=2, noise=0.05,
+            redirect_prob=0.0, seed=3,
+        )
+        assert len(result.migrations_per_epoch) == 4
+        # With drifting rates but fixed hotspots, later epochs need far
+        # fewer migrations than the first.
+        assert result.migrations_per_epoch[-1] <= result.migrations_per_epoch[0]
+        assert result.oscillation_index <= 0.5
+
+    def test_bad_epochs_rejected(self):
+        env = build_environment(SMALL)
+        engine = MigrationEngine(env.cost_model)
+        with pytest.raises(ValueError):
+            run_dynamic(env, HighestLevelFirstPolicy(), engine, epochs=0)

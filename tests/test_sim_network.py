@@ -1,0 +1,120 @@
+"""Tests for per-link load accounting."""
+
+import pytest
+
+from repro.cluster import Cluster, ServerCapacity, VM
+from repro.cluster.allocation import Allocation
+from repro.sim.network import LinkLoadCalculator, _pair_flow_key
+from repro.topology import CanonicalTree
+from repro.topology.base import host_node, tor_node
+from repro.topology.links import canonical_link_id
+from repro.traffic import TrafficMatrix
+
+
+@pytest.fixture
+def env():
+    topo = CanonicalTree(n_racks=4, hosts_per_rack=2, tors_per_agg=2, n_cores=2)
+    cluster = Cluster(topo, ServerCapacity(max_vms=4))
+    allocation = Allocation(cluster)
+    for vm_id, host in [(1, 0), (2, 1), (3, 4)]:
+        allocation.add_vm(VM(vm_id, ram_mb=128, cpu=0.1), host)
+    return topo, allocation
+
+
+class TestLoads:
+    def test_level1_pair_loads_two_links(self, env):
+        topo, allocation = env
+        tm = TrafficMatrix()
+        tm.set_rate(1, 2, 100)  # hosts 0 and 1, same rack
+        calc = LinkLoadCalculator(topo)
+        loads = calc.loads(allocation, tm)
+        assert len(loads) == 2
+        assert all(rate == 100 for rate in loads.values())
+        link = canonical_link_id(host_node(0), tor_node(0))
+        assert loads[link] == 100
+
+    def test_cross_agg_pair_loads_six_links(self, env):
+        topo, allocation = env
+        tm = TrafficMatrix()
+        tm.set_rate(1, 3, 50)  # host 0 to host 4: level 3
+        calc = LinkLoadCalculator(topo)
+        loads = calc.loads(allocation, tm)
+        assert len(loads) == 6
+        levels = sorted(topo.link_level(link) for link in loads)
+        assert levels == [1, 1, 2, 2, 3, 3]
+
+    def test_colocated_traffic_loads_nothing(self, env):
+        topo, allocation = env
+        allocation.add_vm(VM(4, ram_mb=128, cpu=0.1), 0)
+        tm = TrafficMatrix()
+        tm.set_rate(1, 4, 100)
+        calc = LinkLoadCalculator(topo)
+        assert calc.loads(allocation, tm) == {}
+
+    def test_loads_accumulate(self, env):
+        topo, allocation = env
+        tm = TrafficMatrix()
+        tm.set_rate(1, 2, 100)
+        tm.set_rate(2, 3, 10)
+        calc = LinkLoadCalculator(topo)
+        loads = calc.loads(allocation, tm)
+        host1_link = canonical_link_id(host_node(1), tor_node(0))
+        assert loads[host1_link] == 110  # both pairs touch host 1's access link
+
+
+class TestUtilizations:
+    def test_every_link_reported(self, env):
+        topo, allocation = env
+        calc = LinkLoadCalculator(topo)
+        utils = calc.utilizations(allocation, TrafficMatrix())
+        assert set(utils) == set(topo.links)
+        assert all(value == 0.0 for value in utils.values())
+
+    def test_bits_vs_capacity(self, env):
+        topo, allocation = env
+        tm = TrafficMatrix()
+        tm.set_rate(1, 2, 12.5e6)  # 12.5 MB/s = 100 Mb/s over a 1 Gb/s link
+        calc = LinkLoadCalculator(topo)
+        utils = calc.utilizations(allocation, tm)
+        link = canonical_link_id(host_node(0), tor_node(0))
+        assert utils[link] == pytest.approx(0.1)
+
+    def test_by_level_grouping(self, env):
+        topo, allocation = env
+        calc = LinkLoadCalculator(topo)
+        by_level = calc.utilizations_by_level(allocation, TrafficMatrix())
+        assert set(by_level) == {1, 2, 3}
+        assert len(by_level[1]) == topo.n_hosts
+
+    def test_max_and_most_utilized(self, env):
+        topo, allocation = env
+        tm = TrafficMatrix()
+        tm.set_rate(1, 2, 12.5e6)
+        calc = LinkLoadCalculator(topo)
+        assert calc.max_utilization(allocation, tm) == pytest.approx(0.1)
+        link, value = calc.most_utilized_link(allocation, tm)
+        assert value == pytest.approx(0.1)
+        assert topo.link_level(link) == 1
+
+    def test_most_utilized_none_when_idle(self, env):
+        topo, allocation = env
+        calc = LinkLoadCalculator(topo)
+        assert calc.most_utilized_link(allocation, TrafficMatrix()) is None
+
+
+class TestContributions:
+    def test_vm_contributions_on_link(self, env):
+        topo, allocation = env
+        tm = TrafficMatrix()
+        tm.set_rate(1, 2, 100)
+        tm.set_rate(1, 3, 40)
+        calc = LinkLoadCalculator(topo)
+        host0_link = canonical_link_id(host_node(0), tor_node(0))
+        contributions = calc.vm_contributions(allocation, tm, host0_link)
+        assert contributions[1] == 140  # VM 1 sends both pairs over its access link
+        assert contributions[2] == 100
+        assert contributions[3] == 40
+
+    def test_flow_key_stability(self):
+        assert _pair_flow_key(3, 9) == _pair_flow_key(9, 3)
+        assert _pair_flow_key(1, 2) != _pair_flow_key(1, 3)

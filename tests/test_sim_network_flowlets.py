@@ -1,0 +1,74 @@
+"""Tests for ECMP flowlet spreading in the link-load calculator."""
+
+import pytest
+
+from repro.cluster import Cluster, ServerCapacity, VM
+from repro.cluster.allocation import Allocation
+from repro.sim.network import LinkLoadCalculator
+from repro.topology import FatTree
+
+
+@pytest.fixture
+def env():
+    topo = FatTree(k=4)
+    cluster = Cluster(topo, ServerCapacity(max_vms=4))
+    allocation = Allocation(cluster)
+    # Cross-pod pair: many equal-cost paths exist.
+    allocation.add_vm(VM(1, ram_mb=128, cpu=0.1), 0)
+    allocation.add_vm(VM(2, ram_mb=128, cpu=0.1), topo.n_hosts - 1)
+    return topo, allocation
+
+
+def test_flowlets_validation(env):
+    topo, _ = env
+    with pytest.raises(ValueError):
+        LinkLoadCalculator(topo, flowlets=0)
+
+
+def test_total_load_preserved(env):
+    from repro.traffic import TrafficMatrix
+
+    topo, allocation = env
+    tm = TrafficMatrix()
+    tm.set_rate(1, 2, 120.0)
+    single = LinkLoadCalculator(topo, flowlets=1).loads(allocation, tm)
+    spread = LinkLoadCalculator(topo, flowlets=8).loads(allocation, tm)
+    # Both account the same bytes on the (shared) access links.
+    host_links = [l for l in single if topo.link_level(l) == 1]
+    for link in host_links:
+        assert spread[link] == pytest.approx(single[link])
+    # And the same total byte-hops overall.
+    assert sum(spread.values()) == pytest.approx(sum(single.values()))
+
+
+def test_spreading_reduces_peak_core_load(env):
+    from repro.traffic import TrafficMatrix
+
+    topo, allocation = env
+    tm = TrafficMatrix()
+    tm.set_rate(1, 2, 120.0)
+    single = LinkLoadCalculator(topo, flowlets=1).loads(allocation, tm)
+    spread = LinkLoadCalculator(topo, flowlets=16).loads(allocation, tm)
+
+    def peak_core(loads):
+        return max(
+            (load for link, load in loads.items() if topo.link_level(link) == 3),
+            default=0.0,
+        )
+
+    assert peak_core(spread) < peak_core(single)
+    # More core links carry (smaller) shares.
+    single_core = sum(1 for l in single if topo.link_level(l) == 3)
+    spread_core = sum(1 for l in spread if topo.link_level(l) == 3)
+    assert spread_core > single_core
+
+
+def test_flowlets_deterministic(env):
+    from repro.traffic import TrafficMatrix
+
+    topo, allocation = env
+    tm = TrafficMatrix()
+    tm.set_rate(1, 2, 120.0)
+    calc = LinkLoadCalculator(topo, flowlets=4)
+    assert calc.loads(allocation, tm) == calc.loads(allocation, tm)
+    assert calc.flowlets == 4

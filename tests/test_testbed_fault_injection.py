@@ -1,0 +1,99 @@
+"""Fault injection: the deployment must survive token loss.
+
+A single circulating token is the algorithm's availability weak point; the
+resilient round regenerates it (via the centralized placement manager)
+when the network drops it in flight.
+"""
+
+import pytest
+
+from repro import (
+    CostModel,
+    DCTrafficGenerator,
+    MigrationEngine,
+    RoundRobinPolicy,
+    SPARSE,
+)
+from repro.cluster import Cluster, PlacementManager, ServerCapacity
+from repro.cluster.placement import place_random
+from repro.testbed import (
+    LossyTokenNetwork,
+    TestbedDeployment,
+    TokenLostError,
+)
+from repro.topology import CanonicalTree
+
+
+def build_deployment(drop_prob=0.0, seed=9):
+    topo = CanonicalTree(n_racks=4, hosts_per_rack=2, tors_per_agg=2, n_cores=1)
+    cluster = Cluster(topo, ServerCapacity(max_vms=4, ram_mb=4096, cpu=8.0))
+    manager = PlacementManager(cluster)
+    vms = manager.create_vms(16, ram_mb=256, cpu=0.25)
+    allocation = place_random(cluster, vms, seed=seed)
+    traffic = DCTrafficGenerator([v.vm_id for v in vms], SPARSE, seed=seed).generate()
+    network = LossyTokenNetwork(drop_prob=drop_prob, seed=seed)
+    deployment = TestbedDeployment(
+        allocation, traffic, manager, RoundRobinPolicy(),
+        MigrationEngine(CostModel(topo)), network=network,
+    )
+    return deployment, network
+
+
+class TestLossyNetwork:
+    def test_invalid_drop_prob_rejected(self):
+        with pytest.raises(ValueError):
+            LossyTokenNetwork(drop_prob=1.0)
+        with pytest.raises(ValueError):
+            LossyTokenNetwork(drop_prob=-0.1)
+
+    def test_zero_drop_behaves_normally(self):
+        deployment, network = build_deployment(drop_prob=0.0)
+        hops = deployment.run_resilient_round()
+        assert hops == deployment.allocation.n_vms
+        assert network.drops == 0
+        assert deployment.token_regenerations == 0
+
+    def test_plain_round_raises_on_loss(self):
+        deployment, network = build_deployment(drop_prob=0.5)
+        with pytest.raises(TokenLostError):
+            deployment.run_round()
+        assert network.drops >= 1
+
+
+class TestResilientRound:
+    def test_completes_despite_losses(self):
+        deployment, network = build_deployment(drop_prob=0.2)
+        hops = deployment.run_resilient_round(max_regenerations=100)
+        assert hops == deployment.allocation.n_vms
+        assert network.drops >= 1
+        assert deployment.token_regenerations == network.drops
+        deployment.allocation.validate()
+
+    def test_migrations_still_happen(self):
+        lossy, _ = build_deployment(drop_prob=0.2)
+        lossless, _ = build_deployment(drop_prob=0.0)
+        lossy.run_resilient_round(max_regenerations=100)
+        lossless.run_resilient_round()
+        # Same decisions in the same order: loss only delays delivery.
+        assert [
+            (d.vm_id, d.target_host) for d in lossy.decisions if d.migrated
+        ] == [
+            (d.vm_id, d.target_host) for d in lossless.decisions if d.migrated
+        ]
+
+    def test_gives_up_after_budget(self):
+        deployment, _ = build_deployment(drop_prob=0.95)
+        with pytest.raises(TokenLostError):
+            deployment.run_resilient_round(max_regenerations=3)
+        assert deployment.token_regenerations >= 3
+
+    def test_negative_budget_rejected(self):
+        deployment, _ = build_deployment()
+        with pytest.raises(ValueError):
+            deployment.run_resilient_round(max_regenerations=-1)
+
+    def test_partial_budget(self):
+        deployment, _ = build_deployment(drop_prob=0.1)
+        hops = deployment.run_resilient_round(n_holds=5, max_regenerations=50)
+        assert hops == 5
+        assert len(deployment.decisions) == 5

@@ -1,0 +1,129 @@
+"""Tests for the dom0 flow table (§V-B1, Fig. 5a's data structure)."""
+
+import pytest
+
+from repro.testbed import FlowKey, FlowTable
+
+
+def key(src="10.0.0.1", dst="10.0.0.2", sport=1000, dport=80):
+    return FlowKey(src_ip=src, dst_ip=dst, src_port=sport, dst_port=dport)
+
+
+class TestFlowKey:
+    def test_hashable_and_equal(self):
+        assert key() == key()
+        assert {key()} == {key(), key()}
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(ValueError):
+            FlowKey(src_ip="10.0.0.1", dst_ip="10.0.0.2", src_port=70000)
+
+
+class TestBasicOperations:
+    def test_add_lookup_delete(self):
+        table = FlowTable()
+        table.add_flow(key(), timestamp=1.0)
+        assert key() in table
+        assert len(table) == 1
+        record = table.lookup(key())
+        assert record.first_seen == 1.0
+        table.delete_flow(key())
+        assert key() not in table
+        assert len(table) == 0
+
+    def test_double_add_rejected(self):
+        table = FlowTable()
+        table.add_flow(key())
+        with pytest.raises(ValueError):
+            table.add_flow(key())
+
+    def test_delete_missing_rejected(self):
+        with pytest.raises(KeyError):
+            FlowTable().delete_flow(key())
+
+    def test_update_accumulates_bytes(self):
+        table = FlowTable()
+        table.add_flow(key(), timestamp=0.0)
+        table.update_flow(key(), 500, timestamp=1.0)
+        table.update_flow(key(), 250, timestamp=2.0)
+        record = table.lookup(key())
+        assert record.bytes_transmitted == 750
+        assert record.last_updated == 2.0
+
+    def test_update_negative_rejected(self):
+        table = FlowTable()
+        table.add_flow(key())
+        with pytest.raises(ValueError):
+            table.update_flow(key(), -1, timestamp=1.0)
+
+    def test_upsert_creates_then_updates(self):
+        table = FlowTable()
+        table.upsert_flow(key(), 100, timestamp=1.0)
+        table.upsert_flow(key(), 100, timestamp=2.0)
+        assert table.lookup(key()).bytes_transmitted == 200
+
+    def test_clear(self):
+        table = FlowTable()
+        table.add_flow(key())
+        table.clear()
+        assert len(table) == 0
+        assert table.flows_for_ip("10.0.0.1") == []
+
+
+class TestPerIpIndex:
+    def test_flows_for_ip_both_directions(self):
+        table = FlowTable()
+        table.add_flow(key(src="10.0.0.1", dst="10.0.0.2"))
+        table.add_flow(key(src="10.0.0.3", dst="10.0.0.1", sport=2000))
+        assert len(table.flows_for_ip("10.0.0.1")) == 2
+        assert len(table.flows_for_ip("10.0.0.2")) == 1
+        assert table.flows_for_ip("10.0.0.9") == []
+
+    def test_index_cleaned_on_delete(self):
+        table = FlowTable()
+        table.add_flow(key())
+        table.delete_flow(key())
+        assert table.flows_for_ip("10.0.0.1") == []
+
+    def test_peer_ips(self):
+        table = FlowTable()
+        table.add_flow(key(src="10.0.0.1", dst="10.0.0.2"))
+        table.add_flow(key(src="10.0.0.1", dst="10.0.0.3", dport=443))
+        assert table.peer_ips("10.0.0.1") == {"10.0.0.2", "10.0.0.3"}
+
+
+class TestThroughput:
+    def test_record_throughput(self):
+        table = FlowTable()
+        table.add_flow(key(), timestamp=0.0)
+        table.update_flow(key(), 1000, timestamp=10.0)
+        record = table.lookup(key())
+        assert record.duration() == 10.0
+        assert record.throughput_bps() == 100.0
+        assert record.throughput_bps(now=20.0) == 50.0
+
+    def test_zero_duration_zero_throughput(self):
+        table = FlowTable()
+        table.add_flow(key(), timestamp=5.0)
+        assert table.lookup(key()).throughput_bps() == 0.0
+
+    def test_bytes_between(self):
+        table = FlowTable()
+        table.add_flow(key(src="10.0.0.1", dst="10.0.0.2"))
+        table.update_flow(key(src="10.0.0.1", dst="10.0.0.2"), 300, 1.0)
+        table.add_flow(key(src="10.0.0.2", dst="10.0.0.1", sport=99))
+        table.update_flow(key(src="10.0.0.2", dst="10.0.0.1", sport=99), 200, 1.0)
+        assert table.bytes_between("10.0.0.1", "10.0.0.2") == 500
+
+    def test_aggregate_rate_per_peer(self):
+        """The §V-B3 token-hold computation: per-peer bytes/second."""
+        table = FlowTable()
+        table.add_flow(key(src="10.0.0.1", dst="10.0.0.2"), timestamp=0.0)
+        table.update_flow(key(src="10.0.0.1", dst="10.0.0.2"), 1000, 5.0)
+        table.add_flow(
+            key(src="10.0.0.3", dst="10.0.0.1", sport=7), timestamp=5.0
+        )
+        table.update_flow(key(src="10.0.0.3", dst="10.0.0.1", sport=7), 500, 10.0)
+        rates = table.aggregate_rate("10.0.0.1", now=10.0)
+        assert rates["10.0.0.2"] == pytest.approx(100.0)
+        assert rates["10.0.0.3"] == pytest.approx(100.0)

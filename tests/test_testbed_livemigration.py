@@ -1,0 +1,135 @@
+"""Tests for the pre-copy live-migration model (Fig. 5b-d)."""
+
+import numpy as np
+import pytest
+
+from repro.testbed import MigrationOutcome, PreCopyMigrationModel
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"ram_mb": 0},
+            {"working_set_fraction": 1.5},
+            {"working_set_jitter": 0.9},
+            {"link_bps": 0},
+            {"base_efficiency": 1.5},
+            {"contention": -1},
+            {"dirty_rate_mbps_range": (0, 5)},
+            {"dirty_rate_mbps_range": (8, 2)},
+            {"stop_copy_threshold_mb": 0},
+            {"max_rounds": 0},
+            {"downtime_floor_ms": -1},
+        ],
+    )
+    def test_invalid_params_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PreCopyMigrationModel(**kwargs)
+
+    def test_outcome_validation(self):
+        with pytest.raises(ValueError):
+            MigrationOutcome(
+                migrated_bytes_mb=-1, total_time_s=1, downtime_ms=1,
+                precopy_rounds=1, background_load=0,
+            )
+
+
+class TestRateModel:
+    def test_idle_rate(self):
+        model = PreCopyMigrationModel(base_efficiency=0.35, link_bps=1e9)
+        assert model.effective_rate_mbps(0.0) == pytest.approx(43.75)
+
+    def test_rate_decreases_with_load(self):
+        model = PreCopyMigrationModel()
+        rates = [model.effective_rate_mbps(l) for l in (0, 0.25, 0.5, 1.0)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_sublinear_degradation(self):
+        """Full background load must not starve the migration stream."""
+        model = PreCopyMigrationModel()
+        assert model.effective_rate_mbps(1.0) > 0.2 * model.effective_rate_mbps(0.0)
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(ValueError):
+            PreCopyMigrationModel().effective_rate_mbps(1.5)
+
+
+class TestFig5bTargets:
+    def test_migrated_bytes_distribution(self):
+        model = PreCopyMigrationModel(seed=7)
+        outcomes = model.sample_migrations(300)
+        mb = np.array([o.migrated_bytes_mb for o in outcomes])
+        assert 115 < mb.mean() < 140          # paper: ~127 MB
+        assert 5 < mb.std() < 20              # paper: ~11 MB
+        assert mb.max() < 165                 # paper: "all below 150MB"
+        assert np.all(mb > 0)
+
+    def test_migrated_bytes_below_ram_plus_dirtying(self):
+        model = PreCopyMigrationModel(seed=1)
+        for outcome in model.sample_migrations(100):
+            assert outcome.migrated_bytes_mb < 196 * 1.2
+
+
+class TestFig5cdTargets:
+    def test_total_time_growth_is_sublinear(self):
+        model = PreCopyMigrationModel(seed=3)
+        times = []
+        for load in (0.0, 0.5, 1.0):
+            outcomes = model.sample_migrations(40, background_load=load)
+            times.append(np.mean([o.total_time_s for o in outcomes]))
+        assert 2.0 < times[0] < 4.0           # paper: 2.94 s
+        assert 7.0 < times[2] < 13.0          # paper: 9.34 s
+        # Sub-linear: doubling the load from 0.5 to 1.0 must not double time.
+        assert times[2] < 2 * times[1]
+
+    def test_downtime_order_of_magnitude_smaller(self):
+        model = PreCopyMigrationModel(seed=3)
+        for load in (0.0, 1.0):
+            outcomes = model.sample_migrations(40, background_load=load)
+            for o in outcomes:
+                assert o.downtime_ms / 1e3 < o.total_time_s / 10
+
+    def test_downtime_below_50ms_at_full_load(self):
+        model = PreCopyMigrationModel(seed=3)
+        outcomes = model.sample_migrations(60, background_load=1.0)
+        assert max(o.downtime_ms for o in outcomes) < 50
+
+    def test_downtime_increases_with_load(self):
+        model = PreCopyMigrationModel(seed=9)
+        idle = np.mean([o.downtime_ms for o in model.sample_migrations(50, 0.0)])
+        busy = np.mean([o.downtime_ms for o in model.sample_migrations(50, 1.0)])
+        assert busy > idle
+
+
+class TestMechanics:
+    def test_deterministic_with_seed(self):
+        a = PreCopyMigrationModel(seed=5).sample_migrations(10)
+        b = PreCopyMigrationModel(seed=5).sample_migrations(10)
+        assert a == b
+
+    def test_explicit_dirty_rate(self):
+        model = PreCopyMigrationModel(seed=5)
+        slow = model.migrate(dirty_rate_mbps=1.0)
+        fast = model.migrate(dirty_rate_mbps=7.9)
+        assert fast.precopy_rounds >= slow.precopy_rounds
+
+    def test_invalid_dirty_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PreCopyMigrationModel().migrate(dirty_rate_mbps=0)
+
+    def test_non_converging_guest_terminates(self):
+        model = PreCopyMigrationModel(seed=2)
+        outcome = model.migrate(background_load=1.0, dirty_rate_mbps=500.0)
+        assert outcome.total_time_s > 0
+        # Forced stop-and-copy after the first round: big downtime allowed.
+        assert outcome.precopy_rounds <= 2
+
+    def test_sweep_shape(self):
+        model = PreCopyMigrationModel(seed=1)
+        sweep = model.sweep_background_load([0.0, 0.5], migrations_per_point=3)
+        assert len(sweep) == 2 and all(len(s) == 3 for s in sweep)
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ValueError):
+            PreCopyMigrationModel().sample_migrations(0)

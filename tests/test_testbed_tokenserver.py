@@ -1,0 +1,113 @@
+"""Tests for token servers and control-plane message encodings."""
+
+import pytest
+
+from repro.core import Token
+from repro.testbed import (
+    CapacityRequest,
+    CapacityResponse,
+    LocationRequest,
+    LocationResponse,
+    TokenNetwork,
+    TokenServer,
+)
+
+
+class TestMessageEncodings:
+    def test_location_request_roundtrip(self):
+        msg = LocationRequest(
+            requester_dom0_ip="172.16.0.1", target_vm_ip="10.0.0.7"
+        )
+        assert LocationRequest.decode(msg.encode()) == msg
+        assert len(msg.encode()) == 8
+
+    def test_location_response_roundtrip(self):
+        msg = LocationResponse(vm_ip="10.0.0.7", dom0_ip="172.16.3.2")
+        assert LocationResponse.decode(msg.encode()) == msg
+
+    def test_capacity_request_roundtrip(self):
+        msg = CapacityRequest(requester_dom0_ip="172.16.0.1", ram_mb=196)
+        assert CapacityRequest.decode(msg.encode()) == msg
+
+    def test_capacity_response_roundtrip(self):
+        msg = CapacityResponse(
+            responder_dom0_ip="172.16.0.9", free_slots=3, free_ram_mb=1024
+        )
+        assert CapacityResponse.decode(msg.encode()) == msg
+
+    def test_negative_capacity_clamped_on_wire(self):
+        msg = CapacityResponse(
+            responder_dom0_ip="172.16.0.9", free_slots=-1, free_ram_mb=-5
+        )
+        decoded = CapacityResponse.decode(msg.encode())
+        assert decoded.free_slots == 0 and decoded.free_ram_mb == 0
+
+    @pytest.mark.parametrize(
+        "cls", [LocationRequest, LocationResponse, CapacityRequest, CapacityResponse]
+    )
+    def test_truncated_payload_rejected(self, cls):
+        with pytest.raises(ValueError):
+            cls.decode(b"\x00\x01")
+
+
+class TestTokenServer:
+    def test_receive_decodes_and_counts(self):
+        seen = []
+        server = TokenServer("172.16.0.1", on_token=lambda t: seen.append(t) or None)
+        token = Token([1, 2, 3])
+        result = server.receive(token.encode())
+        assert result is None
+        assert server.tokens_received == 1
+        assert server.bytes_received == token.wire_size
+        assert seen[0].vm_ids == (1, 2, 3)
+
+
+class TestTokenNetwork:
+    def test_register_and_send(self):
+        network = TokenNetwork()
+        received = []
+        network.register(
+            TokenServer("172.16.0.1", on_token=lambda t: received.append(t) or None)
+        )
+        network.send_token(Token([5]), "172.16.0.1")
+        assert len(received) == 1
+        assert network.messages_sent == 1
+        assert network.bytes_sent == 5
+
+    def test_duplicate_registration_rejected(self):
+        network = TokenNetwork()
+        network.register(TokenServer("172.16.0.1", on_token=lambda t: None))
+        with pytest.raises(ValueError):
+            network.register(TokenServer("172.16.0.1", on_token=lambda t: None))
+
+    def test_unknown_destination_rejected(self):
+        with pytest.raises(KeyError):
+            TokenNetwork().send_token(Token([1]), "172.16.9.9")
+
+    def test_circulate_follows_forwarding(self):
+        network = TokenNetwork()
+        trace = []
+
+        def handler_for(ip, forward_to):
+            def handler(token):
+                trace.append(ip)
+                return forward_to
+
+            return handler
+
+        network.register(TokenServer("172.16.0.1", handler_for("172.16.0.1", "172.16.0.2")))
+        network.register(TokenServer("172.16.0.2", handler_for("172.16.0.2", "172.16.0.1")))
+        hops = network.circulate(Token([1, 2]), "172.16.0.1", max_hops=5)
+        assert hops == 5
+        assert trace == ["172.16.0.1", "172.16.0.2"] * 2 + ["172.16.0.1"]
+
+    def test_circulate_stops_on_hold(self):
+        network = TokenNetwork()
+        network.register(TokenServer("172.16.0.1", on_token=lambda t: None))
+        hops = network.circulate(Token([1]), "172.16.0.1", max_hops=10)
+        assert hops == 1
+
+    def test_circulate_bad_hops_rejected(self):
+        network = TokenNetwork()
+        with pytest.raises(ValueError):
+            network.circulate(Token([1]), "172.16.0.1", max_hops=0)

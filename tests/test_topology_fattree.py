@@ -1,0 +1,90 @@
+"""Tests for the k-ary fat-tree topology."""
+
+import pytest
+
+from repro.topology import FatTree
+
+
+class TestConstruction:
+    def test_k4_dimensions(self, small_fattree):
+        assert small_fattree.n_hosts == 16
+        assert small_fattree.n_racks == 8
+        assert small_fattree.n_pods == 4
+        assert small_fattree.n_cores == 4
+
+    def test_paper_scale(self):
+        topo = FatTree.paper_scale()
+        assert topo.k == 16
+        assert topo.n_hosts == 1024
+
+    @pytest.mark.parametrize("k", [0, 1, 3, 5])
+    def test_invalid_arity_rejected(self, k):
+        with pytest.raises(ValueError, match="even"):
+            FatTree(k=k)
+
+    def test_link_counts_k4(self, small_fattree):
+        # k^3/4 host links; per pod (k/2)^2 edge-agg links; (k/2)^2 * k core links.
+        assert len(small_fattree.links_at_level(1)) == 16
+        assert len(small_fattree.links_at_level(2)) == 16
+        assert len(small_fattree.links_at_level(3)) == 16
+
+    def test_homogeneous_capacity(self, small_fattree):
+        caps = {link.capacity_bps for link in small_fattree.links.values()}
+        assert caps == {1e9}
+
+
+class TestLevels:
+    def test_same_edge_level_one(self, small_fattree):
+        assert small_fattree.level_between(0, 1) == 1
+
+    def test_same_pod_level_two(self, small_fattree):
+        # Hosts 0 and 2 are in edge switches 0 and 1 of pod 0.
+        assert small_fattree.level_between(0, 2) == 2
+
+    def test_cross_pod_level_three(self, small_fattree):
+        assert small_fattree.level_between(0, 4) == 3
+
+    def test_rack_and_pod_mapping(self, small_fattree):
+        assert small_fattree.rack_of(0) == 0
+        assert small_fattree.rack_of(2) == 1
+        assert small_fattree.pod_of(3) == 0
+        assert small_fattree.pod_of(4) == 1
+
+
+class TestPaths:
+    def test_level1_path(self, small_fattree):
+        path = small_fattree.path_links(0, 1)
+        assert len(path) == 2
+
+    def test_level2_path(self, small_fattree):
+        path = small_fattree.path_links(0, 2)
+        levels = sorted(small_fattree.link_level(link) for link in path)
+        assert levels == [1, 1, 2, 2]
+
+    def test_level3_path(self, small_fattree):
+        path = small_fattree.path_links(0, 15)
+        levels = sorted(small_fattree.link_level(link) for link in path)
+        assert levels == [1, 1, 2, 2, 3, 3]
+
+    def test_ecmp_uses_multiple_cores(self, small_fattree):
+        cores = set()
+        for key in range(64):
+            for link in small_fattree.path_links(0, 15, flow_key=key):
+                for node in link:
+                    if node[0] == "core":
+                        cores.add(node[1])
+        assert len(cores) >= 2
+
+    def test_path_links_exist(self, small_fattree):
+        for key in range(8):
+            for link in small_fattree.path_links(0, 13, key):
+                assert link in small_fattree.links
+
+    def test_deterministic_for_flow_key(self, small_fattree):
+        assert small_fattree.path_links(3, 12, 9) == small_fattree.path_links(3, 12, 9)
+
+    def test_index_helpers_bounds(self, small_fattree):
+        with pytest.raises(ValueError):
+            small_fattree.agg_index(4, 0)
+        with pytest.raises(ValueError):
+            small_fattree.core_index(0, 2)

@@ -1,0 +1,50 @@
+"""Tests for link primitives."""
+
+import pytest
+
+from repro.topology.links import Link, canonical_link_id
+
+
+class TestCanonicalLinkId:
+    def test_orders_endpoints(self):
+        a, b = ("tor", 1), ("host", 5)
+        assert canonical_link_id(a, b) == canonical_link_id(b, a)
+
+    def test_sorted_order(self):
+        link = canonical_link_id(("tor", 1), ("agg", 0))
+        assert link == (("agg", 0), ("tor", 1))
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_link_id(("host", 0), ("host", 0))
+
+
+class TestLink:
+    def test_valid_construction(self):
+        link = Link(
+            link_id=canonical_link_id(("host", 0), ("tor", 0)),
+            level=1,
+            capacity_bps=1e9,
+        )
+        assert link.level == 1
+        assert set(link.endpoints) == {("host", 0), ("tor", 0)}
+
+    def test_zero_level_rejected(self):
+        with pytest.raises(ValueError, match="level"):
+            Link(
+                link_id=canonical_link_id(("host", 0), ("tor", 0)),
+                level=0,
+                capacity_bps=1e9,
+            )
+
+    def test_non_positive_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            Link(
+                link_id=canonical_link_id(("host", 0), ("tor", 0)),
+                level=1,
+                capacity_bps=0,
+            )
+
+    def test_non_canonical_id_rejected(self):
+        with pytest.raises(ValueError, match="canonical"):
+            Link(link_id=(("tor", 0), ("host", 0)), level=1, capacity_bps=1e9)

@@ -1,0 +1,111 @@
+"""Property-based tests of topology structure.
+
+The key structural fact both topologies must satisfy: communication levels
+form an **ultrametric** — ``level(a, c) <= max(level(a, b), level(b, c))``
+for any three hosts.  This is what makes hierarchical localization sound:
+moving towards one peer can never push another peer *above* the max of the
+current levels.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology import CanonicalTree, FatTree, ReferenceRouter
+
+
+@st.composite
+def canonical_params(draw):
+    tors_per_agg = draw(st.sampled_from([2, 4]))
+    n_groups = draw(st.integers(1, 3))
+    return dict(
+        n_racks=tors_per_agg * n_groups,
+        hosts_per_rack=draw(st.integers(1, 4)),
+        tors_per_agg=tors_per_agg,
+        n_cores=draw(st.integers(1, 3)),
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(canonical_params(), st.data())
+def test_canonical_levels_are_ultrametric(params, data):
+    topo = CanonicalTree(**params)
+    n = topo.n_hosts
+    a = data.draw(st.integers(0, n - 1))
+    b = data.draw(st.integers(0, n - 1))
+    c = data.draw(st.integers(0, n - 1))
+    assert topo.level_between(a, c) <= max(
+        topo.level_between(a, b), topo.level_between(b, c)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sampled_from([2, 4, 6]), st.data())
+def test_fattree_levels_are_ultrametric(k, data):
+    topo = FatTree(k=k)
+    n = topo.n_hosts
+    a = data.draw(st.integers(0, n - 1))
+    b = data.draw(st.integers(0, n - 1))
+    c = data.draw(st.integers(0, n - 1))
+    assert topo.level_between(a, c) <= max(
+        topo.level_between(a, b), topo.level_between(b, c)
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(canonical_params(), st.data())
+def test_canonical_paths_always_valid(params, data):
+    topo = CanonicalTree(**params)
+    router = ReferenceRouter(topo)
+    n = topo.n_hosts
+    a = data.draw(st.integers(0, n - 1))
+    b = data.draw(st.integers(0, n - 1))
+    key = data.draw(st.integers(0, 7))
+    assert router.validate_path(a, b, key)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.sampled_from([2, 4]), st.data())
+def test_fattree_paths_always_valid(k, data):
+    topo = FatTree(k=k)
+    router = ReferenceRouter(topo)
+    n = topo.n_hosts
+    a = data.draw(st.integers(0, n - 1))
+    b = data.draw(st.integers(0, n - 1))
+    key = data.draw(st.integers(0, 63))
+    assert router.validate_path(a, b, key)
+
+
+class TestPaperScaleConstruction:
+    """The paper-scale instances must build correctly (and fast)."""
+
+    def test_canonical_paper_scale(self):
+        topo = CanonicalTree.paper_scale()
+        assert topo.n_hosts == 2560
+        assert topo.n_racks == 128
+        assert len(topo.links_at_level(1)) == 2560
+        assert len(topo.links_at_level(2)) == 128
+        assert len(topo.links_at_level(3)) == topo.n_aggs * topo.n_cores
+        # 16 VMs per host -> 40,960 VM slots, as in the paper's simulations.
+        assert topo.n_hosts * 16 == 40960
+
+    def test_fattree_paper_scale(self):
+        topo = FatTree.paper_scale()
+        assert topo.k == 16
+        assert topo.n_hosts == 1024
+        assert topo.n_racks == 128
+        assert topo.n_cores == 64
+        assert len(topo.links_at_level(1)) == 1024
+        assert len(topo.links_at_level(2)) == 1024
+        assert len(topo.links_at_level(3)) == 1024
+
+    def test_paper_scale_level_queries_are_fast(self):
+        import time
+
+        topo = CanonicalTree.paper_scale()
+        t0 = time.perf_counter()
+        total = 0
+        for a in range(0, topo.n_hosts, 17):
+            total += topo.level_between(a, (a * 7 + 13) % topo.n_hosts)
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 0.5  # O(1) arithmetic, not graph search
+        assert total > 0

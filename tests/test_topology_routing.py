@@ -1,0 +1,63 @@
+"""Cross-validation of analytic levels/paths against networkx shortest paths.
+
+These tests pin the O(1) coordinate arithmetic of both topologies to the
+actual link graph: `level = hops / 2` must hold link-for-link (paper §II).
+"""
+
+import itertools
+
+import pytest
+
+from repro.topology import CanonicalTree, FatTree, ReferenceRouter
+
+
+@pytest.fixture(scope="module")
+def tree_router():
+    topo = CanonicalTree(n_racks=4, hosts_per_rack=3, tors_per_agg=2, n_cores=2)
+    return topo, ReferenceRouter(topo)
+
+
+@pytest.fixture(scope="module")
+def fattree_router():
+    topo = FatTree(k=4)
+    return topo, ReferenceRouter(topo)
+
+
+class TestCanonicalTreeAgainstReference:
+    def test_connected(self, tree_router):
+        _, router = tree_router
+        assert router.is_connected()
+
+    def test_levels_match_everywhere(self, tree_router):
+        topo, router = tree_router
+        for a, b in itertools.combinations(range(topo.n_hosts), 2):
+            assert topo.level_between(a, b) == router.level_between(a, b), (a, b)
+
+    def test_paths_are_valid_shortest_paths(self, tree_router):
+        topo, router = tree_router
+        for a, b in itertools.combinations(range(topo.n_hosts), 2):
+            for key in (0, 1):
+                assert router.validate_path(a, b, key), (a, b, key)
+
+
+class TestFatTreeAgainstReference:
+    def test_connected(self, fattree_router):
+        _, router = fattree_router
+        assert router.is_connected()
+
+    def test_levels_match_everywhere(self, fattree_router):
+        topo, router = fattree_router
+        for a, b in itertools.combinations(range(topo.n_hosts), 2):
+            assert topo.level_between(a, b) == router.level_between(a, b), (a, b)
+
+    def test_paths_are_valid_shortest_paths(self, fattree_router):
+        topo, router = fattree_router
+        for a, b in itertools.combinations(range(topo.n_hosts), 2):
+            for key in (0, 7):
+                assert router.validate_path(a, b, key), (a, b, key)
+
+    def test_reference_path_links_exist(self, fattree_router):
+        topo, router = fattree_router
+        path = router.shortest_path_links(0, topo.n_hosts - 1)
+        for link in path:
+            assert link in topo.links

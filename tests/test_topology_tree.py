@@ -1,0 +1,133 @@
+"""Tests for the canonical tree topology."""
+
+import pytest
+
+from repro.topology import CanonicalTree
+
+
+class TestConstruction:
+    def test_dimensions(self, small_tree):
+        assert small_tree.n_hosts == 32
+        assert small_tree.n_racks == 8
+        assert small_tree.n_aggs == 2
+        assert small_tree.n_cores == 2
+
+    def test_paper_scale(self):
+        topo = CanonicalTree.paper_scale()
+        assert topo.n_hosts == 2560
+        assert topo.n_racks == 128
+        assert topo.hosts_per_rack == 20
+
+    def test_indivisible_racks_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            CanonicalTree(n_racks=5, hosts_per_rack=2, tors_per_agg=4)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_racks": 0},
+            {"hosts_per_rack": 0},
+            {"tors_per_agg": 0},
+            {"n_cores": 0},
+        ],
+    )
+    def test_non_positive_params_rejected(self, kwargs):
+        base = dict(n_racks=4, hosts_per_rack=2, tors_per_agg=2, n_cores=1)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            CanonicalTree(**base)
+
+    def test_link_counts(self, small_tree):
+        # 32 host links + 8 ToR uplinks + 2 aggs x 2 cores.
+        assert len(small_tree.links_at_level(1)) == 32
+        assert len(small_tree.links_at_level(2)) == 8
+        assert len(small_tree.links_at_level(3)) == 4
+
+    def test_describe_mentions_counts(self, small_tree):
+        text = small_tree.describe()
+        assert "hosts=32" in text and "racks=8" in text
+
+
+class TestLevels:
+    def test_same_host_level_zero(self, small_tree):
+        assert small_tree.level_between(3, 3) == 0
+
+    def test_same_rack_level_one(self, small_tree):
+        assert small_tree.level_between(0, 3) == 1
+
+    def test_same_agg_level_two(self, small_tree):
+        # Racks 0..3 share agg 0: hosts 0 and 4 are racks 0 and 1.
+        assert small_tree.level_between(0, 4) == 2
+
+    def test_cross_agg_level_three(self, small_tree):
+        # Host 0 (rack 0, agg 0) to host 16 (rack 4, agg 1).
+        assert small_tree.level_between(0, 16) == 3
+
+    def test_hops_is_twice_level(self, small_tree):
+        for a, b in [(0, 0), (0, 3), (0, 4), (0, 16)]:
+            assert small_tree.hops_between(a, b) == 2 * small_tree.level_between(a, b)
+
+    def test_symmetry(self, small_tree):
+        for a, b in [(0, 3), (0, 4), (5, 31)]:
+            assert small_tree.level_between(a, b) == small_tree.level_between(b, a)
+
+    def test_out_of_range_host_rejected(self, small_tree):
+        with pytest.raises(ValueError):
+            small_tree.level_between(0, 32)
+
+
+class TestPaths:
+    def test_colocated_path_empty(self, small_tree):
+        assert small_tree.path_links(7, 7) == ()
+
+    def test_level1_path_two_links(self, small_tree):
+        path = small_tree.path_links(0, 1)
+        assert len(path) == 2
+        assert all(small_tree.link_level(link) == 1 for link in path)
+
+    def test_level2_path_four_links(self, small_tree):
+        path = small_tree.path_links(0, 4)
+        levels = sorted(small_tree.link_level(link) for link in path)
+        assert levels == [1, 1, 2, 2]
+
+    def test_level3_path_six_links(self, small_tree):
+        path = small_tree.path_links(0, 16)
+        levels = sorted(small_tree.link_level(link) for link in path)
+        assert levels == [1, 1, 2, 2, 3, 3]
+
+    def test_ecmp_spreads_over_cores(self, small_tree):
+        cores_used = set()
+        for key in range(8):
+            path = small_tree.path_links(0, 16, flow_key=key)
+            for link in path:
+                for node in link:
+                    if node[0] == "core":
+                        cores_used.add(node[1])
+        assert len(cores_used) == small_tree.n_cores
+
+    def test_same_flow_key_same_path(self, small_tree):
+        assert small_tree.path_links(0, 16, 5) == small_tree.path_links(0, 16, 5)
+
+    def test_paths_use_registered_links(self, small_tree):
+        for key in range(4):
+            for link in small_tree.path_links(1, 30, key):
+                assert link in small_tree.links
+
+
+class TestOversubscription:
+    def test_level2_ratio(self, small_tree):
+        # 4 hosts x 1 Gb/s over one 10 Gb/s uplink.
+        assert small_tree.oversubscription_ratio(2) == pytest.approx(0.4)
+
+    def test_level3_ratio(self, small_tree):
+        # 4 ToR uplinks x 10 Gb/s over 2 cores x 10 Gb/s.
+        assert small_tree.oversubscription_ratio(3) == pytest.approx(2.0)
+
+    def test_level1_rejected(self, small_tree):
+        with pytest.raises(ValueError):
+            small_tree.oversubscription_ratio(1)
+
+    def test_paper_scale_is_oversubscribed_at_core(self):
+        topo = CanonicalTree.paper_scale()
+        assert topo.oversubscription_ratio(2) > 1
+        assert topo.oversubscription_ratio(3) > 1

@@ -1,0 +1,94 @@
+"""Tests for the flow model and the elephant/mice mixture."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.flows import (
+    Flow,
+    FlowSizeDistribution,
+    byte_share_of_elephants,
+    flows_to_matrix,
+    generate_flows,
+)
+from repro.util.rng import make_rng
+
+
+class TestFlow:
+    def test_rate_and_end_time(self):
+        flow = Flow(1, 2, size_bytes=1000, start_time=5.0, duration_s=2.0)
+        assert flow.rate_bps == 500
+        assert flow.end_time == 7.0
+
+    def test_elephant_threshold(self):
+        assert Flow(1, 2, size_bytes=11 * 2**20).is_elephant
+        assert not Flow(1, 2, size_bytes=2**20).is_elephant
+
+    def test_self_flow_rejected(self):
+        with pytest.raises(ValueError):
+            Flow(1, 1, size_bytes=10)
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Flow(1, 2, size_bytes=10, duration_s=0)
+
+
+class TestFlowSizeDistribution:
+    def test_long_tail_shape(self):
+        dist = FlowSizeDistribution()
+        sizes = dist.sample(make_rng(1), 20000)
+        mice = (sizes < 1e6).mean()
+        assert mice > 0.7  # mice dominate counts
+        heavy_bytes = sizes[sizes > 10 * 2**20].sum()
+        assert heavy_bytes / sizes.sum() > 0.5  # elephants dominate bytes
+
+    def test_sample_count(self):
+        dist = FlowSizeDistribution()
+        assert dist.sample(make_rng(0), 7).shape == (7,)
+        assert dist.sample(make_rng(0), 0).shape == (0,)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            FlowSizeDistribution(elephant_fraction=1.5)
+        with pytest.raises(ValueError):
+            FlowSizeDistribution(alpha=0)
+
+
+class TestGenerateFlows:
+    def test_population_size(self):
+        flows = generate_flows([(1, 2), (3, 4)], flows_per_pair=5, window_s=10, seed=2)
+        assert len(flows) == 10
+
+    def test_start_times_within_window(self):
+        flows = generate_flows([(1, 2)], flows_per_pair=50, window_s=10, seed=2)
+        assert all(0 <= f.start_time < 10 for f in flows)
+
+    def test_reproducible(self):
+        a = generate_flows([(1, 2)], 10, 10, seed=5)
+        b = generate_flows([(1, 2)], 10, 10, seed=5)
+        assert a == b
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ValueError):
+            generate_flows([(1, 2)], flows_per_pair=0, window_s=10)
+        with pytest.raises(ValueError):
+            generate_flows([(1, 2)], flows_per_pair=1, window_s=0)
+
+
+class TestFlowsToMatrix:
+    def test_aggregation(self):
+        flows = [
+            Flow(1, 2, size_bytes=1000),
+            Flow(2, 1, size_bytes=500),
+            Flow(3, 4, size_bytes=100),
+        ]
+        tm = flows_to_matrix(flows, window_s=10)
+        assert tm.rate(1, 2) == 150.0
+        assert tm.rate(3, 4) == 10.0
+
+    def test_byte_share_of_elephants(self):
+        flows = [
+            Flow(1, 2, size_bytes=100 * 2**20),
+            Flow(3, 4, size_bytes=1000),
+        ]
+        assert byte_share_of_elephants(flows) > 0.99
+        assert byte_share_of_elephants([]) == 0.0

@@ -1,0 +1,100 @@
+"""Tests for the synthetic DC traffic generator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, PlacementManager, ServerCapacity
+from repro.cluster.placement import place_round_robin
+from repro.topology import CanonicalTree
+from repro.traffic import DCTrafficGenerator, DENSE, MEDIUM, SPARSE
+from repro.traffic.generator import TrafficPattern, pattern_by_name
+from repro.util.stats import gini
+
+
+@pytest.fixture(scope="module")
+def vm_ids():
+    return list(range(1, 201))
+
+
+class TestPatterns:
+    def test_presets_monotone_load(self):
+        assert SPARSE.load_scale < MEDIUM.load_scale < DENSE.load_scale
+
+    def test_scaled_copies(self):
+        scaled = SPARSE.scaled(10)
+        assert scaled.load_scale == 10 * SPARSE.load_scale
+        assert "x10" in scaled.name
+
+    def test_lookup_by_name(self):
+        assert pattern_by_name("sparse") is SPARSE
+        with pytest.raises(ValueError):
+            pattern_by_name("nope")
+
+    def test_invalid_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficPattern(name="bad", intra_group_prob=1.5)
+
+
+class TestGeneration:
+    def test_reproducible(self, vm_ids):
+        a = DCTrafficGenerator(vm_ids, SPARSE, seed=3).generate()
+        b = DCTrafficGenerator(vm_ids, SPARSE, seed=3).generate()
+        assert sorted(a.pairs()) == sorted(b.pairs())
+
+    def test_different_seeds_differ(self, vm_ids):
+        a = DCTrafficGenerator(vm_ids, SPARSE, seed=1).generate()
+        b = DCTrafficGenerator(vm_ids, SPARSE, seed=2).generate()
+        assert sorted(a.pairs()) != sorted(b.pairs())
+
+    def test_all_endpoints_known(self, vm_ids):
+        tm = DCTrafficGenerator(vm_ids, SPARSE, seed=3).generate()
+        known = set(vm_ids)
+        assert tm.vms_with_traffic <= known
+
+    def test_groups_cover_population(self, vm_ids):
+        gen = DCTrafficGenerator(vm_ids, SPARSE, seed=3)
+        members = [vm for group in gen.groups for vm in group]
+        assert sorted(members) == sorted(vm_ids)
+        assert all(len(group) >= 2 for group in gen.groups)
+
+    def test_hot_groups_subset(self, vm_ids):
+        gen = DCTrafficGenerator(vm_ids, MEDIUM, seed=3)
+        group_sets = [frozenset(g) for g in gen.groups]
+        for hot in gen.hot_groups:
+            assert frozenset(hot) in group_sets
+
+    def test_density_increases_with_preset(self, vm_ids):
+        sparse = DCTrafficGenerator(vm_ids, SPARSE, seed=5).generate()
+        dense = DCTrafficGenerator(vm_ids, DENSE, seed=5).generate()
+        assert dense.n_pairs > sparse.n_pairs
+        assert dense.total_rate() > 10 * sparse.total_rate()
+
+    def test_too_few_vms_rejected(self):
+        with pytest.raises(ValueError):
+            DCTrafficGenerator([1], SPARSE)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicates"):
+            DCTrafficGenerator([1, 1, 2], SPARSE)
+
+
+class TestRealism:
+    """The generated TMs must exhibit the published DC characteristics."""
+
+    def test_tor_matrix_is_sparse_with_hotspots(self):
+        topo = CanonicalTree(n_racks=16, hosts_per_rack=4, tors_per_agg=4, n_cores=2)
+        cluster = Cluster(topo, ServerCapacity(max_vms=8))
+        manager = PlacementManager(cluster)
+        vms = manager.create_vms(256, ram_mb=128, cpu=0.1)
+        allocation = place_round_robin(cluster, vms)
+        tm = DCTrafficGenerator([v.vm_id for v in vms], SPARSE, seed=7).generate()
+        tor = tm.tor_matrix(allocation)
+        off_diagonal = tor[~np.eye(len(tor), dtype=bool)]
+        # Sparse: the majority of rack pairs exchange little-to-nothing,
+        # while a few hotspots dominate (high Gini skew).
+        assert gini(off_diagonal) > 0.5
+
+    def test_vm_pair_density_is_low(self, vm_ids):
+        tm = DCTrafficGenerator(vm_ids, SPARSE, seed=7).generate()
+        n = len(vm_ids)
+        assert tm.n_pairs < 0.1 * n * (n - 1) / 2

@@ -1,0 +1,151 @@
+"""Tests for the sparse symmetric traffic matrix."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster import Cluster, ServerCapacity, VM
+from repro.cluster.placement import place_packed
+from repro.topology import CanonicalTree
+from repro.traffic import TrafficMatrix
+
+
+class TestRates:
+    def test_symmetric(self):
+        tm = TrafficMatrix()
+        tm.set_rate(1, 2, 100.0)
+        assert tm.rate(1, 2) == 100.0
+        assert tm.rate(2, 1) == 100.0
+
+    def test_missing_pair_zero(self):
+        assert TrafficMatrix().rate(1, 2) == 0.0
+
+    def test_add_accumulates(self):
+        tm = TrafficMatrix()
+        tm.add_rate(1, 2, 10)
+        tm.add_rate(2, 1, 5)
+        assert tm.rate(1, 2) == 15
+
+    def test_zero_rate_removes_pair(self):
+        tm = TrafficMatrix()
+        tm.set_rate(1, 2, 10)
+        tm.set_rate(1, 2, 0.0)
+        assert tm.n_pairs == 0
+        assert tm.peers_of(1) == frozenset()
+
+    def test_self_traffic_rejected(self):
+        with pytest.raises(ValueError, match="self-traffic"):
+            TrafficMatrix().set_rate(3, 3, 1.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficMatrix().set_rate(1, 2, -1.0)
+
+
+class TestPeers:
+    def test_peers_of(self):
+        tm = TrafficMatrix()
+        tm.set_rate(1, 2, 1)
+        tm.set_rate(1, 3, 2)
+        assert tm.peers_of(1) == frozenset({2, 3})
+        assert tm.peers_of(2) == frozenset({1})
+        assert tm.degree(1) == 2
+
+    def test_peer_rates_snapshot(self):
+        tm = TrafficMatrix()
+        tm.set_rate(1, 2, 5)
+        rates = tm.peer_rates(1)
+        rates[2] = 999  # mutating the snapshot must not affect the matrix
+        assert tm.rate(1, 2) == 5
+
+    def test_vm_load(self):
+        tm = TrafficMatrix()
+        tm.set_rate(1, 2, 5)
+        tm.set_rate(1, 3, 7)
+        assert tm.vm_load(1) == 12
+        assert tm.vm_load(2) == 5
+
+
+class TestAggregates:
+    def test_pairs_iterates_once(self):
+        tm = TrafficMatrix()
+        tm.set_rate(1, 2, 5)
+        tm.set_rate(3, 2, 7)
+        pairs = sorted(tm.pairs())
+        assert pairs == [(1, 2, 5.0), (2, 3, 7.0)]
+        assert tm.n_pairs == 2
+        assert len(tm) == 2
+
+    def test_total_rate(self):
+        tm = TrafficMatrix()
+        tm.set_rate(1, 2, 5)
+        tm.set_rate(3, 4, 7)
+        assert tm.total_rate() == 12
+
+    def test_scale(self):
+        tm = TrafficMatrix()
+        tm.set_rate(1, 2, 5)
+        scaled = tm.scale(10)
+        assert scaled.rate(1, 2) == 50
+        assert tm.rate(1, 2) == 5  # original untouched
+
+    def test_copy_independent(self):
+        tm = TrafficMatrix()
+        tm.set_rate(1, 2, 5)
+        clone = tm.copy()
+        clone.set_rate(1, 2, 9)
+        assert tm.rate(1, 2) == 5
+
+    def test_from_pairs(self):
+        tm = TrafficMatrix.from_pairs(iter([(1, 2, 5.0), (1, 2, 3.0)]))
+        assert tm.rate(1, 2) == 8.0
+
+
+class TestTorAggregation:
+    def test_tor_matrix_shape_and_content(self):
+        topo = CanonicalTree(n_racks=2, hosts_per_rack=2, tors_per_agg=2, n_cores=1)
+        cluster = Cluster(topo, ServerCapacity(max_vms=2))
+        vms = [VM(i, ram_mb=128, cpu=0.1) for i in range(1, 5)]
+        allocation = place_packed(cluster, vms)  # VMs 1,2 -> host0; 3,4 -> host1
+        tm = TrafficMatrix()
+        tm.set_rate(1, 3, 10)  # rack 0 internal (hosts 0 and 1)
+        tm.set_rate(1, 4, 5)
+        matrix = tm.tor_matrix(allocation)
+        assert matrix.shape == (2, 2)
+        assert matrix[0, 0] == 15  # both pairs land inside rack 0
+        assert matrix.sum() == 15
+
+    def test_cross_rack_is_symmetric(self):
+        topo = CanonicalTree(n_racks=2, hosts_per_rack=1, tors_per_agg=2, n_cores=1)
+        cluster = Cluster(topo, ServerCapacity(max_vms=2))
+        vms = [VM(1, ram_mb=128, cpu=0.1), VM(2, ram_mb=128, cpu=0.1)]
+        allocation = place_packed(cluster, vms)
+        allocation.migrate(2, 1)
+        tm = TrafficMatrix()
+        tm.set_rate(1, 2, 7)
+        matrix = tm.tor_matrix(allocation)
+        assert matrix[0, 1] == 7 and matrix[1, 0] == 7
+        assert matrix[0, 0] == 0
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 20),
+            st.integers(0, 20),
+            st.floats(0.001, 1e6),
+        ),
+        max_size=50,
+    )
+)
+def test_property_symmetry_and_totals(pairs):
+    tm = TrafficMatrix()
+    for u, v, rate in pairs:
+        if u != v:
+            tm.add_rate(u, v, rate)
+    # Symmetry everywhere.
+    for u, v, rate in tm.pairs():
+        assert tm.rate(v, u) == rate
+    # Total equals half the sum of per-VM loads.
+    per_vm = sum(tm.vm_load(u) for u in tm.vms_with_traffic)
+    assert per_vm == pytest.approx(2 * tm.total_rate())

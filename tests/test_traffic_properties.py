@@ -1,0 +1,56 @@
+"""Property-based tests of the traffic generator and placement strategies."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cluster import Cluster, ServerCapacity, VM
+from repro.cluster.placement import place_by_name
+from repro.topology import CanonicalTree
+from repro.traffic import DCTrafficGenerator
+from repro.traffic.generator import TrafficPattern
+
+
+@st.composite
+def pattern_strategy(draw):
+    return TrafficPattern(
+        name="fuzz",
+        mean_group_size=draw(st.floats(2.0, 12.0)),
+        intra_group_prob=draw(st.floats(0.1, 1.0)),
+        hot_service_fraction=draw(st.floats(0.0, 0.5)),
+        fan_in_prob=draw(st.floats(0.0, 0.5)),
+        background_pair_prob=draw(st.floats(0.0, 0.3)),
+        load_scale=draw(st.floats(0.1, 100.0)),
+    )
+
+
+@settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(pattern_strategy(), st.integers(0, 1000), st.integers(10, 80))
+def test_generator_output_is_well_formed(pattern, seed, n_vms):
+    vm_ids = list(range(1, n_vms + 1))
+    matrix = DCTrafficGenerator(vm_ids, pattern, seed=seed).generate()
+    known = set(vm_ids)
+    for u, v, rate in matrix.pairs():
+        assert u != v
+        assert u in known and v in known
+        assert rate > 0
+    # Symmetric adjacency.
+    for u in matrix.vms_with_traffic:
+        for peer in matrix.peers_of(u):
+            assert u in matrix.peers_of(peer)
+
+
+@settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(
+    st.sampled_from(["random", "packed", "round_robin", "striped"]),
+    st.integers(0, 100),
+    st.integers(2, 30),
+)
+def test_placements_are_always_feasible(strategy, seed, n_vms):
+    topo = CanonicalTree(n_racks=4, hosts_per_rack=2, tors_per_agg=2, n_cores=1)
+    cluster = Cluster(topo, ServerCapacity(max_vms=4, ram_mb=4096, cpu=8.0))
+    vms = [VM(i, ram_mb=256, cpu=0.25) for i in range(1, n_vms + 1)]
+    allocation = place_by_name(strategy, cluster, vms, seed=seed)
+    allocation.validate()
+    assert allocation.n_vms == n_vms
+    placed = {vm.vm_id for vm in allocation.vms()}
+    assert placed == {vm.vm_id for vm in vms}

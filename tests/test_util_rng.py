@@ -1,0 +1,58 @@
+"""Tests for deterministic RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng, spawn_rng, stable_hash32
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42).integers(0, 1000, 10)
+        b = make_rng(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 10**9, 10)
+        b = make_rng(2).integers(0, 10**9, 10)
+        assert not np.array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        rng = np.random.default_rng(7)
+        assert make_rng(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnRng:
+    def test_children_are_independent(self):
+        parent = make_rng(5)
+        a = spawn_rng(parent, 0)
+        parent2 = make_rng(5)
+        b = spawn_rng(parent2, 1)
+        assert not np.array_equal(
+            a.integers(0, 10**9, 10), b.integers(0, 10**9, 10)
+        )
+
+    def test_children_are_reproducible(self):
+        a = spawn_rng(make_rng(5), 3).integers(0, 10**9, 10)
+        b = spawn_rng(make_rng(5), 3).integers(0, 10**9, 10)
+        assert np.array_equal(a, b)
+
+    def test_negative_stream_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rng(make_rng(0), -1)
+
+
+class TestStableHash32:
+    def test_deterministic(self):
+        assert stable_hash32("flow-1") == stable_hash32("flow-1")
+
+    def test_distinct_inputs_distinct_hashes(self):
+        values = {stable_hash32(f"key{i}") for i in range(1000)}
+        assert len(values) == 1000
+
+    def test_fits_32_bits(self):
+        for text in ("", "a", "x" * 100):
+            assert 0 <= stable_hash32(text) < 2**32
