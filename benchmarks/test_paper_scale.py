@@ -1,0 +1,111 @@
+"""Paper-scale smoke benchmark for the fast-cost engine.
+
+Runs one full S-CORE iteration (|V| token holds) at the published scales —
+the 2560-host canonical tree (~35k VM slots) and the k=16 fat-tree — which
+the naive per-pair loops could not finish in CI budgets, and records
+wall-clock into ``BENCH_fastcost.json`` at the repo root so future PRs
+have a perf trajectory to compare against.
+
+The report schema (``repro-bench/fastcost/v1``) is one record per scenario:
+name, scale (hosts/VMs/pairs), build and iteration wall-clock seconds,
+holds, migrations and the start/end Eq. (2) costs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core.migration import MigrationEngine
+from repro.core.policies import policy_by_name
+from repro.core.scheduler import SCOREScheduler
+from repro.sim.experiment import ExperimentConfig, build_environment
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+REPORT_PATH = os.path.join(REPO_ROOT, "BENCH_fastcost.json")
+SCHEMA = "repro-bench/fastcost/v1"
+
+#: Hard ceiling from the acceptance criterion: one full S-CORE iteration
+#: at paper_canonical() scale must finish inside this on a CI runner.
+ITERATION_BUDGET_S = 60.0
+
+SCENARIOS = {
+    "paper_canonical_one_iteration": ExperimentConfig.paper_canonical(
+        policy="rr", n_iterations=1
+    ),
+    "paper_fattree_one_iteration": ExperimentConfig.paper_fattree(
+        policy="rr", n_iterations=1
+    ),
+}
+
+
+def _write_report(record: dict) -> None:
+    """Merge one scenario record into the JSON report (keyed by name)."""
+    report = {"schema": SCHEMA, "results": []}
+    if os.path.exists(REPORT_PATH):
+        try:
+            with open(REPORT_PATH) as fh:
+                existing = json.load(fh)
+            if existing.get("schema") == SCHEMA:
+                report = existing
+        except (OSError, ValueError):
+            pass
+    report["results"] = [
+        r for r in report.get("results", []) if r.get("name") != record["name"]
+    ] + [record]
+    report["results"].sort(key=lambda r: r["name"])
+    with open(REPORT_PATH, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+@pytest.mark.smoke
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_one_score_iteration_at_paper_scale(name, emit):
+    config = SCENARIOS[name]
+    t0 = time.perf_counter()
+    env = build_environment(config)
+    build_s = time.perf_counter() - t0
+
+    engine = MigrationEngine(env.cost_model)
+    scheduler = SCOREScheduler(
+        env.allocation,
+        env.traffic,
+        policy_by_name(config.policy, seed=config.seed),
+        engine,
+        use_fastcost=True,
+    )
+    t1 = time.perf_counter()
+    report = scheduler.run(n_iterations=1)
+    iteration_s = time.perf_counter() - t1
+
+    record = {
+        "name": name,
+        "topology": config.topology,
+        "n_hosts": env.topology.n_hosts,
+        "n_vms": env.allocation.n_vms,
+        "n_pairs": env.traffic.n_pairs,
+        "build_s": round(build_s, 3),
+        "iteration_s": round(iteration_s, 3),
+        "holds": report.iterations[0].visits,
+        "migrations": report.total_migrations,
+        "initial_cost": report.initial_cost,
+        "final_cost": report.final_cost,
+    }
+    _write_report(record)
+    emit(
+        f"[paper-scale] {name}: {env.allocation.n_vms} VMs on "
+        f"{env.topology.n_hosts} hosts, {env.traffic.n_pairs} pairs",
+        f"[paper-scale]   build {build_s:6.2f}s   iteration {iteration_s:6.2f}s"
+        f"   migrations {report.total_migrations}"
+        f"   cost {report.initial_cost:.3e} -> {report.final_cost:.3e}",
+    )
+
+    assert iteration_s < ITERATION_BUDGET_S, (
+        f"one S-CORE iteration took {iteration_s:.1f}s; "
+        f"budget is {ITERATION_BUDGET_S:.0f}s"
+    )
+    assert report.final_cost < report.initial_cost

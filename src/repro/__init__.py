@@ -45,6 +45,7 @@ from repro.traffic import (
 )
 from repro.core import (
     CostModel,
+    FastCostEngine,
     HighestLevelFirstPolicy,
     LinkWeights,
     MigrationDecision,
@@ -81,6 +82,7 @@ __all__ = [
     "MEDIUM",
     "DENSE",
     "CostModel",
+    "FastCostEngine",
     "LinkWeights",
     "Token",
     "TokenPolicy",

@@ -32,6 +32,11 @@ import numpy as np
 
 from repro.cluster.allocation import Allocation
 from repro.core.cost import CostModel
+from repro.core.fastcost import (
+    TrafficSnapshot,
+    assignment_cost,
+    path_weight_table,
+)
 from repro.traffic.matrix import TrafficMatrix
 from repro.util.rng import SeedLike, make_rng
 from repro.util.validation import check_positive, check_probability
@@ -114,26 +119,18 @@ class GeneticOptimizer:
         self._n_vms = len(self._vm_ids)
         self._n_hosts = allocation.cluster.n_servers
 
-        # Vectorized cost tables.
+        # Shared vectorized cost machinery (repro.core.fastcost): the CSR
+        # traffic snapshot, the cached per-host rack/pod vectors and the
+        # path-weight table replace the GA's former private pair arrays.
         topo = self._topology
-        self._rack_of = np.array([topo.rack_of(h) for h in range(self._n_hosts)])
-        self._pod_of = np.array([topo.pod_of(h) for h in range(self._n_hosts)])
-        pairs = [
-            (self._vm_index[u], self._vm_index[v], rate)
-            for u, v, rate in traffic.pairs()
-            if u in self._vm_index and v in self._vm_index
-        ]
-        if pairs:
-            self._pair_u = np.array([p[0] for p in pairs], dtype=np.int64)
-            self._pair_v = np.array([p[1] for p in pairs], dtype=np.int64)
-            self._pair_rate = np.array([p[2] for p in pairs], dtype=float)
-        else:
-            self._pair_u = np.empty(0, dtype=np.int64)
-            self._pair_v = np.empty(0, dtype=np.int64)
-            self._pair_rate = np.empty(0, dtype=float)
-        weights = cost_model.weights
-        self._path_weight = np.array(
-            [weights.path_weight(level) for level in range(topo.max_level + 1)]
+        self._rack_of = topo.host_rack_ids()
+        self._pod_of = topo.host_pod_ids()
+        self._snapshot = TrafficSnapshot.build(traffic, self._vm_ids)
+        self._pair_u = self._snapshot.pair_u
+        self._pair_v = self._snapshot.pair_v
+        self._pair_rate = self._snapshot.pair_rate
+        self._path_weight = path_weight_table(
+            cost_model.weights, topo.max_level
         )
         self._slots = np.array(
             [
@@ -159,16 +156,13 @@ class GeneticOptimizer:
 
     def cost_of(self, assignment: np.ndarray) -> float:
         """Eq. (2) cost of a host-assignment vector (vectorized)."""
-        hu = assignment[self._pair_u]
-        hv = assignment[self._pair_v]
-        levels = np.zeros(hu.shape, dtype=np.int64)
-        different_host = hu != hv
-        same_rack = self._rack_of[hu] == self._rack_of[hv]
-        same_pod = self._pod_of[hu] == self._pod_of[hv]
-        levels[different_host & same_rack] = 1
-        levels[different_host & ~same_rack & same_pod] = 2
-        levels[different_host & ~same_pod] = 3
-        return float(np.sum(self._pair_rate * self._path_weight[levels]))
+        return assignment_cost(
+            assignment,
+            self._snapshot,
+            self._rack_of,
+            self._pod_of,
+            self._path_weight,
+        )
 
     def is_feasible(self, assignment: np.ndarray) -> bool:
         """Slot-capacity feasibility of an assignment vector."""

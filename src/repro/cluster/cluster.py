@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
 
 from repro.cluster.server import Server, ServerCapacity
 from repro.topology.base import Topology
@@ -47,6 +49,30 @@ class Cluster:
     def server(self, host: int) -> Server:
         """The server on topology host ``host``."""
         return self._servers[host]
+
+    def capacity_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-host (max_vms, ram_mb, cpu) capacity as flat arrays.
+
+        The single source the vectorized feasibility checks (fast-cost
+        engine, ``place_random``) build their mirrors from, so a new
+        capacity dimension only needs wiring here.  Arrays are cached and
+        read-only; capacities are fixed after construction.
+        """
+        if not hasattr(self, "_capacity_arrays"):
+            n = len(self._servers)
+            slots = np.fromiter(
+                (s.capacity.max_vms for s in self._servers), dtype=np.int64, count=n
+            )
+            ram = np.fromiter(
+                (s.capacity.ram_mb for s in self._servers), dtype=np.int64, count=n
+            )
+            cpu = np.fromiter(
+                (s.capacity.cpu for s in self._servers), dtype=float, count=n
+            )
+            for array in (slots, ram, cpu):
+                array.setflags(write=False)
+            self._capacity_arrays = (slots, ram, cpu)
+        return self._capacity_arrays
 
     def servers(self) -> Iterator[Server]:
         """Iterate over all servers in host order."""

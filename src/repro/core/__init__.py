@@ -11,9 +11,20 @@
   search with capacity/bandwidth probing (§V-B5, §V-C).
 * :mod:`repro.core.scheduler` — the distributed control loop: token
   circulation, unilateral decisions, iteration accounting.
+* :mod:`repro.core.fastcost` — the array-backed engine computing the same
+  quantities over CSR numpy snapshots with incremental Lemma 3 caches,
+  which is what makes paper-scale (2560-host) runs affordable.
 """
 
 from repro.core.cost import CostModel, LinkWeights
+from repro.core.fastcost import (
+    FastCostEngine,
+    TrafficSnapshot,
+    assignment_cost,
+    engine_from_cost_model,
+    pair_levels,
+    path_weight_table,
+)
 from repro.core.token import Token, TokenEntry, MAX_LEVEL_VALUE
 from repro.core.policies import (
     HighestLevelFirstPolicy,
@@ -32,6 +43,12 @@ from repro.core.scheduler import IterationStats, SCOREScheduler, SchedulerReport
 __all__ = [
     "CostModel",
     "LinkWeights",
+    "FastCostEngine",
+    "TrafficSnapshot",
+    "assignment_cost",
+    "engine_from_cost_model",
+    "pair_levels",
+    "path_weight_table",
     "Token",
     "TokenEntry",
     "MAX_LEVEL_VALUE",

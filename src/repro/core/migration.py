@@ -17,8 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.cluster.allocation import Allocation
 from repro.core.cost import CostModel
+from repro.core.fastcost import FastCostEngine
 from repro.traffic.matrix import TrafficMatrix
 from repro.util.validation import check_non_negative
 
@@ -83,6 +86,7 @@ class MigrationEngine:
         self._migration_cost = migration_cost
         self._bandwidth_threshold = bandwidth_threshold
         self._max_candidates = max_candidates
+        self._fastcost: Optional[FastCostEngine] = None
 
     @property
     def cost_model(self) -> CostModel:
@@ -93,6 +97,26 @@ class MigrationEngine:
     def migration_cost(self) -> float:
         """The migration (overhead) cost ``cm``."""
         return self._migration_cost
+
+    @property
+    def fastcost(self) -> Optional[FastCostEngine]:
+        """The attached vectorized engine, if any."""
+        return self._fastcost
+
+    def attach_fastcost(self, engine: Optional[FastCostEngine]) -> None:
+        """Attach (or detach, with ``None``) a vectorized cost engine.
+
+        When the engine is bound to the (allocation, traffic) pair a call
+        operates on, :meth:`evaluate` scores all feasible candidates in one
+        vectorized pass and :meth:`decide_and_migrate` keeps the engine's
+        incremental caches in sync; other calls fall back to the naive
+        per-pair path.
+        """
+        if engine is not None and engine.topology is not self._cost_model.topology:
+            raise ValueError(
+                "fast engine and cost model disagree on the topology instance"
+            )
+        self._fastcost = engine
 
     # -- candidate generation ----------------------------------------------------
 
@@ -195,6 +219,11 @@ class MigrationEngine:
         Returns a decision with ``migrated=False``; ``target_host`` is the
         chosen target when the Theorem 1 condition is met, else ``None``.
         """
+        fast = self._fastcost
+        if fast is not None and fast.is_bound_to(allocation, traffic):
+            decision = self._evaluate_fast(fast, allocation, traffic, vm_u)
+            if decision is not None:
+                return decision
         source = allocation.server_of(vm_u)
         if not traffic.peers_of(vm_u):
             return MigrationDecision(
@@ -237,6 +266,74 @@ class MigrationEngine:
             reason=reason,
         )
 
+    def _evaluate_fast(
+        self,
+        fast: "FastCostEngine",
+        allocation: Allocation,
+        traffic: TrafficMatrix,
+        vm_u: int,
+    ) -> Optional[MigrationDecision]:
+        """Vectorized evaluate: one batched Lemma 3 pass over candidates.
+
+        Mirrors the naive loop decision-for-decision (same candidate order,
+        same first-best tie-breaking).  Returns ``None`` to request the
+        naive fallback when the chosen target fails the allocation's own
+        capacity check (a float-accounting edge the mirrors cannot rule
+        out).
+        """
+        source = fast.host_of(vm_u)
+        if fast.degree(vm_u) == 0:
+            return MigrationDecision(
+                vm_id=vm_u,
+                source_host=source,
+                target_host=None,
+                delta=0.0,
+                migrated=False,
+                reason="no_peers",
+            )
+        candidates = fast.candidate_hosts(vm_u, self._max_candidates)
+        vm = allocation.vm(vm_u)
+        mask = fast.can_host_many(candidates, vm)
+        if self._bandwidth_threshold is not None:
+            for i in np.nonzero(mask)[0]:
+                if not self.bandwidth_feasible(
+                    allocation, traffic, vm_u, int(candidates[i])
+                ):
+                    mask[i] = False
+        feasible = candidates[mask]
+        if feasible.size == 0:
+            return MigrationDecision(
+                vm_id=vm_u,
+                source_host=source,
+                target_host=None,
+                delta=0.0,
+                migrated=False,
+                reason="no_feasible_target",
+            )
+        deltas = fast.migration_deltas(vm_u, feasible)
+        best_idx = int(np.argmax(deltas))
+        best_delta = float(deltas[best_idx])
+        if best_delta > 0 and best_delta > self._migration_cost:
+            best_host = int(feasible[best_idx])
+            if not allocation.can_host(best_host, vm):
+                return None  # mirror drift; let the naive path decide
+            return MigrationDecision(
+                vm_id=vm_u,
+                source_host=source,
+                target_host=best_host,
+                delta=best_delta,
+                migrated=False,
+                reason="beneficial",
+            )
+        return MigrationDecision(
+            vm_id=vm_u,
+            source_host=source,
+            target_host=None,
+            delta=max(0.0, best_delta),
+            migrated=False,
+            reason="no_gain",
+        )
+
     def decide_and_migrate(
         self, allocation: Allocation, traffic: TrafficMatrix, vm_u: int
     ) -> MigrationDecision:
@@ -245,6 +342,9 @@ class MigrationEngine:
         if decision.target_host is None:
             return decision
         allocation.migrate(vm_u, decision.target_host)
+        fast = self._fastcost
+        if fast is not None and fast.is_bound_to(allocation, traffic):
+            fast.apply_migration(vm_u, decision.target_host)
         return MigrationDecision(
             vm_id=decision.vm_id,
             source_host=decision.source_host,

@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.cluster.allocation import Allocation
 from repro.core.cost import CostModel
+from repro.core.fastcost import FastCostEngine
 from repro.core.migration import MigrationDecision, MigrationEngine
 from repro.core.policies import TokenPolicy
 from repro.core.token import Token
@@ -85,7 +86,17 @@ class SCOREScheduler:
         policy: TokenPolicy,
         engine: MigrationEngine,
         token_interval_s: float = 1.0,
+        use_fastcost: bool = True,
     ) -> None:
+        """
+        ``use_fastcost`` (default on) builds a
+        :class:`repro.core.fastcost.FastCostEngine` over the allocation and
+        traffic, attaches it to the migration engine, and threads it through
+        the token loop — batched candidate scoring, O(peers) incremental
+        cost updates, and vectorized highest-level queries for the policy.
+        Disable it to run every decision through the naive
+        :class:`~repro.core.cost.CostModel` reference path.
+        """
         check_positive("token_interval_s", token_interval_s)
         missing = traffic.vms_with_traffic - set(allocation.vm_ids())
         if missing:
@@ -100,6 +111,11 @@ class SCOREScheduler:
         self._interval = token_interval_s
         self._token = Token(allocation.vm_ids())
         self._clock = 0.0
+        # Built lazily on the first run() — churn and traffic updates before
+        # that point then cost nothing, and the run-start sync isn't paid
+        # twice for a freshly constructed scheduler.
+        self._use_fastcost = use_fastcost
+        self._fast: Optional[FastCostEngine] = None
 
     @property
     def allocation(self) -> Allocation:
@@ -115,6 +131,11 @@ class SCOREScheduler:
     def cost_model(self) -> CostModel:
         """Shortcut to the engine's cost model."""
         return self._engine.cost_model
+
+    @property
+    def fastcost(self) -> Optional[FastCostEngine]:
+        """The vectorized engine threaded through the loop (None if naive)."""
+        return self._fast
 
     def run(
         self,
@@ -137,7 +158,25 @@ class SCOREScheduler:
         """
         if n_iterations < 1:
             raise ValueError(f"n_iterations must be >= 1, got {n_iterations}")
-        cost_model = self._engine.cost_model
+        if self._use_fastcost:
+            if self._fast is None:
+                self._fast = FastCostEngine(
+                    self._allocation,
+                    self._traffic,
+                    weights=self._engine.cost_model.weights,
+                )
+                self._engine.attach_fastcost(self._fast)
+            else:
+                # Resync against any mutation since the last run (traffic
+                # edits, direct allocation moves); everything inside the
+                # loop then goes through the engine and stays incremental.
+                if self._fast.traffic is not self._traffic:
+                    self._fast.update_traffic(self._traffic)
+                else:
+                    self._fast.rebuild()
+        # Policies take whichever implementation is active — the fast engine
+        # answers highest_level from its arrays with the CostModel signature.
+        cost_model = self._fast or self._engine.cost_model
         cost = cost_model.total_cost(self._allocation, self._traffic)
         report = SchedulerReport(initial_cost=cost, final_cost=cost)
         report.time_series.append((self._clock, cost))
@@ -195,6 +234,8 @@ class SCOREScheduler:
         """
         self._allocation.add_vm(vm, host)
         self._token.add_vm(vm.vm_id)
+        if self._fast is not None:
+            self._fast.rebuild()
 
     def retire_vm(self, vm_id: int) -> None:
         """Take a VM offline: remove it from the allocation, the token and
@@ -203,6 +244,8 @@ class SCOREScheduler:
             self._traffic.set_rate(vm_id, peer, 0.0)
         self._allocation.remove_vm(vm_id)
         self._token.remove_vm(vm_id)
+        if self._fast is not None:
+            self._fast.rebuild()
 
     def update_traffic(self, traffic: TrafficMatrix) -> None:
         """Install a fresh traffic-matrix estimate (next measurement window).
@@ -217,3 +260,5 @@ class SCOREScheduler:
                 f"{sorted(missing)[:5]}..."
             )
         self._traffic = traffic
+        if self._fast is not None:
+            self._fast.update_traffic(traffic)

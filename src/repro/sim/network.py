@@ -10,7 +10,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Tuple
 
+import numpy as np
+
 from repro.cluster.allocation import Allocation
+from repro.core.fastcost import TrafficSnapshot, pair_levels
 from repro.topology.base import Topology
 from repro.topology.links import LinkId
 from repro.traffic.matrix import TrafficMatrix
@@ -81,6 +84,39 @@ class LinkLoadCalculator:
             link_id: 8.0 * loads.get(link_id, 0.0) / link.capacity_bps
             for link_id, link in self._topology.links.items()
         }
+
+    def level_loads(
+        self, allocation: Allocation, traffic: TrafficMatrix
+    ) -> Dict[int, float]:
+        """Aggregate carried load per link level, in bytes/second.
+
+        A flow at communication level ``l`` traverses exactly two links at
+        every level ``i <= l`` (up and down), regardless of which ECMP path
+        the hash picks, so the per-level totals are computed in one
+        vectorized pass over the fast-engine pair arrays — no path
+        enumeration.  Equals summing :meth:`loads` over the links of each
+        level (the flowlet-spread variants included); the differential
+        suite asserts exactly that.
+        """
+        snap = TrafficSnapshot.build(traffic, list(allocation.vm_ids()))
+        topo = self._topology
+        host_of = np.fromiter(
+            (allocation.server_of(int(vm)) for vm in snap.vm_ids),
+            dtype=np.int64,
+            count=snap.n_vms,
+        )
+        levels = pair_levels(
+            host_of[snap.pair_u],
+            host_of[snap.pair_v],
+            topo.host_rack_ids(),
+            topo.host_pod_ids(),
+        )
+        totals: Dict[int, float] = {}
+        for level in range(1, topo.max_level + 1):
+            totals[level] = float(
+                2.0 * snap.pair_rate[levels >= level].sum()
+            )
+        return totals
 
     def utilizations_by_level(
         self, allocation: Allocation, traffic: TrafficMatrix

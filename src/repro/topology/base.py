@@ -13,7 +13,9 @@ topology offers multiple equal-cost paths).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.topology.links import Link, LinkId, Node
 
@@ -33,6 +35,8 @@ class Topology(ABC):
     def __init__(self) -> None:
         self._links: Dict[LinkId, Link] = {}
         self._links_by_level: Dict[int, List[LinkId]] = {}
+        self._rack_ids: Optional[np.ndarray] = None
+        self._pod_ids: Optional[np.ndarray] = None
 
     # -- structure ---------------------------------------------------------
 
@@ -90,6 +94,53 @@ class Topology(ABC):
     def hops_between(self, host_a: int, host_b: int) -> int:
         """Shortest-path hop count h(x, y); always 2 * level (paper §II)."""
         return 2 * self.level_between(host_a, host_b)
+
+    def host_rack_ids(self) -> np.ndarray:
+        """Per-host rack id vector (``rack_of`` for every host, cached).
+
+        Topologies are immutable after construction, so the vector is built
+        once and shared; it is what makes vectorized level computations over
+        whole candidate sets O(1) per host pair.
+        """
+        if self._rack_ids is None:
+            self._rack_ids = np.fromiter(
+                (self.rack_of(h) for h in range(self.n_hosts)),
+                dtype=np.int64,
+                count=self.n_hosts,
+            )
+            self._rack_ids.setflags(write=False)
+        return self._rack_ids
+
+    def host_pod_ids(self) -> np.ndarray:
+        """Per-host pod id vector (``pod_of`` for every host, cached)."""
+        if self._pod_ids is None:
+            self._pod_ids = np.fromiter(
+                (self.pod_of(h) for h in range(self.n_hosts)),
+                dtype=np.int64,
+                count=self.n_hosts,
+            )
+            self._pod_ids.setflags(write=False)
+        return self._pod_ids
+
+    def level_between_many(self, host: int, hosts: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`level_between` of one host against many.
+
+        Returns an int64 array of communication levels, one per entry of
+        ``hosts``.
+        """
+        self._check_host(host)
+        hosts = np.asarray(hosts, dtype=np.int64)
+        if hosts.size and (hosts.min() < 0 or hosts.max() >= self.n_hosts):
+            raise ValueError(
+                f"host index out of range [0, {self.n_hosts}) in {hosts}"
+            )
+        rack = self.host_rack_ids()
+        pod = self.host_pod_ids()
+        levels = np.full(hosts.shape, 3, dtype=np.int64)
+        levels[pod[hosts] == pod[host]] = 2
+        levels[rack[hosts] == rack[host]] = 1
+        levels[hosts == host] = 0
+        return levels
 
     @abstractmethod
     def path_links(self, host_a: int, host_b: int, flow_key: int = 0) -> Tuple[LinkId, ...]:

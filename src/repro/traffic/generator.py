@@ -175,9 +175,10 @@ class DCTrafficGenerator:
 
         # Fan-in to hot services (the hotspot columns of Fig. 3a).
         hot_members = [vm for group in self._hot_groups for vm in group]
+        hot_set = set(hot_members)
         if hot_members:
             for vm in self._vm_ids:
-                if vm in set(hot_members):
+                if vm in hot_set:
                     continue
                 if rng.random() < pattern.fan_in_prob:
                     target = int(rng.choice(hot_members))

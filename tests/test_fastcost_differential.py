@@ -1,0 +1,178 @@
+"""Differential suite: FastCostEngine vs the naive CostModel reference.
+
+Seeded randomized scenarios over both topologies x all traffic patterns x
+all placement strategies assert that every quantity the fast engine
+computes — ``total_cost``, ``vm_cost``, ``highest_level`` and
+``migration_delta`` — matches the readable per-pair reference to within
+1e-9 (relative), both on the initial placement and after a stream of
+migrations applied through the engine's incremental caches.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro import (
+    CanonicalTree,
+    Cluster,
+    CostModel,
+    DCTrafficGenerator,
+    FatTree,
+    PlacementManager,
+    ServerCapacity,
+)
+from repro.cluster.placement import place_by_name
+from repro.core.fastcost import FastCostEngine
+from repro.core.migration import MigrationEngine
+from repro.sim.network import LinkLoadCalculator
+from repro.traffic.generator import PATTERNS
+
+REL = 1e-9
+
+TOPOLOGY_BUILDERS = {
+    "canonical": lambda: CanonicalTree(
+        n_racks=8, hosts_per_rack=4, tors_per_agg=4, n_cores=2
+    ),
+    "fattree": lambda: FatTree(k=4),
+}
+PATTERN_NAMES = sorted(PATTERNS)
+PLACEMENTS = ["random", "round_robin", "packed", "striped"]
+
+SCENARIOS = [
+    (topo, pattern, placement)
+    for topo in sorted(TOPOLOGY_BUILDERS)
+    for pattern in PATTERN_NAMES
+    for placement in PLACEMENTS
+]
+
+
+def build_scenario(topo_name: str, pattern: str, placement: str, seed: int):
+    topology = TOPOLOGY_BUILDERS[topo_name]()
+    cluster = Cluster(topology, ServerCapacity(max_vms=4, ram_mb=4096, cpu=4.0))
+    manager = PlacementManager(cluster)
+    n_vms = int(cluster.total_vm_slots * 0.8)
+    vms = manager.create_vms(n_vms, ram_mb=512, cpu=0.5)
+    allocation = place_by_name(placement, cluster, vms, seed=seed)
+    traffic = DCTrafficGenerator(
+        [vm.vm_id for vm in vms], PATTERNS[pattern], seed=seed
+    ).generate()
+    return topology, allocation, traffic
+
+
+def assert_engines_agree(naive, fast, allocation, traffic, rng):
+    """Every query of both engines agrees on the current placement."""
+    assert fast.total_cost(allocation, traffic) == pytest.approx(
+        naive.total_cost(allocation, traffic), rel=REL
+    )
+    assert fast.recompute_total_cost() == pytest.approx(
+        fast.total_cost(allocation, traffic), rel=REL
+    )
+    n_hosts = allocation.cluster.n_servers
+    for vm_id in allocation.vm_ids():
+        assert fast.vm_cost(allocation, traffic, vm_id) == pytest.approx(
+            naive.vm_cost(allocation, traffic, vm_id), rel=REL, abs=1e-9
+        )
+        assert fast.highest_level(allocation, traffic, vm_id) == (
+            naive.highest_level(allocation, traffic, vm_id)
+        )
+    sample = rng.choice(
+        np.fromiter(allocation.vm_ids(), dtype=np.int64), size=20, replace=False
+    )
+    for vm_id in sample:
+        vm_id = int(vm_id)
+        targets = rng.integers(0, n_hosts, size=6)
+        for target in targets:
+            assert fast.migration_delta(
+                allocation, traffic, vm_id, int(target)
+            ) == pytest.approx(
+                naive.migration_delta(allocation, traffic, vm_id, int(target)),
+                rel=REL,
+                abs=1e-9,
+            )
+        # The batched call agrees with its per-target scalar form.
+        batched = fast.migration_deltas(vm_id, targets.astype(np.int64))
+        for target, delta in zip(targets, batched):
+            assert delta == pytest.approx(
+                naive.migration_delta(allocation, traffic, vm_id, int(target)),
+                rel=REL,
+                abs=1e-9,
+            )
+
+
+@pytest.mark.parametrize("topo_name,pattern,placement", SCENARIOS)
+def test_fast_engine_matches_naive(topo_name, pattern, placement):
+    # Stable per-scenario seed (str hash() is salted per process).
+    seed = zlib.crc32(f"{topo_name}|{pattern}|{placement}".encode()) % 10_000
+    topology, allocation, traffic = build_scenario(
+        topo_name, pattern, placement, seed=seed
+    )
+    naive = CostModel(topology)
+    fast = FastCostEngine(allocation, traffic)
+    rng = np.random.default_rng(seed)
+
+    assert_engines_agree(naive, fast, allocation, traffic, rng)
+
+    # Apply a stream of random feasible migrations through the engine and
+    # re-verify: the incremental caches must not drift from the reference.
+    vm_ids = np.fromiter(allocation.vm_ids(), dtype=np.int64)
+    applied = 0
+    for _ in range(200):
+        if applied >= 30:
+            break
+        vm_id = int(rng.choice(vm_ids))
+        target = int(rng.integers(0, allocation.cluster.n_servers))
+        vm = allocation.vm(vm_id)
+        if target == allocation.server_of(vm_id) or not allocation.can_host(
+            target, vm
+        ):
+            continue
+        expected = naive.migration_delta(allocation, traffic, vm_id, target)
+        allocation.migrate(vm_id, target)
+        delta = fast.apply_migration(vm_id, target)
+        assert delta == pytest.approx(expected, rel=REL, abs=1e-9)
+        applied += 1
+    assert applied > 0
+    assert_engines_agree(naive, fast, allocation, traffic, rng)
+
+
+@pytest.mark.parametrize("topo_name", sorted(TOPOLOGY_BUILDERS))
+def test_batched_evaluate_matches_naive_evaluate(topo_name):
+    """MigrationEngine with/without the fast engine decides identically."""
+    topology, allocation, traffic = build_scenario(
+        topo_name, "sparse", "random", seed=7
+    )
+    naive_engine = MigrationEngine(CostModel(topology), max_candidates=12)
+    fast_engine = MigrationEngine(CostModel(topology), max_candidates=12)
+    fast_engine.attach_fastcost(FastCostEngine(allocation, traffic))
+    for vm_id in allocation.vm_ids():
+        naive_d = naive_engine.evaluate(allocation, traffic, vm_id)
+        fast_d = fast_engine.evaluate(allocation, traffic, vm_id)
+        assert naive_d.target_host == fast_d.target_host
+        assert naive_d.reason == fast_d.reason
+        assert fast_d.delta == pytest.approx(naive_d.delta, rel=REL, abs=1e-9)
+
+
+@pytest.mark.parametrize("topo_name,pattern", [
+    ("canonical", "sparse"),
+    ("canonical", "dense"),
+    ("fattree", "medium"),
+])
+def test_level_loads_match_per_link_routing(topo_name, pattern):
+    """Vectorized per-level totals equal summing routed per-link loads."""
+    topology, allocation, traffic = build_scenario(
+        topo_name, pattern, "random", seed=3
+    )
+    for flowlets in (1, 4):
+        calculator = LinkLoadCalculator(topology, flowlets=flowlets)
+        by_level = calculator.level_loads(allocation, traffic)
+        loads = calculator.loads(allocation, traffic)
+        for level in range(1, topology.max_level + 1):
+            routed = sum(
+                load
+                for link_id, load in loads.items()
+                if topology.link_level(link_id) == level
+            )
+            assert by_level[level] == pytest.approx(routed, rel=REL, abs=1e-9)

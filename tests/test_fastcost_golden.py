@@ -1,0 +1,54 @@
+"""Golden regression fixtures for the headline seed-42 numbers.
+
+These pin the laptop-scale default runs so engine refactors cannot
+silently shift results: any change to placement, traffic generation,
+candidate ranking, delta computation or token circulation that alters the
+trajectory shows up here first.  Costs are pinned to 1e-9 relative (the
+engine's documented agreement bound); migration counts are exact.
+
+If a deliberate behaviour change moves these numbers, update the constants
+in the same commit and say why in its message.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.experiment import ExperimentConfig, run_experiment
+
+GOLDEN = {
+    "canonical-default": {
+        "config": {},
+        "initial_cost": 5804273135.939611,
+        "final_cost": 1113319350.3722916,
+        "total_migrations": 360,
+    },
+    "fattree-default": {
+        "config": {"topology": "fattree"},
+        "initial_cost": 1431579631.597858,
+        "final_cost": 316606833.87769055,
+        "total_migrations": 100,
+    },
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_seed42_headline_numbers_are_stable(name):
+    golden = GOLDEN[name]
+    result = run_experiment(ExperimentConfig(**golden["config"]))
+    assert result.initial_cost == pytest.approx(
+        golden["initial_cost"], rel=1e-9
+    )
+    assert result.final_cost == pytest.approx(golden["final_cost"], rel=1e-9)
+    assert result.report.total_migrations == golden["total_migrations"]
+
+
+def test_naive_engine_reproduces_the_golden_trajectory():
+    """The readable CostModel path lands on the same numbers (1e-9 rel)."""
+    golden = GOLDEN["canonical-default"]
+    result = run_experiment(ExperimentConfig(fastcost=False))
+    assert result.initial_cost == pytest.approx(
+        golden["initial_cost"], rel=1e-9
+    )
+    assert result.final_cost == pytest.approx(golden["final_cost"], rel=1e-9)
+    assert result.report.total_migrations == golden["total_migrations"]

@@ -88,6 +88,50 @@ class TestRunExperiment:
             result = run_experiment(SMALL.with_(policy=policy, n_iterations=2))
             assert result.final_cost <= result.initial_cost
 
+    def test_naive_engine_matches_fast_engine(self):
+        fast = run_experiment(SMALL)
+        naive = run_experiment(SMALL.with_(fastcost=False))
+        assert fast.initial_cost == pytest.approx(naive.initial_cost, rel=1e-9)
+        assert fast.final_cost == pytest.approx(naive.final_cost, rel=1e-9)
+        assert fast.report.total_migrations == naive.report.total_migrations
+
+
+class TestReductionVsOptimal:
+    @staticmethod
+    def _result(initial: float, final: float, ga_best=None):
+        from repro.baselines.ga import GAResult
+        from repro.core.scheduler import SchedulerReport
+        from repro.sim.experiment import ExperimentResult
+
+        ga = None
+        if ga_best is not None:
+            ga = GAResult(
+                best_mapping={}, best_cost=ga_best,
+                initial_cost=initial, generations=1,
+            )
+        report = SchedulerReport(initial_cost=initial, final_cost=final)
+        return ExperimentResult(
+            config=SMALL, report=report,
+            initial_cost=initial, final_cost=final, ga_result=ga,
+        )
+
+    def test_partial_reduction(self):
+        assert self._result(100.0, 60.0, ga_best=20.0).reduction_vs_optimal == (
+            pytest.approx(0.5)
+        )
+
+    def test_no_achievable_reduction_held_line_scores_one(self):
+        # GA cannot beat the start and S-CORE did not move: 1.0.
+        assert self._result(100.0, 100.0, ga_best=150.0).reduction_vs_optimal == 1.0
+
+    def test_regression_scores_zero_not_one(self):
+        # Degenerate edge: achievable <= 0 but the run *regressed* — this
+        # must not report 100% of optimal.
+        assert self._result(100.0, 130.0, ga_best=150.0).reduction_vs_optimal == 0.0
+
+    def test_regression_without_ga_scores_zero(self):
+        assert self._result(100.0, 130.0).reduction_vs_optimal == 0.0
+
 
 class TestRunDynamic:
     def test_stability_under_drift(self):
