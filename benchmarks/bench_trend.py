@@ -1,0 +1,82 @@
+"""Fail-soft trend check over ``BENCH_fastcost.json`` wall-clock fields.
+
+Usage::
+
+    python benchmarks/bench_trend.py BASELINE.json CURRENT.json
+
+Compares every ``*_s`` (seconds) field of every result record, keyed by
+record name, between the committed baseline and a freshly regenerated
+report.  A recorded wall-clock that regressed by more than the threshold
+factor prints a GitHub Actions ``::warning::`` annotation; improvements
+and new records are reported informationally.  The exit code is always 0 —
+CI runner speed varies too much for a hard gate, but the annotations make
+a real regression visible on the pull request.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: A current wall-clock more than this factor above the baseline warns.
+REGRESSION_FACTOR = 2.0
+
+#: Wall-clocks faster than this are below timer/runner noise; skip them.
+MIN_MEANINGFUL_SECONDS = 0.05
+
+
+def _records(path: str) -> dict:
+    try:
+        with open(path) as handle:
+            report = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"bench-trend: cannot read {path}: {error}")
+        return {}
+    return {record.get("name"): record for record in report.get("results", [])}
+
+
+def main(argv: list) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 0
+    baseline = _records(argv[1])
+    current = _records(argv[2])
+    if not baseline or not current:
+        print("bench-trend: nothing to compare")
+        return 0
+    regressions = 0
+    for name, record in sorted(current.items()):
+        base = baseline.get(name)
+        if base is None:
+            print(f"bench-trend: {name}: new record (no baseline)")
+            continue
+        for field, value in sorted(record.items()):
+            if not field.endswith("_s") or not isinstance(value, (int, float)):
+                continue
+            reference = base.get(field)
+            if not isinstance(reference, (int, float)):
+                continue
+            if reference < MIN_MEANINGFUL_SECONDS:
+                continue
+            ratio = value / reference
+            line = (
+                f"{name}.{field}: {reference:.3f}s -> {value:.3f}s "
+                f"({ratio:.2f}x)"
+            )
+            if ratio > REGRESSION_FACTOR:
+                regressions += 1
+                print(f"::warning title=bench regression::{line}")
+            else:
+                print(f"bench-trend: {line}")
+    if regressions:
+        print(
+            f"bench-trend: {regressions} wall-clock field(s) regressed "
+            f">{REGRESSION_FACTOR:.0f}x vs the committed baseline (fail-soft)"
+        )
+    else:
+        print("bench-trend: no regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

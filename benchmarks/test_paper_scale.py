@@ -19,6 +19,7 @@ import time
 
 import pytest
 
+from repro.baselines.ga import GAConfig, GeneticOptimizer
 from repro.core.migration import MigrationEngine
 from repro.core.policies import policy_by_name
 from repro.core.scheduler import SCOREScheduler
@@ -109,3 +110,82 @@ def test_one_score_iteration_at_paper_scale(name, emit):
         f"budget is {ITERATION_BUDGET_S:.0f}s"
     )
     assert report.final_cost < report.initial_cost
+
+
+#: Acceptance floor for the batched GA: one generation of the population-
+#: matrix engine must beat the per-individual reference loop by at least
+#: this factor at GAConfig.paper_scale() on the 2560-host topology.
+GA_SPEEDUP_FLOOR = 10.0
+
+#: Offspring sample the per-individual reference is timed on (the full
+#: brood at paper scale is 500 offspring and takes ~a minute; per-offspring
+#: cost is flat, so a sample extrapolates accurately and keeps the smoke
+#: job inside CI budgets).
+GA_REFERENCE_SAMPLE = 40
+
+
+@pytest.mark.smoke
+def test_ga_generation_at_paper_scale(emit):
+    """Batched GA generation vs the pre-batching per-individual loop.
+
+    Builds the paper's GA (population 1,000) on the 2560-host canonical
+    tree, times full batched generations (population-matrix tournament /
+    crossover / repair / scoring) and the retained per-individual
+    reference generation on an offspring sample, and records both into the
+    perf report.  The batched engine must be >= 10x faster per generation.
+    """
+    config = ExperimentConfig.paper_canonical(policy="rr", n_iterations=1)
+    env = build_environment(config)
+    ga = GeneticOptimizer(
+        env.allocation,
+        env.traffic,
+        env.cost_model,
+        GAConfig.paper_scale(seed=config.seed),
+    )
+
+    t0 = time.perf_counter()
+    population = ga.initial_population()
+    costs = ga.population_costs(population)
+    seed_s = time.perf_counter() - t0
+
+    ga.step(population, costs)  # warm caches outside the timed window
+    generation_times = []
+    for _ in range(3):
+        t1 = time.perf_counter()
+        ga.step(population, costs)
+        generation_times.append(time.perf_counter() - t1)
+    generation_s = min(generation_times)
+
+    n_offspring = max(1, ga._config.population_size // 2)
+    sample = min(GA_REFERENCE_SAMPLE, n_offspring)
+    t2 = time.perf_counter()
+    ga.step_reference(population, costs, n_offspring=sample)
+    reference_sample_s = time.perf_counter() - t2
+    reference_generation_s = reference_sample_s * (n_offspring / sample)
+    speedup = reference_generation_s / generation_s
+
+    record = {
+        "name": "paper_canonical_ga_generation",
+        "topology": config.topology,
+        "n_hosts": env.topology.n_hosts,
+        "n_vms": env.allocation.n_vms,
+        "population": ga._config.population_size,
+        "seed_population_s": round(seed_s, 3),
+        "generation_s": round(generation_s, 3),
+        "reference_generation_s": round(reference_generation_s, 3),
+        "reference_sampled_offspring": sample,
+        "speedup": round(speedup, 1),
+    }
+    _write_report(record)
+    emit(
+        f"[paper-scale] GA generation: population {ga._config.population_size} "
+        f"x {env.allocation.n_vms} VMs on {env.topology.n_hosts} hosts",
+        f"[paper-scale]   batched {generation_s:6.2f}s   per-individual "
+        f"~{reference_generation_s:6.1f}s (sampled {sample}/{n_offspring} "
+        f"offspring)   speedup {speedup:.1f}x",
+    )
+
+    assert speedup >= GA_SPEEDUP_FLOOR, (
+        f"batched GA generation is only {speedup:.1f}x faster than the "
+        f"per-individual loop; the floor is {GA_SPEEDUP_FLOOR:.0f}x"
+    )

@@ -10,17 +10,26 @@ consecutive generations."
 
 Implementation notes
 --------------------
-* An individual is a host-assignment vector (one host index per VM).
-* Fitness (communication cost, Eq. 2) is evaluated fully vectorized with
-  numpy over the traffic pair arrays, so large populations are affordable.
+* An individual is a host-assignment vector (one host index per VM); the
+  population lives as ONE ``(pop, n_vms)`` int32 matrix so a whole
+  generation — tournament selection, EAX-style crossover, capacity repair,
+  swap mutation, Eq. 2 scoring and replacement — is numpy end-to-end with
+  no per-individual python loop (``repro.core.fastcost`` population
+  helpers).
 * The EAX-style crossover assembles children from the parents' *co-location
   structure*: for each connected component of the traffic graph (a "service"
   whose internal edges are what the allocation should keep local), the child
-  inherits the whole component's placement from one parent.  This preserves
-  the parents' locality building blocks the same way EAX preserves tour
-  edges, followed by a capacity repair pass.
+  inherits the whole component's placement from one parent.  Batched, that
+  is one coin matrix per generation expanded through the per-VM component-id
+  vector into a boolean inheritance mask.
 * Capacity uses the slot limit only, matching the paper's GP reduction
   where all VMs have vertex weight 1 (uniform size).
+* The pre-batching per-individual generation survives as
+  :meth:`GeneticOptimizer.step_reference` — the differential-test and
+  benchmark reference the batched path is pinned against.  The batched
+  engine draws its random numbers in matrix-shaped blocks, so the RNG
+  stream necessarily differs from the per-individual reference; seeded runs
+  remain exactly reproducible against themselves.
 """
 
 from __future__ import annotations
@@ -34,12 +43,21 @@ from repro.cluster.allocation import Allocation
 from repro.core.cost import CostModel
 from repro.core.fastcost import (
     TrafficSnapshot,
+    apply_swap_mutations,
     assignment_cost,
+    pair_levels,
     path_weight_table,
+    population_cost,
+    population_repair,
+    tournament_select,
 )
 from repro.traffic.matrix import TrafficMatrix
 from repro.util.rng import SeedLike, make_rng
 from repro.util.validation import check_positive, check_probability
+
+#: Dtype of the population matrix; host indices comfortably fit 32 bits and
+#: the paper-scale matrix (1,000 x ~35k VMs) halves to ~140 MB.
+ASSIGNMENT_DTYPE = np.int32
 
 
 @dataclass(frozen=True)
@@ -121,7 +139,7 @@ class GeneticOptimizer:
 
         # Shared vectorized cost machinery (repro.core.fastcost): the CSR
         # traffic snapshot, the cached per-host rack/pod vectors and the
-        # path-weight table replace the GA's former private pair arrays.
+        # path-weight table are all the scoring and repair passes need.
         topo = self._topology
         self._rack_of = topo.host_rack_ids()
         self._pod_of = topo.host_pod_ids()
@@ -132,32 +150,41 @@ class GeneticOptimizer:
         self._path_weight = path_weight_table(
             cost_model.weights, topo.max_level
         )
-        self._slots = np.array(
-            [
-                allocation.cluster.server(h).capacity.max_vms
-                for h in range(self._n_hosts)
-            ],
-            dtype=np.int64,
-        )
+        self._slots = allocation.cluster.capacity_arrays()[0]
         self._components = self._traffic_components()
-        # Per-VM adjacency (peer index, rate) for the greedy polish pass.
-        self._adjacency: List[List[Tuple[int, float]]] = [
-            [] for _ in range(self._n_vms)
-        ]
-        for u, v, rate in zip(self._pair_u, self._pair_v, self._pair_rate):
-            self._adjacency[int(u)].append((int(v), float(rate)))
-            self._adjacency[int(v)].append((int(u), float(rate)))
-        self._rack_hosts = [
-            np.array(list(topo.hosts_in_rack(r)), dtype=np.int64)
-            for r in range(topo.n_racks)
-        ]
+        self._n_components = len(self._components)
+        self._component_id = np.empty(self._n_vms, dtype=np.int64)
+        for cid, members in enumerate(self._components):
+            self._component_id[members] = cid
+        # Slot sequence for dense packing: host h repeated slots[h] times,
+        # with per-host start offsets for rotation to a random first host.
+        self._slot_hosts = np.repeat(
+            np.arange(self._n_hosts, dtype=ASSIGNMENT_DTYPE), self._slots
+        )
+        self._slot_offset = np.concatenate(
+            [[0], np.cumsum(self._slots)[:-1]]
+        )
 
     # -- fitness ---------------------------------------------------------------
 
     def cost_of(self, assignment: np.ndarray) -> float:
-        """Eq. (2) cost of a host-assignment vector (vectorized)."""
+        """Eq. (2) cost of a host-assignment vector (vectorized).
+
+        The per-individual reference the batched :meth:`population_costs`
+        path is differentially tested against.
+        """
         return assignment_cost(
-            assignment,
+            np.asarray(assignment, dtype=np.int64),
+            self._snapshot,
+            self._rack_of,
+            self._pod_of,
+            self._path_weight,
+        )
+
+    def population_costs(self, population: np.ndarray) -> np.ndarray:
+        """Eq. (2) cost of every row of a ``(pop, n_vms)`` matrix."""
+        return population_cost(
+            population,
             self._snapshot,
             self._rack_of,
             self._pod_of,
@@ -174,8 +201,8 @@ class GeneticOptimizer:
     def run(self) -> GAResult:
         """Run the GA until the paper's stopping rule triggers."""
         config = self._config
-        population = self._initial_population()
-        costs = np.array([self.cost_of(ind) for ind in population])
+        population = self.initial_population()
+        costs = self.population_costs(population)
         initial_assignment = self._assignment_from_allocation()
         initial_cost = self.cost_of(initial_assignment)
 
@@ -185,7 +212,7 @@ class GeneticOptimizer:
         stall = 0
         generation = 0
         for generation in range(1, config.max_generations + 1):
-            population, costs = self._step(population, costs)
+            self.step(population, costs)
             generation_best = float(costs.min())
             if generation_best < best_cost:
                 best = population[int(costs.argmin())].copy()
@@ -205,8 +232,14 @@ class GeneticOptimizer:
         # Memetic finish: greedy local refinement of the champion (the GA's
         # global search finds the right clusters; the polish snaps each VM
         # to its locally best host, mirroring a converged local search).
-        self._greedy_polish(best, max_passes=10)
-        best_cost = min(best_cost, self.cost_of(best))
+        # The batched polish applies one pass of moves against a frozen
+        # snapshot of the assignment, so interacting moves can in principle
+        # regress; keep the polished copy only when it actually improves.
+        polished = best.copy()
+        self._greedy_polish(polished, max_passes=10)
+        polished_cost = self.cost_of(polished)
+        if polished_cost < best_cost:
+            best, best_cost = polished, polished_cost
         history.append(best_cost)
 
         mapping = {
@@ -220,75 +253,72 @@ class GeneticOptimizer:
             history=history,
         )
 
-    # -- GA internals -----------------------------------------------------------------
+    # -- population construction -------------------------------------------------
 
     def _assignment_from_allocation(self) -> np.ndarray:
         return np.array(
             [self._allocation.server_of(vm_id) for vm_id in self._vm_ids],
-            dtype=np.int64,
+            dtype=ASSIGNMENT_DTYPE,
         )
 
-    def _initial_population(self) -> List[np.ndarray]:
+    def initial_population(self) -> np.ndarray:
         """Densely-packed individuals (paper §VI-A) + the current allocation.
 
-        Half the seeds pack VMs *by traffic component* (communicating
-        services land on consecutive hosts — strong locality building
-        blocks), half pack a random VM order (diversity).
+        Returns the whole population as one ``(pop, n_vms)`` matrix.  Half
+        the seeds pack VMs *by traffic component* (communicating services
+        land on consecutive hosts — strong locality building blocks), half
+        pack a random VM order (diversity); a locally-refined copy of the
+        current allocation and of one clustered packing give the search
+        strong anchors (memetic seeding).
         """
-        population: List[np.ndarray] = [self._assignment_from_allocation()]
-        # A locally-refined copy of the current allocation and of one
-        # clustered packing give the search strong anchors (memetic seeding).
-        polished_current = self._assignment_from_allocation()
-        self._greedy_polish(polished_current, max_passes=10)
-        population.append(polished_current)
-        polished_packed = self._component_packed_assignment()
-        self._greedy_polish(polished_packed, max_passes=10)
-        population.append(polished_packed)
-        while len(population) < self._config.population_size:
-            if len(population) % 2 == 0:
-                population.append(self._random_packed_assignment())
+        pop = self._config.population_size
+        population = np.empty((pop, self._n_vms), dtype=ASSIGNMENT_DTYPE)
+        population[0] = self._assignment_from_allocation()
+        filled = 1
+        if filled < pop:
+            polished_current = self._assignment_from_allocation()
+            self._greedy_polish(polished_current, max_passes=10)
+            population[filled] = polished_current
+            filled += 1
+        if filled < pop:
+            polished_packed = self._component_packed_assignment()
+            self._greedy_polish(polished_packed, max_passes=10)
+            population[filled] = polished_packed
+            filled += 1
+        for i in range(filled, pop):
+            if i % 2 == 0:
+                population[i] = self._random_packed_assignment()
             else:
-                population.append(self._component_packed_assignment())
-        return population[: self._config.population_size]
+                population[i] = self._component_packed_assignment()
+        return population
 
-    def _component_packed_assignment(self) -> np.ndarray:
-        """Pack whole traffic components onto consecutive hosts."""
-        rng = self._rng
-        assignment = np.empty(self._n_vms, dtype=np.int64)
-        components = list(self._components)
-        rng.shuffle(components)
-        host = int(rng.integers(0, self._n_hosts))
-        free = int(self._slots[host])
-        for component in components:
-            members = component.copy()
-            rng.shuffle(members)
-            for vm in members:
-                while free == 0:
-                    host = (host + 1) % self._n_hosts
-                    free = int(self._slots[host])
-                assignment[vm] = host
-                free -= 1
-        return assignment
-
-    def _random_packed_assignment(self) -> np.ndarray:
-        """Pack VMs (in random order) onto hosts starting at a random offset.
+    def _packed_from_order(self, order: np.ndarray) -> np.ndarray:
+        """Assign VMs (in ``order``) to consecutive slots from a random host.
 
         Keeps each individual dense — VMs fill consecutive hosts — which is
         the paper's seeding strategy and a strong starting point for
         locality.
         """
-        rng = self._rng
-        order = rng.permutation(self._n_vms)
-        assignment = np.empty(self._n_vms, dtype=np.int64)
-        host = int(rng.integers(0, self._n_hosts))
-        free = int(self._slots[host])
-        for vm in order:
-            while free == 0:
-                host = (host + 1) % self._n_hosts
-                free = int(self._slots[host])
-            assignment[vm] = host
-            free -= 1
+        start_host = int(self._rng.integers(0, self._n_hosts))
+        sequence = np.roll(self._slot_hosts, -int(self._slot_offset[start_host]))
+        assignment = np.empty(self._n_vms, dtype=ASSIGNMENT_DTYPE)
+        assignment[order] = sequence[: self._n_vms]
         return assignment
+
+    def _random_packed_assignment(self) -> np.ndarray:
+        """Pack VMs (in random order) onto hosts starting at a random offset."""
+        return self._packed_from_order(self._rng.permutation(self._n_vms))
+
+    def _component_packed_assignment(self) -> np.ndarray:
+        """Pack whole traffic components onto consecutive hosts.
+
+        Random per-component and per-VM sort keys realize "shuffle the
+        components, shuffle members within each" as one lexsort.
+        """
+        component_key = self._rng.random(self._n_components)
+        vm_key = self._rng.random(self._n_vms)
+        order = np.lexsort((vm_key, component_key[self._component_id]))
+        return self._packed_from_order(order)
 
     def _traffic_components(self) -> List[np.ndarray]:
         """Connected components of the traffic graph, as VM-index arrays."""
@@ -309,29 +339,260 @@ class GeneticOptimizer:
             groups.setdefault(find(i), []).append(i)
         return [np.array(members, dtype=np.int64) for members in groups.values()]
 
-    def _crossover(self, parent_a: np.ndarray, parent_b: np.ndarray) -> np.ndarray:
+    # -- batched generation --------------------------------------------------------
+
+    def step(self, population: np.ndarray, costs: np.ndarray) -> None:
+        """One steady-state generation over the population matrix, in place.
+
+        Breeds ``pop // 2`` offspring — tournament parents, component-mask
+        crossover, batched capacity repair, swap mutation — scores them in
+        one :func:`repro.core.fastcost.population_cost` pass, and replaces
+        the losers of reverse tournaments.  Entirely numpy; the only python
+        loops are over mutation swap slots (a small constant) and repair
+        rounds (three).
+        """
+        config = self._config
+        rng = self._rng
+        pop = population.shape[0]
+        n_offspring = max(1, pop // 2)
+        k = config.tournament_k
+
+        parent_a = tournament_select(
+            costs, rng.integers(0, pop, size=(n_offspring, k))
+        )
+        children = population[parent_a].copy()
+
+        # EAX-style crossover: each crossing child inherits whole traffic
+        # components from a second tournament parent under a fair coin.
+        crossing = np.nonzero(rng.random(n_offspring) < config.crossover_rate)[0]
+        if crossing.size:
+            parent_b = tournament_select(
+                costs, rng.integers(0, pop, size=(crossing.size, k))
+            )
+            coin = rng.random((crossing.size, self._n_components)) < 0.5
+            take_b = coin[:, self._component_id]
+            mixed = np.where(take_b, population[parent_b], children[crossing])
+            population_repair(mixed, self._slots, self._rack_of, self._pod_of)
+            children[crossing] = mixed
+
+        # Swap mutation (§VI-A).  Swaps permute a row, so per-host counts —
+        # and hence feasibility — are untouched: no repair needed after.
+        mutating = np.nonzero(rng.random(n_offspring) < config.mutation_rate)[0]
+        if mutating.size:
+            max_swaps = config.max_mutation_swaps
+            n_swaps = rng.integers(1, max_swaps + 1, size=mutating.size)
+            swap_pairs = rng.integers(
+                0, self._n_vms, size=(mutating.size, max_swaps, 2)
+            )
+            apply_swap_mutations(children, mutating, swap_pairs, n_swaps)
+
+        # Untouched children are verbatim parent copies: inherit the parent
+        # cost and score only the rows crossover or mutation actually moved.
+        child_costs = costs[parent_a].copy()
+        touched = np.union1d(crossing, mutating)
+        if touched.size:
+            child_costs[touched] = self.population_costs(children[touched])
+
+        # Replacement by reverse tournament: each child challenges the loser
+        # of a tournament over the current population.  Children contending
+        # for the same slot are resolved best-first (deterministically), so
+        # the batched outcome matches applying the replacements one by one
+        # with the strongest claim winning.
+        losers = tournament_select(
+            costs, rng.integers(0, pop, size=(n_offspring, k)), worst=True
+        )
+        order = np.lexsort((child_costs, losers))
+        losers_sorted = losers[order]
+        first_per_slot = np.concatenate(
+            [[True], losers_sorted[1:] != losers_sorted[:-1]]
+        )
+        chosen = order[first_per_slot]
+        slots_challenged = losers[chosen]
+        better = child_costs[chosen] < costs[slots_challenged]
+        population[slots_challenged[better]] = children[chosen[better]]
+        costs[slots_challenged[better]] = child_costs[chosen[better]]
+
+    # -- batched local polish --------------------------------------------------------
+
+    def _greedy_polish(self, assignment: np.ndarray, max_passes: int = 3) -> None:
+        """Move each VM toward its best feasible host near its peers.
+
+        Each pass scores, for every communicating VM at once, every host in
+        its peers' racks (one flat candidate × peer expansion over the CSR
+        snapshot), then applies the improving moves in descending-gain
+        order under the live slot counts.  Scores are computed against the
+        pass-start assignment, so a pass is a batched best-response sweep
+        rather than the sequential per-VM descent of the pre-batching
+        implementation; callers that must not regress compare costs before
+        adopting the polished vector.
+        """
+        snap = self._snapshot
+        if snap.row.size == 0:
+            return
+        hosts_per_rack = self._n_hosts // self._topology.n_racks
+        slots = self._slots
+        counts = np.bincount(assignment, minlength=self._n_hosts)
+        ptr = snap.ptr
+        degree = np.diff(ptr)
+        pw = self._path_weight
+        for _pass in range(max_passes):
+            peer_host = assignment[snap.peer]
+            # Candidates: for every directed edge, the hosts of the peer's
+            # rack (the peer's own host included).  Duplicates across edges
+            # of one VM only re-derive the same score.
+            rack_first = (
+                (self._rack_of[peer_host] * hosts_per_rack)[:, None]
+                + np.arange(hosts_per_rack)
+            )
+            cand_host = rack_first.ravel()
+            cand_owner = np.repeat(snap.row, hosts_per_rack)
+
+            # Score every candidate against ALL peers of its owner VM via a
+            # ragged expansion of the owner's CSR slice, chunked over
+            # candidate rows so the expansion stays memory-bounded even
+            # when hot services inflate Σ degree².
+            cand_deg = degree[cand_owner]
+            score = np.empty(cand_host.size)
+            bounds = np.searchsorted(
+                np.cumsum(cand_deg), np.arange(0, int(cand_deg.sum()), 8_000_000)
+            )
+            bounds = np.unique(np.concatenate([bounds, [cand_host.size]]))
+            for lo, hi in zip(bounds[:-1], bounds[1:]):
+                deg_block = cand_deg[lo:hi]
+                expanded = np.repeat(
+                    ptr[cand_owner[lo:hi]]
+                    - np.concatenate([[0], np.cumsum(deg_block)[:-1]]),
+                    deg_block,
+                ) + np.arange(int(deg_block.sum()))
+                block_row = np.repeat(np.arange(hi - lo), deg_block)
+                levels = pair_levels(
+                    np.repeat(cand_host[lo:hi], deg_block).astype(np.int64),
+                    assignment[snap.peer[expanded]].astype(np.int64),
+                    self._rack_of,
+                    self._pod_of,
+                )
+                score[lo:hi] = np.bincount(
+                    block_row,
+                    weights=snap.rate[expanded] * pw[levels],
+                    minlength=hi - lo,
+                )
+
+            # Current per-VM placement cost (Eq. 1 restricted to peers).
+            cur_levels = pair_levels(
+                assignment[snap.row].astype(np.int64),
+                peer_host.astype(np.int64),
+                self._rack_of,
+                self._pod_of,
+            )
+            current = np.bincount(
+                snap.row,
+                weights=snap.rate * pw[cur_levels],
+                minlength=self._n_vms,
+            )
+
+            best = np.full(self._n_vms, np.inf)
+            np.minimum.at(best, cand_owner, score)
+            improving = best < current - 1e-12
+            winner_rows = np.nonzero(
+                (score <= best[cand_owner]) & improving[cand_owner]
+            )[0]
+            movers, first_idx = np.unique(
+                cand_owner[winner_rows], return_index=True
+            )
+            targets = cand_host[winner_rows[first_idx]]
+
+            gain_order = np.argsort(
+                -(current[movers] - best[movers]), kind="stable"
+            )
+            moved = 0
+            for idx in gain_order:
+                vm = int(movers[idx])
+                target = int(targets[idx])
+                source = int(assignment[vm])
+                if target == source or counts[target] >= slots[target]:
+                    continue
+                counts[source] -= 1
+                counts[target] += 1
+                assignment[vm] = target
+                moved += 1
+            if moved == 0:
+                break
+
+    # -- per-individual reference (pre-batching semantics) ----------------------------
+
+    def step_reference(
+        self,
+        population: np.ndarray,
+        costs: np.ndarray,
+        n_offspring: Optional[int] = None,
+    ) -> None:
+        """The pre-batching per-individual generation, kept verbatim.
+
+        Differential tests and the paper-scale benchmark use this as the
+        reference the batched :meth:`step` is compared against — same
+        operators, python loops over individuals and traffic components.
+        ``n_offspring`` trims the brood (benchmarks time a sample and
+        extrapolate); defaults to the production ``pop // 2``.
+        """
+        config = self._config
+        pop = population.shape[0]
+        if n_offspring is None:
+            n_offspring = max(1, pop // 2)
+        offspring: List[np.ndarray] = []
+        for _ in range(n_offspring):
+            a = self._tournament_reference(costs)
+            if self._rng.random() < config.crossover_rate:
+                b = self._tournament_reference(costs)
+                child = self._crossover_reference(population[a], population[b])
+            else:
+                child = population[a].copy()
+            if self._rng.random() < config.mutation_rate:
+                self._mutate_reference(child)
+                self._repair_reference(child)
+            offspring.append(child)
+        offspring_costs = np.array([self.cost_of(ind) for ind in offspring])
+        # Replacement by reverse tournament: offspring replace the losers
+        # of tournaments over the current population.
+        for child, child_cost in zip(offspring, offspring_costs):
+            contenders = self._rng.integers(
+                0, pop, size=config.tournament_k
+            )
+            loser = int(contenders[np.argmax(costs[contenders])])
+            if child_cost < costs[loser]:
+                population[loser] = child
+                costs[loser] = child_cost
+
+    def _tournament_reference(self, costs: np.ndarray) -> int:
+        """Index of the tournament winner (lowest cost)."""
+        contenders = self._rng.integers(
+            0, len(costs), size=self._config.tournament_k
+        )
+        return int(contenders[np.argmin(costs[contenders])])
+
+    def _crossover_reference(
+        self, parent_a: np.ndarray, parent_b: np.ndarray
+    ) -> np.ndarray:
         """EAX-style: inherit whole traffic components from either parent."""
         child = parent_a.copy()
         for component in self._components:
             if self._rng.random() < 0.5:
                 child[component] = parent_b[component]
-        self._repair(child)
+        self._repair_reference(child)
         return child
 
-    def _mutate(self, individual: np.ndarray) -> None:
+    def _mutate_reference(self, individual: np.ndarray) -> None:
         """Swap a random number of VMs between racks (paper §VI-A)."""
         n_swaps = int(self._rng.integers(1, self._config.max_mutation_swaps + 1))
         for _ in range(n_swaps):
             i, j = self._rng.integers(0, self._n_vms, size=2)
             individual[i], individual[j] = individual[j], individual[i]
 
-    def _repair(self, assignment: np.ndarray) -> None:
+    def _repair_reference(self, assignment: np.ndarray) -> None:
         """Move VMs off over-capacity hosts to the nearest free host."""
         counts = np.bincount(assignment, minlength=self._n_hosts)
         over = np.where(counts > self._slots)[0]
         if over.size == 0:
             return
-        free_hosts = list(np.where(counts < self._slots)[0])
         for host in over:
             excess = int(counts[host] - self._slots[host])
             victims = np.where(assignment == host)[0][:excess]
@@ -351,91 +612,3 @@ class GeneticOptimizer:
         if np.any(same_pod):
             return int(np.where(same_pod)[0][0])
         return int(np.where(free)[0][0])
-
-    def _host_level(self, host_a: int, host_b: int) -> int:
-        if host_a == host_b:
-            return 0
-        if self._rack_of[host_a] == self._rack_of[host_b]:
-            return 1
-        if self._pod_of[host_a] == self._pod_of[host_b]:
-            return 2
-        return 3
-
-    def _greedy_polish(self, assignment: np.ndarray, max_passes: int = 3) -> None:
-        """Move each VM to its best feasible host near its peers, to fixpoint."""
-        counts = np.bincount(assignment, minlength=self._n_hosts)
-        pw = self._path_weight
-        for _pass in range(max_passes):
-            improved = False
-            for vm in self._rng.permutation(self._n_vms):
-                neighbors = self._adjacency[vm]
-                if not neighbors:
-                    continue
-                current = int(assignment[vm])
-
-                def placement_cost(host: int) -> float:
-                    return sum(
-                        rate * pw[self._host_level(host, int(assignment[p]))]
-                        for p, rate in neighbors
-                    )
-
-                best_host, best_val = current, placement_cost(current)
-                candidates: set = set()
-                for p, _rate in neighbors:
-                    peer_host = int(assignment[p])
-                    candidates.add(peer_host)
-                    candidates.update(
-                        int(h) for h in self._rack_hosts[self._rack_of[peer_host]]
-                    )
-                candidates.discard(current)
-                for host in candidates:
-                    if counts[host] >= self._slots[host]:
-                        continue
-                    value = placement_cost(host)
-                    if value < best_val - 1e-12:
-                        best_val, best_host = value, host
-                if best_host != current:
-                    counts[current] -= 1
-                    counts[best_host] += 1
-                    assignment[vm] = best_host
-                    improved = True
-            if not improved:
-                break
-
-    def _tournament(self, costs: np.ndarray) -> int:
-        """Index of the tournament winner (lowest cost)."""
-        contenders = self._rng.integers(
-            0, len(costs), size=self._config.tournament_k
-        )
-        return int(contenders[np.argmin(costs[contenders])])
-
-    def _step(
-        self, population: List[np.ndarray], costs: np.ndarray
-    ) -> Tuple[List[np.ndarray], np.ndarray]:
-        """One steady-state generation: breed offspring, replace losers."""
-        config = self._config
-        n_offspring = max(1, len(population) // 2)
-        offspring: List[np.ndarray] = []
-        for _ in range(n_offspring):
-            a = self._tournament(costs)
-            if self._rng.random() < config.crossover_rate:
-                b = self._tournament(costs)
-                child = self._crossover(population[a], population[b])
-            else:
-                child = population[a].copy()
-            if self._rng.random() < config.mutation_rate:
-                self._mutate(child)
-                self._repair(child)
-            offspring.append(child)
-        offspring_costs = np.array([self.cost_of(ind) for ind in offspring])
-        # Replacement by reverse tournament: offspring replace the losers
-        # of tournaments over the current population.
-        for child, child_cost in zip(offspring, offspring_costs):
-            contenders = self._rng.integers(
-                0, len(population), size=config.tournament_k
-            )
-            loser = int(contenders[np.argmax(costs[contenders])])
-            if child_cost < costs[loser]:
-                population[loser] = child
-                costs[loser] = child_cost
-        return population, costs

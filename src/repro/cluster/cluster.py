@@ -50,8 +50,10 @@ class Cluster:
         """The server on topology host ``host``."""
         return self._servers[host]
 
-    def capacity_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Per-host (max_vms, ram_mb, cpu) capacity as flat arrays.
+    def capacity_arrays(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-host (max_vms, ram_mb, cpu, nic_bps) capacity as flat arrays.
 
         The single source the vectorized feasibility checks (fast-cost
         engine, ``place_random``) build their mirrors from, so a new
@@ -69,9 +71,12 @@ class Cluster:
             cpu = np.fromiter(
                 (s.capacity.cpu for s in self._servers), dtype=float, count=n
             )
-            for array in (slots, ram, cpu):
+            nic = np.fromiter(
+                (s.capacity.nic_bps for s in self._servers), dtype=float, count=n
+            )
+            for array in (slots, ram, cpu, nic):
                 array.setflags(write=False)
-            self._capacity_arrays = (slots, ram, cpu)
+            self._capacity_arrays = (slots, ram, cpu, nic)
         return self._capacity_arrays
 
     def servers(self) -> Iterator[Server]:

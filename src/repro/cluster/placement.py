@@ -87,7 +87,7 @@ def place_random(cluster: Cluster, vms: Iterable[VM], seed: SeedLike = None) -> 
     rng = make_rng(seed)
     allocation = Allocation(cluster)
     n = cluster.n_servers
-    cap_slots, cap_ram, cap_cpu = cluster.capacity_arrays()
+    cap_slots, cap_ram, cap_cpu, _ = cluster.capacity_arrays()
     free_slots = cap_slots.copy()
     free_ram = cap_ram.copy()
     used_cpu = np.zeros(n, dtype=float)

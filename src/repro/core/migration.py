@@ -295,11 +295,11 @@ class MigrationEngine:
         vm = allocation.vm(vm_u)
         mask = fast.can_host_many(candidates, vm)
         if self._bandwidth_threshold is not None:
-            for i in np.nonzero(mask)[0]:
-                if not self.bandwidth_feasible(
-                    allocation, traffic, vm_u, int(candidates[i])
-                ):
-                    mask[i] = False
+            # §V-C from the engine's incremental per-host egress mirror —
+            # one vectorized pass instead of a naive per-candidate walk.
+            mask &= fast.bandwidth_feasible_many(
+                vm_u, candidates, self._bandwidth_threshold
+            )
         feasible = candidates[mask]
         if feasible.size == 0:
             return MigrationDecision(

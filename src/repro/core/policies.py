@@ -11,7 +11,8 @@ additional members of that space (:class:`RandomPolicy` and
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Optional
+from bisect import bisect_left, bisect_right, insort
+from typing import Dict, List, Optional
 
 from repro.cluster.allocation import Allocation
 from repro.core.cost import CostModel
@@ -87,6 +88,14 @@ class HighestLevelFirstPolicy(TokenPolicy):
 
     def __init__(self) -> None:
         self._checked: set = set()
+        # Per-level sorted buckets of *unchecked* VM IDs, mirroring the
+        # token's recorded levels minus the checked set.  Successor queries
+        # are then one bisect per level — O(log n + levels) per hold —
+        # instead of the naive O(|V|) cyclic ID scan (which survives in the
+        # differential test as the reference oracle).
+        self._unchecked: Dict[int, List[int]] = {}
+        self._synced_token: Optional[Token] = None
+        self._synced_version: Optional[int] = None
 
     def on_hold(
         self,
@@ -96,7 +105,10 @@ class HighestLevelFirstPolicy(TokenPolicy):
         traffic: TrafficMatrix,
         cost_model: CostModel,
     ) -> None:
-        self._checked.add(vm_u)
+        self._sync(token)
+        if vm_u not in self._checked:
+            self._checked.add(vm_u)
+            self._bucket_discard(token.level_of(vm_u), vm_u)
         token.set_level(vm_u, cost_model.highest_level(allocation, traffic, vm_u))
         host_u = allocation.server_of(vm_u)
         for peer in traffic.peers_of(vm_u):
@@ -104,7 +116,11 @@ class HighestLevelFirstPolicy(TokenPolicy):
                 level = cost_model.topology.level_between(
                     host_u, allocation.server_of(peer)
                 )
-                token.raise_level(peer, level)
+                old = token.level_of(peer)
+                if token.raise_level(peer, level) and peer not in self._checked:
+                    self._bucket_discard(old, peer)
+                    self._bucket_add(level, peer)
+        self._synced_version = token.version
 
     def next_vm(
         self,
@@ -114,33 +130,84 @@ class HighestLevelFirstPolicy(TokenPolicy):
         traffic: TrafficMatrix,
         cost_model: CostModel,
     ) -> int:
+        self._sync(token)
         # Scan current level downwards; within a level, cyclic ID order
         # starting just after u (the paper's z ← u ⊕ 1), skipping VMs
         # already checked this round.
         for level in range(token.level_of(vm_u), -1, -1):
-            candidate = self._next_at_level(token, vm_u, level)
+            candidate = self._next_unchecked_at_level(vm_u, level)
             if candidate is not None:
                 return candidate
         # Also consider unchecked VMs recorded *above* the holder's level
         # (stale overestimates still deserve their turn this round).
         for level in range(token.max_recorded_level(), token.level_of(vm_u), -1):
-            candidate = self._next_at_level(token, vm_u, level)
+            candidate = self._next_unchecked_at_level(vm_u, level)
             if candidate is not None:
                 return candidate
         # No unchecked VMs are left: new round.  Line 16 fallback — lowest
         # ID among the VMs recorded at the maximum level.
         self._checked.clear()
+        self._rebuild(token)
         top = token.max_recorded_level()
         return min(token.vms_at_level(top))
 
-    def _next_at_level(self, token: Token, vm_u: int, level: int) -> Optional[int]:
+    def _next_unchecked_at_level(self, vm_u: int, level: int) -> Optional[int]:
         """First unchecked VM after u (cyclically) recorded at ``level``."""
-        candidate = token.successor(vm_u)
-        while candidate != vm_u:
-            if token.level_of(candidate) == level and candidate not in self._checked:
+        bucket = self._unchecked.get(level)
+        if not bucket:
+            return None
+        start = bisect_right(bucket, vm_u)
+        for index in range(start, start + len(bucket)):
+            candidate = bucket[index % len(bucket)]
+            if candidate != vm_u:
                 return candidate
-            candidate = token.successor(candidate)
         return None
+
+    # -- unchecked-bucket maintenance ------------------------------------------
+
+    def _sync(self, token: Token) -> None:
+        """Rebuild the unchecked buckets if the token mutated out-of-band.
+
+        The policy tracks its own mutations via the token's version
+        counter; any other writer (tests priming levels, churn handlers)
+        invalidates the derived buckets and triggers one O(n) rebuild.
+        """
+        if (
+            token is not self._synced_token
+            or token.version != self._synced_version
+        ):
+            self._rebuild(token)
+
+    def _rebuild(self, token: Token) -> None:
+        self._unchecked = {}
+        for level in token.levels_present():
+            bucket = [
+                vm_id
+                for vm_id in token.vms_at_level(level)
+                if vm_id not in self._checked
+            ]
+            if bucket:
+                self._unchecked[level] = bucket
+        self._synced_token = token
+        self._synced_version = token.version
+
+    def _bucket_add(self, level: int, vm_id: int) -> None:
+        bucket = self._unchecked.get(level)
+        if bucket is None:
+            self._unchecked[level] = [vm_id]
+        else:
+            insort(bucket, vm_id)
+
+    def _bucket_discard(self, level: int, vm_id: int) -> None:
+        bucket = self._unchecked.get(level)
+        if not bucket:
+            return
+        index = bisect_left(bucket, vm_id)
+        if index < len(bucket) and bucket[index] == vm_id:
+            if len(bucket) == 1:
+                del self._unchecked[level]
+            else:
+                del bucket[index]
 
 
 class RandomPolicy(TokenPolicy):

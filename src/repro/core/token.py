@@ -54,6 +54,11 @@ class Token:
                 raise ValueError(f"vm_id must fit in 32 bits, got {vm_id}")
         self._ids: List[int] = ids
         self._levels: Dict[int, int] = {vm_id: 0 for vm_id in ids}
+        # Per-level sorted ID buckets (levels with no VMs are absent) plus a
+        # mutation counter; what lets the Highest-Level-First policy find
+        # level successors in O(log n) instead of scanning all IDs.
+        self._buckets: Dict[int, List[int]] = {0: list(ids)}
+        self._version = 0
 
     # -- entry access ----------------------------------------------------------
 
@@ -82,13 +87,29 @@ class Token:
         """Recorded highest-level estimate l_v for a VM."""
         return self._levels[vm_id]
 
+    @property
+    def version(self) -> int:
+        """Counter bumped on every mutation (levels or membership).
+
+        Policies maintaining derived indexes (e.g. the HLF unchecked
+        buckets) compare it to detect out-of-band token mutations and
+        rebuild instead of drifting.
+        """
+        return self._version
+
     def set_level(self, vm_id: int, level: int) -> None:
         """Overwrite a VM's recorded level (bounds-checked)."""
         if vm_id not in self._levels:
             raise KeyError(f"VM {vm_id} is not in the token")
         if not 0 <= level <= MAX_LEVEL_VALUE:
             raise ValueError(f"level must fit in 8 bits, got {level}")
+        old = self._levels[vm_id]
+        if old == level:
+            return
+        self._bucket_remove(old, vm_id)
+        self._bucket_add(level, vm_id)
         self._levels[vm_id] = level
+        self._version += 1
 
     def raise_level(self, vm_id: int, level: int) -> bool:
         """Record ``level`` only if it exceeds the stored estimate.
@@ -113,6 +134,8 @@ class Token:
             raise ValueError(f"level must fit in 8 bits, got {level}")
         insort(self._ids, vm_id)
         self._levels[vm_id] = level
+        self._bucket_add(level, vm_id)
+        self._version += 1
 
     def remove_vm(self, vm_id: int) -> None:
         """Drop a VM entry (e.g. the VM terminated)."""
@@ -122,7 +145,9 @@ class Token:
             raise ValueError("cannot remove the last entry of a token")
         index = bisect_left(self._ids, vm_id)
         del self._ids[index]
+        self._bucket_remove(self._levels[vm_id], vm_id)
         del self._levels[vm_id]
+        self._version += 1
 
     # -- circulation ----------------------------------------------------------------
 
@@ -138,12 +163,35 @@ class Token:
         return self._ids[index]
 
     def vms_at_level(self, level: int) -> List[int]:
-        """All VM IDs whose recorded estimate equals ``level`` (ascending)."""
-        return [vm_id for vm_id in self._ids if self._levels[vm_id] == level]
+        """All VM IDs whose recorded estimate equals ``level`` (ascending).
+
+        Served from the per-level bucket: O(bucket size), not O(|V|).
+        """
+        return list(self._buckets.get(level, ()))
 
     def max_recorded_level(self) -> int:
         """Highest level estimate currently recorded in the token."""
-        return max(self._levels.values())
+        return max(self._buckets)
+
+    def levels_present(self) -> List[int]:
+        """Levels that currently have at least one VM recorded (ascending)."""
+        return sorted(self._buckets)
+
+    # -- bucket maintenance -----------------------------------------------------
+
+    def _bucket_add(self, level: int, vm_id: int) -> None:
+        bucket = self._buckets.get(level)
+        if bucket is None:
+            self._buckets[level] = [vm_id]
+        else:
+            insort(bucket, vm_id)
+
+    def _bucket_remove(self, level: int, vm_id: int) -> None:
+        bucket = self._buckets[level]
+        if len(bucket) == 1:
+            del self._buckets[level]
+        else:
+            del bucket[bisect_left(bucket, vm_id)]
 
     # -- wire format --------------------------------------------------------------------
 
@@ -164,6 +212,8 @@ class Token:
         token = cls.__new__(cls)
         token._ids = []
         token._levels = {}
+        token._buckets = {}
+        token._version = 0
         previous = -1
         for offset in range(0, len(payload), _ENTRY.size):
             vm_id, level = _ENTRY.unpack_from(payload, offset)
@@ -174,6 +224,7 @@ class Token:
             previous = vm_id
             token._ids.append(vm_id)
             token._levels[vm_id] = level
+            token._buckets.setdefault(level, []).append(vm_id)
         return token
 
     @property

@@ -37,6 +37,8 @@ class Topology(ABC):
         self._links_by_level: Dict[int, List[LinkId]] = {}
         self._rack_ids: Optional[np.ndarray] = None
         self._pod_ids: Optional[np.ndarray] = None
+        self._dense_link_ids: Optional[List[LinkId]] = None
+        self._link_dense_index: Optional[Dict[LinkId, int]] = None
 
     # -- structure ---------------------------------------------------------
 
@@ -176,6 +178,57 @@ class Topology(ABC):
             raise ValueError(f"duplicate link {link.link_id!r}")
         self._links[link.link_id] = link
         self._links_by_level.setdefault(link.level, []).append(link.link_id)
+
+    # -- dense link indexing (vectorized routing) -----------------------------
+
+    def dense_link_ids(self) -> List[LinkId]:
+        """Link ids in registration order; index = dense link index.
+
+        The dense index space is what the vectorized path enumeration
+        (:meth:`batch_path_link_indices`) speaks, so per-link accounting
+        can run as ``np.bincount`` over integer link indices.
+        """
+        if self._dense_link_ids is None:
+            self._dense_link_ids = list(self._links)
+        return self._dense_link_ids
+
+    def link_dense_index(self) -> Dict[LinkId, int]:
+        """Mapping from link id to its dense index (built once, cached)."""
+        if self._link_dense_index is None:
+            self._link_dense_index = {
+                link_id: i for i, link_id in enumerate(self.dense_link_ids())
+            }
+        return self._link_dense_index
+
+    def batch_path_link_indices(
+        self,
+        hosts_u: np.ndarray,
+        hosts_v: np.ndarray,
+        flow_keys: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Dense link indices of every flow's ECMP path, flattened.
+
+        Returns ``(link_indices, flow_indices)`` where entry ``j`` says
+        flow ``flow_indices[j]`` traverses link ``link_indices[j]``; each
+        flow contributes one entry per link of its path (co-located flows
+        contribute none).  Paths match :meth:`path_links` with the same
+        flow key exactly — the differential suite pins that.  This base
+        implementation routes per pair in python; the paper topologies
+        override it with fully vectorized enumeration.
+        """
+        index = self.link_dense_index()
+        links: List[int] = []
+        flows: List[int] = []
+        for i, (hu, hv, key) in enumerate(
+            zip(hosts_u.tolist(), hosts_v.tolist(), flow_keys.tolist())
+        ):
+            for link in self.path_links(int(hu), int(hv), flow_key=int(key)):
+                links.append(index[link])
+                flows.append(i)
+        return (
+            np.array(links, dtype=np.int64),
+            np.array(flows, dtype=np.int64),
+        )
 
     # -- interop -------------------------------------------------------------
 

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+import numpy as np
+
 from repro.topology.base import (
     Topology,
     agg_node,
@@ -24,7 +26,7 @@ from repro.topology.base import (
     tor_node,
 )
 from repro.topology.links import Link, LinkId, canonical_link_id
-from repro.util.rng import stable_hash32
+from repro.util.rng import stable_hash32, stable_hash32_of_ints
 
 
 class FatTree(Topology):
@@ -139,6 +141,124 @@ class FatTree(Topology):
         agg_up_b = canonical_link_id(agg_node(agg_b), core_node(core))
         tor_up_b = canonical_link_id(tor_node(rack_b), agg_node(agg_b))
         return (up_a, tor_up_a, agg_up_a, agg_up_b, tor_up_b, up_b)
+
+    def batch_path_link_indices(
+        self,
+        hosts_u: np.ndarray,
+        hosts_v: np.ndarray,
+        flow_keys: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`path_links` over whole flow arrays.
+
+        The ECMP column/core choice replays the scalar method bit-for-bit:
+        the flow key is FNV-hashed (vectorized decimal-digit FNV-1a), the
+        aggregation column is ``hash % (k/2)`` and the core member
+        ``(hash >> 8) % (k/2)``.
+        """
+        hu = np.asarray(hosts_u, dtype=np.int64)
+        hv = np.asarray(hosts_v, dtype=np.int64)
+        keys = np.asarray(flow_keys, dtype=np.uint64)
+        host_up, tor_agg, agg_core = self._link_index_tables()
+        rack_of = self.host_rack_ids()
+        pod_of = self.host_pod_ids()
+        ru, rv = rack_of[hu], rack_of[hv]
+        pu, pv = pod_of[hu], pod_of[hv]
+        flows = np.arange(len(hu), dtype=np.int64)
+
+        up = hu != hv
+        cross_rack = ru != rv
+        cross_pod = pu != pv
+        same_pod_cross_rack = cross_rack & ~cross_pod
+
+        mixed = stable_hash32_of_ints(keys)
+        j = (mixed % np.uint64(self._half)).astype(np.int64)
+        member = ((mixed >> np.uint64(8)) % np.uint64(self._half)).astype(
+            np.int64
+        )
+
+        # Level 2 (same pod): up through column j's agg of the shared pod.
+        m2 = same_pod_cross_rack
+        # Level 3: each pod's column-j agg plus the chosen core of group j.
+        m3 = cross_pod
+        agg_a3 = pu[m3] * self._half + j[m3]
+        agg_b3 = pv[m3] * self._half + j[m3]
+        links = np.concatenate(
+            [
+                host_up[hu[up]],
+                host_up[hv[up]],
+                tor_agg[ru[m2], j[m2]],
+                tor_agg[rv[m2], j[m2]],
+                tor_agg[ru[m3], j[m3]],
+                tor_agg[rv[m3], j[m3]],
+                agg_core[agg_a3, member[m3]],
+                agg_core[agg_b3, member[m3]],
+            ]
+        )
+        flow_idx = np.concatenate(
+            [
+                flows[up],
+                flows[up],
+                flows[m2],
+                flows[m2],
+                flows[m3],
+                flows[m3],
+                flows[m3],
+                flows[m3],
+            ]
+        )
+        return links, flow_idx
+
+    def _link_index_tables(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached dense-link-index tables (host, ToR×column, agg×member)."""
+        if not hasattr(self, "_link_tables"):
+            index = self.link_dense_index()
+            host_up = np.array(
+                [
+                    index[
+                        canonical_link_id(
+                            host_node(h), tor_node(h // self._half)
+                        )
+                    ]
+                    for h in range(self.n_hosts)
+                ],
+                dtype=np.int64,
+            )
+            tor_agg = np.array(
+                [
+                    [
+                        index[
+                            canonical_link_id(
+                                tor_node(rack),
+                                agg_node((rack // self._half) * self._half + j),
+                            )
+                        ]
+                        for j in range(self._half)
+                    ]
+                    for rack in range(self.n_racks)
+                ],
+                dtype=np.int64,
+            )
+            agg_core = np.array(
+                [
+                    [
+                        index[
+                            canonical_link_id(
+                                agg_node(agg),
+                                core_node(
+                                    (agg % self._half) * self._half + member
+                                ),
+                            )
+                        ]
+                        for member in range(self._half)
+                    ]
+                    for agg in range(self._k * self._half)
+                ],
+                dtype=np.int64,
+            )
+            self._link_tables = (host_up, tor_agg, agg_core)
+        return self._link_tables
 
     # -- construction ----------------------------------------------------------------
 

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+import numpy as np
+
 from repro.topology.base import (
     Topology,
     agg_node,
@@ -139,6 +141,94 @@ class CanonicalTree(Topology):
         agg_up_a = canonical_link_id(agg_node(agg_a), core_node(core))
         agg_up_b = canonical_link_id(agg_node(agg_b), core_node(core))
         return (up_a, tor_up_a, agg_up_a, agg_up_b, tor_up_b, up_b)
+
+    def batch_path_link_indices(
+        self,
+        hosts_u: np.ndarray,
+        hosts_v: np.ndarray,
+        flow_keys: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`path_links` over whole flow arrays.
+
+        Same paths, same ECMP core choice (``flow_key % n_cores``) as the
+        scalar method, but computed as integer arithmetic over cached
+        per-layer link-index tables — no per-pair python.
+        """
+        hu = np.asarray(hosts_u, dtype=np.int64)
+        hv = np.asarray(hosts_v, dtype=np.int64)
+        keys = np.asarray(flow_keys, dtype=np.uint64)
+        host_up, tor_up, agg_core = self._link_index_tables()
+        rack_of = self.host_rack_ids()
+        ru, rv = rack_of[hu], rack_of[hv]
+        agg_u, agg_v = ru // self._tors_per_agg, rv // self._tors_per_agg
+        flows = np.arange(len(hu), dtype=np.int64)
+
+        up = hu != hv  # level >= 1: both access links
+        cross_rack = ru != rv  # level >= 2: both ToR uplinks
+        cross_agg = agg_u != agg_v  # level 3: two core links
+        core = (keys[cross_agg] % np.uint64(self._n_cores)).astype(np.int64)
+        links = np.concatenate(
+            [
+                host_up[hu[up]],
+                host_up[hv[up]],
+                tor_up[ru[cross_rack]],
+                tor_up[rv[cross_rack]],
+                agg_core[agg_u[cross_agg], core],
+                agg_core[agg_v[cross_agg], core],
+            ]
+        )
+        flow_idx = np.concatenate(
+            [
+                flows[up],
+                flows[up],
+                flows[cross_rack],
+                flows[cross_rack],
+                flows[cross_agg],
+                flows[cross_agg],
+            ]
+        )
+        return links, flow_idx
+
+    def _link_index_tables(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached dense-link-index tables per layer (host, ToR, agg×core)."""
+        if not hasattr(self, "_link_tables"):
+            index = self.link_dense_index()
+            host_up = np.array(
+                [
+                    index[
+                        canonical_link_id(
+                            host_node(h), tor_node(h // self._hosts_per_rack)
+                        )
+                    ]
+                    for h in range(self.n_hosts)
+                ],
+                dtype=np.int64,
+            )
+            tor_up = np.array(
+                [
+                    index[
+                        canonical_link_id(
+                            tor_node(r), agg_node(r // self._tors_per_agg)
+                        )
+                    ]
+                    for r in range(self._n_racks)
+                ],
+                dtype=np.int64,
+            )
+            agg_core = np.array(
+                [
+                    [
+                        index[canonical_link_id(agg_node(a), core_node(c))]
+                        for c in range(self._n_cores)
+                    ]
+                    for a in range(self._n_aggs)
+                ],
+                dtype=np.int64,
+            )
+            self._link_tables = (host_up, tor_up, agg_core)
+        return self._link_tables
 
     # -- construction ------------------------------------------------------------
 

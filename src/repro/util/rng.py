@@ -53,3 +53,29 @@ def stable_hash32(value: str) -> int:
         h ^= byte
         h = (h * 0x01000193) & 0xFFFFFFFF
     return h
+
+
+def stable_hash32_of_ints(values: np.ndarray) -> np.ndarray:
+    """Vectorized ``stable_hash32(str(v))`` for arrays of non-negative ints.
+
+    Feeds each value's decimal digits through FNV-1a exactly as the scalar
+    form hashes the number's string representation (the fat-tree ECMP hash),
+    but digit-position by digit-position over the whole array — the per-key
+    python loop this replaces dominated paper-scale link-load accounting.
+    """
+    keys = np.asarray(values, dtype=np.uint64)
+    n_digits = np.ones(keys.shape, dtype=np.int64)
+    remaining = keys // np.uint64(10)
+    while np.any(remaining > 0):
+        n_digits[remaining > 0] += 1
+        remaining //= np.uint64(10)
+    hashes = np.full(keys.shape, 0x811C9DC5, dtype=np.uint64)
+    mask32 = np.uint64(0xFFFFFFFF)
+    prime = np.uint64(0x01000193)
+    for position in range(int(n_digits.max()) if keys.size else 0):
+        active = n_digits > position
+        shift = np.clip(n_digits - 1 - position, 0, None)
+        digit = (keys // np.power(np.uint64(10), shift.astype(np.uint64))) % np.uint64(10)
+        updated = ((hashes ^ (digit + np.uint64(48))) * prime) & mask32
+        hashes = np.where(active, updated, hashes)
+    return hashes

@@ -113,6 +113,125 @@ class TestHighestLevelFirst:
         assert policy.next_vm(token, 4, allocation, tm, model) == 1
 
 
+class _NaiveHighestLevelFirst:
+    """The pre-bucketing HLF scan, kept verbatim as the reference oracle.
+
+    Scans every VM id cyclically via ``token.successor`` per level — the
+    O(|V|)-per-hold behaviour the bucketed policy replaces; the
+    differential test below pins the bucketed successor choice to it.
+    """
+
+    def __init__(self):
+        self._checked = set()
+
+    def on_hold(self, token, vm_u, allocation, traffic, cost_model):
+        self._checked.add(vm_u)
+        token.set_level(vm_u, cost_model.highest_level(allocation, traffic, vm_u))
+        host_u = allocation.server_of(vm_u)
+        for peer in traffic.peers_of(vm_u):
+            if peer in token:
+                level = cost_model.topology.level_between(
+                    host_u, allocation.server_of(peer)
+                )
+                token.raise_level(peer, level)
+
+    def next_vm(self, token, vm_u, allocation, traffic, cost_model):
+        for level in range(token.level_of(vm_u), -1, -1):
+            candidate = self._next_at_level(token, vm_u, level)
+            if candidate is not None:
+                return candidate
+        for level in range(token.max_recorded_level(), token.level_of(vm_u), -1):
+            candidate = self._next_at_level(token, vm_u, level)
+            if candidate is not None:
+                return candidate
+        self._checked.clear()
+        return min(token.vms_at_level(token.max_recorded_level()))
+
+    def _next_at_level(self, token, vm_u, level):
+        candidate = token.successor(vm_u)
+        while candidate != vm_u:
+            if token.level_of(candidate) == level and candidate not in self._checked:
+                return candidate
+            candidate = token.successor(candidate)
+        return None
+
+
+class TestBucketedHLFMatchesNaiveScan:
+    """Differential: bucketed successor choice == the naive O(|V|) scan."""
+
+    def _random_setup(self, seed):
+        import numpy as np
+
+        from repro import (
+            Cluster as C,
+            DCTrafficGenerator,
+            PlacementManager,
+            ServerCapacity as SC,
+            place_random,
+        )
+        from repro.topology import CanonicalTree as CT
+
+        rng = np.random.default_rng(seed)
+        topo = CT(n_racks=8, hosts_per_rack=4, tors_per_agg=4, n_cores=2)
+        cluster = C(topo, SC(max_vms=4, ram_mb=4096, cpu=8.0))
+        manager = PlacementManager(cluster)
+        vms = manager.create_vms(int(rng.integers(20, 60)), ram_mb=512, cpu=0.5)
+        allocation = place_random(cluster, vms, seed=seed)
+        traffic = DCTrafficGenerator(
+            [vm.vm_id for vm in vms], seed=seed
+        ).generate()
+        model = CostModel(topo)
+        return rng, allocation, traffic, model
+
+    @pytest.mark.parametrize("seed", [1, 7, 23, 99])
+    def test_hold_sequences_are_identical(self, seed):
+        import numpy as np
+
+        rng, allocation, traffic, model = self._random_setup(seed)
+        vm_ids = sorted(allocation.vm_ids())
+        token_fast, token_naive = Token(vm_ids), Token(vm_ids)
+        fast, naive = HighestLevelFirstPolicy(), _NaiveHighestLevelFirst()
+
+        holder = token_fast.lowest_id
+        for step in range(4 * len(vm_ids)):
+            # Occasionally mutate both tokens out-of-band, as tests and
+            # churn handlers do; the bucketed policy must resync.
+            if rng.random() < 0.05:
+                victim = int(rng.choice(vm_ids))
+                level = int(rng.integers(0, 4))
+                token_fast.set_level(victim, level)
+                token_naive.set_level(victim, level)
+            fast.on_hold(token_fast, holder, allocation, traffic, model)
+            naive.on_hold(token_naive, holder, allocation, traffic, model)
+            next_fast = fast.next_vm(token_fast, holder, allocation, traffic, model)
+            next_naive = naive.next_vm(
+                token_naive, holder, allocation, traffic, model
+            )
+            assert next_fast == next_naive, f"diverged at hold {step}"
+            for vm_id in vm_ids:
+                assert token_fast.level_of(vm_id) == token_naive.level_of(vm_id)
+            holder = next_fast
+
+    @pytest.mark.parametrize("seed", [5, 13])
+    def test_next_vm_matches_on_externally_primed_tokens(self, seed):
+        """Pure successor queries on randomized token states (no holds)."""
+        import numpy as np
+
+        rng, allocation, traffic, model = self._random_setup(seed)
+        vm_ids = sorted(allocation.vm_ids())
+        for _ in range(20):
+            token_fast, token_naive = Token(vm_ids), Token(vm_ids)
+            for vm_id in vm_ids:
+                level = int(rng.integers(0, 4))
+                token_fast.set_level(vm_id, level)
+                token_naive.set_level(vm_id, level)
+            fast, naive = HighestLevelFirstPolicy(), _NaiveHighestLevelFirst()
+            holder = int(rng.choice(vm_ids))
+            assert fast.next_vm(
+                token_fast, holder, allocation, traffic, model
+            ) == naive.next_vm(token_naive, holder, allocation, traffic, model)
+
+
 class TestRandomPolicy:
     def test_never_returns_holder(self, env):
         allocation, tm, model = env

@@ -157,6 +157,84 @@ def test_batched_evaluate_matches_naive_evaluate(topo_name):
 
 @pytest.mark.parametrize("topo_name,pattern", [
     ("canonical", "sparse"),
+    ("fattree", "dense"),
+])
+def test_engine_egress_matches_naive_host_egress_rate(topo_name, pattern):
+    """Incremental per-host egress == the naive per-VM walk, pre and post
+    a stream of migrations applied through the engine's caches."""
+    seed = zlib.crc32(f"egress|{topo_name}|{pattern}".encode()) % 10_000
+    topology, allocation, traffic = build_scenario(
+        topo_name, pattern, "random", seed=seed
+    )
+    fast = FastCostEngine(allocation, traffic)
+    engine = MigrationEngine(CostModel(topology), bandwidth_threshold=0.9)
+    rng = np.random.default_rng(seed)
+
+    def assert_egress_agrees():
+        for host in range(allocation.cluster.n_servers):
+            assert fast.host_egress(host) == pytest.approx(
+                engine.host_egress_rate(allocation, traffic, host),
+                rel=REL,
+                abs=1e-6,
+            )
+
+    assert_egress_agrees()
+    vm_ids = np.fromiter(allocation.vm_ids(), dtype=np.int64)
+    applied = 0
+    for _ in range(200):
+        if applied >= 25:
+            break
+        vm_id = int(rng.choice(vm_ids))
+        target = int(rng.integers(0, allocation.cluster.n_servers))
+        vm = allocation.vm(vm_id)
+        if target == allocation.server_of(vm_id) or not allocation.can_host(
+            target, vm
+        ):
+            continue
+        allocation.migrate(vm_id, target)
+        fast.apply_migration(vm_id, target)
+        applied += 1
+    assert applied > 0
+    assert_egress_agrees()
+
+    # Vectorized §V-C feasibility == the naive per-candidate check.
+    thresholds = (0.2, 0.5, 0.9)
+    sample = rng.choice(vm_ids, size=15, replace=False)
+    hosts = np.arange(allocation.cluster.n_servers, dtype=np.int64)
+    for vm_id in sample:
+        for threshold in thresholds:
+            batched = fast.bandwidth_feasible_many(int(vm_id), hosts, threshold)
+            naive_engine = MigrationEngine(
+                CostModel(topology), bandwidth_threshold=threshold
+            )
+            for host in hosts:
+                assert batched[host] == naive_engine.bandwidth_feasible(
+                    allocation, traffic, int(vm_id), int(host)
+                )
+
+
+def test_bandwidth_threshold_decisions_match_naive_path():
+    """Full evaluate() with a threshold: engine-backed == naive fallback."""
+    topology, allocation, traffic = build_scenario(
+        "canonical", "medium", "packed", seed=21
+    )
+    naive_engine = MigrationEngine(
+        CostModel(topology), bandwidth_threshold=0.6, max_candidates=12
+    )
+    fast_engine = MigrationEngine(
+        CostModel(topology), bandwidth_threshold=0.6, max_candidates=12
+    )
+    fast_engine.attach_fastcost(FastCostEngine(allocation, traffic))
+    for vm_id in allocation.vm_ids():
+        naive_d = naive_engine.evaluate(allocation, traffic, vm_id)
+        fast_d = fast_engine.evaluate(allocation, traffic, vm_id)
+        assert naive_d.target_host == fast_d.target_host
+        assert naive_d.reason == fast_d.reason
+        assert fast_d.delta == pytest.approx(naive_d.delta, rel=REL, abs=1e-9)
+
+
+@pytest.mark.parametrize("topo_name,pattern", [
+    ("canonical", "sparse"),
     ("canonical", "dense"),
     ("fattree", "medium"),
 ])

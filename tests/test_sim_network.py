@@ -102,6 +102,63 @@ class TestUtilizations:
         assert calc.most_utilized_link(allocation, TrafficMatrix()) is None
 
 
+class TestVectorizedLoadsMatchReference:
+    """Differential: numpy path enumeration == the per-pair routing loop."""
+
+    @pytest.mark.parametrize("topo_name", ["canonical", "fattree"])
+    @pytest.mark.parametrize("flowlets", [1, 4])
+    def test_loads_agree_on_randomized_scenarios(self, topo_name, flowlets):
+        import numpy as np
+
+        from repro import (
+            Cluster as C,
+            DCTrafficGenerator,
+            PlacementManager,
+            ServerCapacity as SC,
+            place_random,
+        )
+        from repro.topology import FatTree
+
+        seed = 17 + flowlets
+        topo = (
+            CanonicalTree(n_racks=8, hosts_per_rack=4, tors_per_agg=4, n_cores=2)
+            if topo_name == "canonical"
+            else FatTree(k=4)
+        )
+        cluster = C(topo, SC(max_vms=4, ram_mb=4096, cpu=8.0))
+        manager = PlacementManager(cluster)
+        vms = manager.create_vms(
+            int(cluster.total_vm_slots * 0.8), ram_mb=512, cpu=0.5
+        )
+        allocation = place_random(cluster, vms, seed=seed)
+        traffic = DCTrafficGenerator(
+            [vm.vm_id for vm in vms], seed=seed
+        ).generate()
+        calc = LinkLoadCalculator(topo, flowlets=flowlets)
+        fast = calc.loads(allocation, traffic)
+        reference = calc.loads_reference(allocation, traffic)
+        assert set(fast) == set(reference)
+        for link, load in reference.items():
+            assert fast[link] == pytest.approx(load, rel=1e-9, abs=1e-9)
+
+    def test_empty_traffic_yields_no_loads(self, env):
+        topo, allocation = env
+        assert LinkLoadCalculator(topo).loads(allocation, TrafficMatrix()) == {}
+
+    def test_vectorized_fnv_matches_scalar(self):
+        import numpy as np
+
+        from repro.util.rng import stable_hash32, stable_hash32_of_ints
+
+        keys = np.array(
+            [0, 1, 9, 10, 42, 12345, 0xFFFFFFFF, 0xFFFFFFFF + 16 * 0x9E3779B9],
+            dtype=np.uint64,
+        )
+        hashed = stable_hash32_of_ints(keys)
+        for key, value in zip(keys.tolist(), hashed.tolist()):
+            assert value == stable_hash32(str(key))
+
+
 class TestContributions:
     def test_vm_contributions_on_link(self, env):
         topo, allocation = env
