@@ -6,11 +6,13 @@ Usage::
 
 Compares every ``*_s`` (seconds) field of every result record, keyed by
 record name, between the committed baseline and a freshly regenerated
-report.  A recorded wall-clock that regressed by more than the threshold
-factor prints a GitHub Actions ``::warning::`` annotation; improvements
-and new records are reported informationally.  The exit code is always 0 —
-CI runner speed varies too much for a hard gate, but the annotations make
-a real regression visible on the pull request.
+report; ``speedup*`` ratio fields are tracked too, in the opposite
+direction (a *drop* is the regression).  A metric that regressed by more
+than its threshold factor prints a GitHub Actions ``::warning::``
+annotation; improvements and new records are reported informationally.
+The exit code is always 0 — CI runner speed varies too much for a hard
+gate, but the annotations make a real regression visible on the pull
+request.
 """
 
 from __future__ import annotations
@@ -21,8 +23,19 @@ import sys
 #: A current wall-clock more than this factor above the baseline warns.
 REGRESSION_FACTOR = 2.0
 
+#: Per-metric overrides: the wave-batched round time is the PR-3 headline
+#: and carries a 3x acceptance floor against its recorded baseline, so its
+#: trend gate is tighter than the generic wall-clock one.
+METRIC_FACTORS = {
+    "round_s": 1.5,
+    "run_s": 1.5,
+}
+
 #: Wall-clocks faster than this are below timer/runner noise; skip them.
 MIN_MEANINGFUL_SECONDS = 0.05
+
+#: Ratio fields (higher is better) tracked in the reverse direction.
+SPEEDUP_PREFIXES = ("speedup",)
 
 
 def _records(path: str) -> dict:
@@ -51,19 +64,36 @@ def main(argv: list) -> int:
             print(f"bench-trend: {name}: new record (no baseline)")
             continue
         for field, value in sorted(record.items()):
-            if not field.endswith("_s") or not isinstance(value, (int, float)):
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            is_seconds = field.endswith("_s")
+            is_speedup = field.startswith(SPEEDUP_PREFIXES) or field.endswith(
+                "speedup"
+            )
+            if not is_seconds and not is_speedup:
                 continue
             reference = base.get(field)
-            if not isinstance(reference, (int, float)):
+            if not isinstance(reference, (int, float)) or reference <= 0:
                 continue
-            if reference < MIN_MEANINGFUL_SECONDS:
-                continue
-            ratio = value / reference
-            line = (
-                f"{name}.{field}: {reference:.3f}s -> {value:.3f}s "
-                f"({ratio:.2f}x)"
-            )
-            if ratio > REGRESSION_FACTOR:
+            factor = METRIC_FACTORS.get(field, REGRESSION_FACTOR)
+            if is_seconds:
+                if reference < MIN_MEANINGFUL_SECONDS:
+                    continue
+                ratio = value / reference
+                line = (
+                    f"{name}.{field}: {reference:.3f}s -> {value:.3f}s "
+                    f"({ratio:.2f}x)"
+                )
+                regressed = ratio > factor
+            else:
+                # Higher is better: warn when the speedup collapses.
+                ratio = value / reference
+                line = (
+                    f"{name}.{field}: {reference:.1f}x -> {value:.1f}x "
+                    f"({ratio:.2f} of baseline)"
+                )
+                regressed = ratio < 1.0 / factor
+            if regressed:
                 regressions += 1
                 print(f"::warning title=bench regression::{line}")
             else:

@@ -112,6 +112,92 @@ def test_one_score_iteration_at_paper_scale(name, emit):
     assert report.final_cost < report.initial_cost
 
 
+#: The committed pre-batching wall-clock of one paper-scale canonical
+#: S-CORE iteration (BENCH_fastcost.json `iteration_s` before PR 3) — the
+#: baseline the wave-batched round engine is measured against.
+BATCHED_ROUND_BASELINE_S = 3.052
+
+#: Acceptance floor: the mean per-iteration wall-clock of the paper's
+#: 5-iteration canonical convergence run, wave-batched, must be at least
+#: this factor under the recorded pre-batching iteration time.
+ROUND_SPEEDUP_FLOOR = 3.0
+
+
+@pytest.mark.smoke
+@pytest.mark.slow
+def test_batched_rounds_at_paper_scale(emit):
+    """Wave-batched S-CORE convergence run vs the recorded per-hold loop.
+
+    Runs the paper's full 5-iteration RR convergence sequence on the
+    2560-host canonical tree through the wave-batched round engine and
+    records the mean per-iteration wall-clock (``round_s``), the first
+    (heaviest) round, and a freshly measured one-iteration sample of the
+    retained per-hold reference loop for contrast.  The acceptance floor
+    compares against the *committed* pre-batching baseline of 3.052 s per
+    iteration, so the assertion is stable across runner speeds relative
+    to the recorded history.
+    """
+    config = ExperimentConfig.paper_canonical(policy="rr", n_iterations=5)
+    env = build_environment(config)
+    scheduler = SCOREScheduler(
+        env.allocation,
+        env.traffic,
+        policy_by_name(config.policy, seed=config.seed),
+        MigrationEngine(env.cost_model),
+    )
+    t0 = time.perf_counter()
+    first = scheduler.run(n_iterations=1)
+    first_round_s = time.perf_counter() - t0
+    t1 = time.perf_counter()
+    rest = scheduler.run(n_iterations=4)
+    run_s = first_round_s + (time.perf_counter() - t1)
+    round_s = run_s / 5.0
+    migrations = first.total_migrations + rest.total_migrations
+
+    ref_env = build_environment(config)
+    ref_scheduler = SCOREScheduler(
+        ref_env.allocation,
+        ref_env.traffic,
+        policy_by_name(config.policy, seed=config.seed),
+        MigrationEngine(ref_env.cost_model),
+    )
+    t2 = time.perf_counter()
+    ref_scheduler.run_reference(n_iterations=1)
+    reference_round_s = time.perf_counter() - t2
+
+    record = {
+        "name": "paper_canonical_batched_round",
+        "topology": config.topology,
+        "n_hosts": env.topology.n_hosts,
+        "n_vms": env.allocation.n_vms,
+        "run_s": round(run_s, 3),
+        "round_s": round(round_s, 3),
+        "first_round_s": round(first_round_s, 3),
+        "reference_round_s": round(reference_round_s, 3),
+        "iterations": 5,
+        "migrations": migrations,
+        "final_cost": rest.final_cost,
+        "baseline_round_s": BATCHED_ROUND_BASELINE_S,
+        "speedup_vs_baseline": round(BATCHED_ROUND_BASELINE_S / round_s, 1),
+    }
+    _write_report(record)
+    emit(
+        f"[paper-scale] batched rounds: 5-iteration convergence run "
+        f"{run_s:6.2f}s ({round_s:.3f}s/iteration, first {first_round_s:.2f}s)",
+        f"[paper-scale]   reference per-hold iteration {reference_round_s:6.2f}s"
+        f"   recorded baseline {BATCHED_ROUND_BASELINE_S:.3f}s"
+        f"   speedup {BATCHED_ROUND_BASELINE_S / round_s:.1f}x"
+        f"   migrations {migrations}",
+    )
+
+    assert round_s * ROUND_SPEEDUP_FLOOR <= BATCHED_ROUND_BASELINE_S, (
+        f"wave-batched round averages {round_s:.3f}s/iteration; "
+        f">= {ROUND_SPEEDUP_FLOOR:.0f}x vs the recorded "
+        f"{BATCHED_ROUND_BASELINE_S:.3f}s is required"
+    )
+    assert rest.final_cost < first.initial_cost
+
+
 #: Acceptance floor for the batched GA: one generation of the population-
 #: matrix engine must beat the per-individual reference loop by at least
 #: this factor at GAConfig.paper_scale() on the 2560-host topology.

@@ -45,6 +45,8 @@ from repro.core.fastcost import (
     TrafficSnapshot,
     apply_swap_mutations,
     assignment_cost,
+    owner_host_rate_lookup,
+    owner_host_rate_table,
     pair_levels,
     path_weight_table,
     population_cost,
@@ -78,6 +80,11 @@ class GAConfig:
     patience: int = 10
     max_generations: int = 150
     seed: Optional[int] = None
+    #: Population-diversity early stop for full runs: when the relative
+    #: fitness spread ``(max − min) / |mean|`` of the population falls
+    #: below this, selection pressure is spent and the run ends without
+    #: waiting out the <1%/patience window.  0 disables the check.
+    diversity_stop: float = 1e-6
 
     def __post_init__(self) -> None:
         check_positive("population_size", self.population_size)
@@ -89,6 +96,10 @@ class GAConfig:
         check_positive("improvement_threshold", self.improvement_threshold)
         check_positive("patience", self.patience)
         check_positive("max_generations", self.max_generations)
+        if self.diversity_stop < 0:
+            raise ValueError(
+                f"diversity_stop must be >= 0, got {self.diversity_stop}"
+            )
 
     @classmethod
     def paper_scale(cls, seed: Optional[int] = None) -> "GAConfig":
@@ -196,6 +207,19 @@ class GeneticOptimizer:
         counts = np.bincount(assignment, minlength=self._n_hosts)
         return bool(np.all(counts <= self._slots))
 
+    @staticmethod
+    def population_diversity(costs: np.ndarray) -> float:
+        """Relative fitness spread of the population: (max − min)/|mean|.
+
+        Zero means every individual scores identically — replacement can
+        no longer improve anything and full runs may stop early
+        (``GAConfig.diversity_stop``).
+        """
+        mean = float(np.abs(costs).mean())
+        if mean == 0.0:
+            return 0.0
+        return float(costs.max() - costs.min()) / mean
+
     # -- search -------------------------------------------------------------------
 
     def run(self) -> GAResult:
@@ -227,6 +251,10 @@ class GeneticOptimizer:
             best_cost = min(best_cost, generation_best)
             history.append(best_cost)
             if stall >= config.patience:
+                break
+            if config.diversity_stop and self.population_diversity(
+                costs
+            ) < config.diversity_stop:
                 break
 
         # Memetic finish: greedy local refinement of the champion (the GA's
@@ -275,16 +303,19 @@ class GeneticOptimizer:
         population = np.empty((pop, self._n_vms), dtype=ASSIGNMENT_DTYPE)
         population[0] = self._assignment_from_allocation()
         filled = 1
+        anchors = []
         if filled < pop:
-            polished_current = self._assignment_from_allocation()
-            self._greedy_polish(polished_current, max_passes=10)
-            population[filled] = polished_current
+            anchors.append(self._assignment_from_allocation())
             filled += 1
         if filled < pop:
-            polished_packed = self._component_packed_assignment()
-            self._greedy_polish(polished_packed, max_passes=10)
-            population[filled] = polished_packed
+            anchors.append(self._component_packed_assignment())
             filled += 1
+        if anchors:
+            # Memetic seeding: polish all anchor rows through one batched
+            # multi-row sweep instead of one polish call per anchor.
+            anchor_matrix = np.stack(anchors)
+            self.polish_population(anchor_matrix, max_passes=10)
+            population[1:filled] = anchor_matrix
         for i in range(filled, pop):
             if i % 2 == 0:
                 population[i] = self._random_packed_assignment()
@@ -414,6 +445,58 @@ class GeneticOptimizer:
 
     # -- batched local polish --------------------------------------------------------
 
+    def polish_population(
+        self, population: np.ndarray, max_passes: int = 3
+    ) -> None:
+        """Greedy-polish every row of a ``(rows, n_vms)`` matrix at once.
+
+        Runs the per-row sweep of :meth:`_greedy_polish` over all rows
+        simultaneously by embedding them as disjoint copies of the
+        instance — row ``r``'s VMs live at super-index ``r·n_vms + vm``
+        and its hosts at ``r·n_hosts + host``, so one flat sweep polishes
+        the whole matrix and rows converge independently.  This is what
+        makes the memetic seeding of :meth:`initial_population` one
+        batched pass instead of per-anchor loops.
+        """
+        population = np.asarray(population)
+        rows, n_vms = population.shape
+        if rows == 1:
+            self._greedy_polish(population[0], max_passes=max_passes)
+            return
+        snap = self._snapshot
+        n_hosts, n_racks = self._n_hosts, self._topology.n_racks
+        n_pods = int(self._pod_of.max()) + 1 if n_hosts else 1
+        n_edges = len(snap.row)
+        r = np.arange(rows, dtype=np.int64)
+        row_s = (snap.row[None, :] + (r * n_vms)[:, None]).ravel()
+        peer_s = (snap.peer[None, :] + (r * n_vms)[:, None]).ravel()
+        rate_s = np.tile(snap.rate, rows)
+        ptr_s = np.concatenate(
+            [(snap.ptr[:-1][None, :] + (r * n_edges)[:, None]).ravel(),
+             [rows * n_edges]]
+        )
+        rack_s = (self._rack_of[None, :] + (r * n_racks)[:, None]).ravel()
+        pod_s = (self._pod_of[None, :] + (r * n_pods)[:, None]).ravel()
+        slots_s = np.tile(self._slots, rows)
+        offsets = (r * n_hosts)[:, None]
+        assignment_s = (population.astype(np.int64) + offsets).ravel()
+        _greedy_polish_flat(
+            assignment_s,
+            row_s,
+            peer_s,
+            rate_s,
+            ptr_s,
+            rack_s,
+            pod_s,
+            slots_s,
+            n_hosts // n_racks,
+            self._path_weight,
+            max_passes,
+        )
+        population[:] = (
+            assignment_s.reshape(rows, n_vms) - offsets
+        ).astype(population.dtype)
+
     def _greedy_polish(self, assignment: np.ndarray, max_passes: int = 3) -> None:
         """Move each VM toward its best feasible host near its peers.
 
@@ -429,94 +512,21 @@ class GeneticOptimizer:
         snap = self._snapshot
         if snap.row.size == 0:
             return
-        hosts_per_rack = self._n_hosts // self._topology.n_racks
-        slots = self._slots
-        counts = np.bincount(assignment, minlength=self._n_hosts)
-        ptr = snap.ptr
-        degree = np.diff(ptr)
-        pw = self._path_weight
-        for _pass in range(max_passes):
-            peer_host = assignment[snap.peer]
-            # Candidates: for every directed edge, the hosts of the peer's
-            # rack (the peer's own host included).  Duplicates across edges
-            # of one VM only re-derive the same score.
-            rack_first = (
-                (self._rack_of[peer_host] * hosts_per_rack)[:, None]
-                + np.arange(hosts_per_rack)
-            )
-            cand_host = rack_first.ravel()
-            cand_owner = np.repeat(snap.row, hosts_per_rack)
-
-            # Score every candidate against ALL peers of its owner VM via a
-            # ragged expansion of the owner's CSR slice, chunked over
-            # candidate rows so the expansion stays memory-bounded even
-            # when hot services inflate Σ degree².
-            cand_deg = degree[cand_owner]
-            score = np.empty(cand_host.size)
-            bounds = np.searchsorted(
-                np.cumsum(cand_deg), np.arange(0, int(cand_deg.sum()), 8_000_000)
-            )
-            bounds = np.unique(np.concatenate([bounds, [cand_host.size]]))
-            for lo, hi in zip(bounds[:-1], bounds[1:]):
-                deg_block = cand_deg[lo:hi]
-                expanded = np.repeat(
-                    ptr[cand_owner[lo:hi]]
-                    - np.concatenate([[0], np.cumsum(deg_block)[:-1]]),
-                    deg_block,
-                ) + np.arange(int(deg_block.sum()))
-                block_row = np.repeat(np.arange(hi - lo), deg_block)
-                levels = pair_levels(
-                    np.repeat(cand_host[lo:hi], deg_block).astype(np.int64),
-                    assignment[snap.peer[expanded]].astype(np.int64),
-                    self._rack_of,
-                    self._pod_of,
-                )
-                score[lo:hi] = np.bincount(
-                    block_row,
-                    weights=snap.rate[expanded] * pw[levels],
-                    minlength=hi - lo,
-                )
-
-            # Current per-VM placement cost (Eq. 1 restricted to peers).
-            cur_levels = pair_levels(
-                assignment[snap.row].astype(np.int64),
-                peer_host.astype(np.int64),
-                self._rack_of,
-                self._pod_of,
-            )
-            current = np.bincount(
-                snap.row,
-                weights=snap.rate * pw[cur_levels],
-                minlength=self._n_vms,
-            )
-
-            best = np.full(self._n_vms, np.inf)
-            np.minimum.at(best, cand_owner, score)
-            improving = best < current - 1e-12
-            winner_rows = np.nonzero(
-                (score <= best[cand_owner]) & improving[cand_owner]
-            )[0]
-            movers, first_idx = np.unique(
-                cand_owner[winner_rows], return_index=True
-            )
-            targets = cand_host[winner_rows[first_idx]]
-
-            gain_order = np.argsort(
-                -(current[movers] - best[movers]), kind="stable"
-            )
-            moved = 0
-            for idx in gain_order:
-                vm = int(movers[idx])
-                target = int(targets[idx])
-                source = int(assignment[vm])
-                if target == source or counts[target] >= slots[target]:
-                    continue
-                counts[source] -= 1
-                counts[target] += 1
-                assignment[vm] = target
-                moved += 1
-            if moved == 0:
-                break
+        out = np.asarray(assignment, dtype=np.int64)
+        _greedy_polish_flat(
+            out,
+            snap.row,
+            snap.peer,
+            snap.rate,
+            snap.ptr,
+            self._rack_of,
+            self._pod_of,
+            self._slots,
+            self._n_hosts // self._topology.n_racks,
+            self._path_weight,
+            max_passes,
+        )
+        assignment[:] = out.astype(assignment.dtype)
 
     # -- per-individual reference (pre-batching semantics) ----------------------------
 
@@ -612,3 +622,143 @@ class GeneticOptimizer:
         if np.any(same_pod):
             return int(np.where(same_pod)[0][0])
         return int(np.where(free)[0][0])
+
+
+def _greedy_polish_flat(
+    assignment: np.ndarray,
+    row: np.ndarray,
+    peer: np.ndarray,
+    rate: np.ndarray,
+    ptr: np.ndarray,
+    rack_of: np.ndarray,
+    pod_of: np.ndarray,
+    slots: np.ndarray,
+    hosts_per_rack: int,
+    path_weight: np.ndarray,
+    max_passes: int,
+) -> None:
+    """One flat greedy-polish sweep over an arbitrary CSR instance.
+
+    The engine behind both :meth:`GeneticOptimizer._greedy_polish` (one
+    assignment vector) and :meth:`GeneticOptimizer.polish_population`
+    (many rows embedded as disjoint instance copies).  Each pass scores,
+    for every communicating VM at once, every host in its peers' racks,
+    then applies the improving moves in descending-gain order under the
+    live slot counts; passes repeat until no VM moves or ``max_passes``
+    is hit.
+
+    Scoring uses the level-hierarchy decomposition (what the wave-batched
+    candidate engine uses): for candidate host x of VM u,
+
+    ``Σ_p λ_p·w[l(x,p)] = w3·R_total + (w2−w3)·R_pod(pod_x)
+                        + (w1−w2)·R_rack(rack_x) + (w0−w1)·R_host(x)``
+
+    so every candidate costs O(1) gathers against per-owner rate
+    aggregates instead of an O(degree) peer expansion — the difference
+    between minutes and seconds for the paper-scale memetic seeding.
+    """
+    if row.size == 0:
+        return
+    n_hosts = len(slots)
+    n_vms = len(ptr) - 1
+    n_racks = int(rack_of.max()) + 1
+    n_pods = int(pod_of.max()) + 1
+    counts = np.bincount(assignment, minlength=n_hosts)
+    pw = path_weight
+    w3 = pw[3] if len(pw) > 3 else pw[-1]
+    w2d, w1d, w0d = pw[2] - w3, pw[1] - pw[2], pw[0] - pw[1]
+    total_rate = np.bincount(row, weights=rate, minlength=n_vms)
+    per = hosts_per_rack
+    #: Owner-chunk size bounding the dense (owners x racks) scatter maps.
+    chunk = max(1, 8_000_000 // max(1, n_racks))
+    for _pass in range(max_passes):
+        peer_host = assignment[peer]
+        peer_rack = rack_of[peer_host]
+        peer_pod = pod_of[peer_host]
+        # Host-level aggregate via the shared sparse (owner, host) table.
+        hkeys, hsums = owner_host_rate_table(row, peer_host, rate, n_hosts)
+
+        def r_host(owners, hosts):
+            return owner_host_rate_lookup(hkeys, hsums, owners, hosts, n_hosts)
+
+        # Candidates: for every directed edge, the hosts of the peer's
+        # rack (the peer's own host included).  Duplicates across edges
+        # of one VM only re-derive the same score.
+        cand_host = (
+            (peer_rack * per)[:, None] + np.arange(per)
+        ).ravel()
+        cand_owner = np.repeat(row, per)
+        score = np.empty(cand_host.size)
+        current = np.empty(n_vms)
+        # Rack/pod aggregates via chunked dense maps over the owner space;
+        # `row` is CSR-ordered, so edge/candidate blocks line up with
+        # owner ranges.
+        for o_lo in range(0, n_vms, chunk):
+            o_hi = min(n_vms, o_lo + chunk)
+            e_lo, e_hi = ptr[o_lo], ptr[o_hi]
+            local_owner = row[e_lo:e_hi] - o_lo
+            e_rate = rate[e_lo:e_hi]
+            r_rack = np.bincount(
+                local_owner * n_racks + peer_rack[e_lo:e_hi],
+                weights=e_rate,
+                minlength=(o_hi - o_lo) * n_racks,
+            )
+            r_pod = np.bincount(
+                local_owner * n_pods + peer_pod[e_lo:e_hi],
+                weights=e_rate,
+                minlength=(o_hi - o_lo) * n_pods,
+            )
+            c_lo, c_hi = e_lo * per, e_hi * per
+            block_host = cand_host[c_lo:c_hi]
+            block_owner = cand_owner[c_lo:c_hi]
+            score[c_lo:c_hi] = (
+                w3 * total_rate[block_owner]
+                + w2d * r_pod[(block_owner - o_lo) * n_pods + pod_of[block_host]]
+                + w1d
+                * r_rack[(block_owner - o_lo) * n_racks + rack_of[block_host]]
+                + w0d * r_host(block_owner, block_host)
+            )
+            # Current per-VM placement cost (Eq. 1 restricted to peers),
+            # via the same decomposition at the VM's own host.
+            owners = np.arange(o_lo, o_hi)
+            cur_host = assignment[o_lo:o_hi]
+            current[o_lo:o_hi] = (
+                w3 * total_rate[o_lo:o_hi]
+                + w2d * r_pod[(owners - o_lo) * n_pods + pod_of[cur_host]]
+                + w1d * r_rack[(owners - o_lo) * n_racks + rack_of[cur_host]]
+                + w0d * r_host(owners, cur_host)
+            )
+        # NOTE: `current` at the VM's own host includes intra-host peers at
+        # level 0, exactly like a candidate equal to the current host.
+
+        best = np.full(n_vms, np.inf)
+        starts = ptr[:-1] * per
+        nonempty = ptr[1:] > ptr[:-1]
+        if not np.any(nonempty):
+            break
+        best[nonempty] = np.minimum.reduceat(score, starts[nonempty])
+        improving = best < current - 1e-12
+        winner_rows = np.nonzero(
+            (score <= best[cand_owner]) & improving[cand_owner]
+        )[0]
+        movers, first_idx = np.unique(
+            cand_owner[winner_rows], return_index=True
+        )
+        targets = cand_host[winner_rows[first_idx]]
+
+        gain_order = np.argsort(
+            -(current[movers] - best[movers]), kind="stable"
+        )
+        moved = 0
+        for idx in gain_order:
+            vm = int(movers[idx])
+            target = int(targets[idx])
+            source = int(assignment[vm])
+            if target == source or counts[target] >= slots[target]:
+                continue
+            counts[source] -= 1
+            counts[target] += 1
+            assignment[vm] = target
+            moved += 1
+        if moved == 0:
+            break

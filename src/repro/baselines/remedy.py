@@ -168,17 +168,21 @@ class RemedyController:
         if not congested:
             return None
         congested.sort(reverse=True)
+        # Rank the VMs of every congested link from ONE batched routing
+        # pass instead of re-routing the whole matrix per link.
+        rankings = self._calculator.vm_contributions_many(
+            allocation, traffic, [link_id for _, link_id in congested]
+        )
         for _value, link_id in congested:
-            move = self._relieve_link(link_id)
+            move = self._relieve_link(link_id, rankings[link_id])
             if move is not None:
                 return move
         return None
 
-    def _relieve_link(self, link_id) -> Optional[Tuple[int, int, int]]:
+    def _relieve_link(
+        self, link_id, contributions: Dict[int, float]
+    ) -> Optional[Tuple[int, int, int]]:
         allocation, traffic = self._allocation, self._traffic
-        contributions = self._calculator.vm_contributions(
-            allocation, traffic, link_id
-        )
         if not contributions:
             return None
         # Remedy's ranking: most benefit (traffic over the hot link) per MB

@@ -13,7 +13,10 @@ the ``Server`` class models a live machine for the testbed emulation layer.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Set
+from operator import itemgetter
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.vm import VM
@@ -160,6 +163,47 @@ class Allocation:
         self._used_ram[target_host] += vm.ram_mb
         self._used_cpu[target_host] += vm.cpu
 
+    def migrate_many(self, moves: Iterable[tuple]) -> None:
+        """Apply one wave of migrations as a batch: validate all, then move.
+
+        ``moves`` is an iterable of ``(vm_id, target_host)``.  Capacity is
+        checked for every move *before* any mutation, so a rejected wave
+        raises :class:`CapacityError` and leaves the allocation untouched.
+        The pre-check treats moves as independent, which is sound when
+        target hosts are pairwise distinct — the contract of the wave
+        planner (:func:`repro.core.migration.plan_wave`) that produces
+        these batches.
+        """
+        moves = [
+            (vm_id, target)
+            for vm_id, target in moves
+            if self._host_of[vm_id] != target
+        ]
+        for vm_id, target in moves:
+            vm = self._vms[vm_id]
+            cap = self._cluster.server(target).capacity
+            if (
+                cap.max_vms - len(self._vms_on[target]) < 1
+                or cap.ram_mb - self._used_ram[target] < vm.ram_mb
+                or cap.cpu - self._used_cpu[target] < vm.cpu
+            ):
+                raise CapacityError(
+                    f"wave rejected: VM {vm_id} does not fit host {target}: "
+                    f"slots={self.free_slots(target)}, "
+                    f"ram={self.free_ram_mb(target)}MiB, "
+                    f"cpu={self.free_cpu(target)}"
+                )
+        for vm_id, target in moves:
+            vm = self._vms[vm_id]
+            current = self._host_of[vm_id]
+            self._vms_on[current].discard(vm_id)
+            self._used_ram[current] -= vm.ram_mb
+            self._used_cpu[current] -= vm.cpu
+            self._host_of[vm_id] = target
+            self._vms_on[target].add(vm_id)
+            self._used_ram[target] += vm.ram_mb
+            self._used_cpu[target] += vm.cpu
+
     # -- bulk / copy -----------------------------------------------------------------
 
     def copy(self) -> "Allocation":
@@ -175,6 +219,31 @@ class Allocation:
     def as_dict(self) -> Dict[int, int]:
         """Snapshot of the VM → host mapping."""
         return dict(self._host_of)
+
+    def mapping_arrays(
+        self, vm_ids: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(host, ram_mb, cpu) arrays for the given VM ids, in order.
+
+        C-speed bulk extraction (``itemgetter``) of what the fast engine
+        mirrors at rebuild time; raises ``KeyError`` on unknown ids.
+        """
+        ids = list(vm_ids)
+        if not ids:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), np.empty(0)
+        if len(ids) == 1:
+            vm = self._vms[ids[0]]
+            return (
+                np.array([self._host_of[ids[0]]], dtype=np.int64),
+                np.array([vm.ram_mb], dtype=np.int64),
+                np.array([vm.cpu]),
+            )
+        hosts = np.array(itemgetter(*ids)(self._host_of), dtype=np.int64)
+        vms = itemgetter(*ids)(self._vms)
+        ram = np.fromiter((vm.ram_mb for vm in vms), dtype=np.int64, count=len(ids))
+        cpu = np.fromiter((vm.cpu for vm in vms), dtype=float, count=len(ids))
+        return hosts, ram, cpu
 
     def apply_mapping(self, mapping: Dict[int, int]) -> None:
         """Re-place already-known VMs according to ``mapping``.

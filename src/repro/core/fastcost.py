@@ -42,12 +42,17 @@ def pair_levels(
     rack_of: np.ndarray,
     pod_of: np.ndarray,
 ) -> np.ndarray:
-    """Element-wise communication levels between two host arrays."""
-    levels = np.full(hosts_u.shape, 3, dtype=np.int64)
-    levels[pod_of[hosts_u] == pod_of[hosts_v]] = 2
-    levels[rack_of[hosts_u] == rack_of[hosts_v]] = 1
-    levels[hosts_u == hosts_v] = 0
-    return levels
+    """Element-wise communication levels between two host arrays.
+
+    Exploits the containment hierarchy (same host ⊆ same rack ⊆ same
+    pod): ``level = 3 − pod_eq − rack_eq − host_eq`` — three compares and
+    two adds, no masked writes.
+    """
+    level = (pod_of[hosts_u] == pod_of[hosts_v]).astype(np.int64)
+    level += rack_of[hosts_u] == rack_of[hosts_v]
+    level += hosts_u == hosts_v
+    np.subtract(3, level, out=level)
+    return level
 
 
 def path_weight_table(weights: LinkWeights, max_level: int) -> np.ndarray:
@@ -117,28 +122,31 @@ class TrafficSnapshot:
         """
         ids = np.array(sorted(vm_ids), dtype=np.int64)
         index = {int(vm_id): i for i, vm_id in enumerate(ids)}
-        us: List[int] = []
-        vs: List[int] = []
-        rates: List[float] = []
-        for u, v, rate in traffic.pairs():
-            iu = index.get(u)
-            iv = index.get(v)
-            if iu is None or iv is None:
-                if strict:
-                    missing = u if iu is None else v
-                    raise ValueError(
-                        f"traffic references VM {missing} outside the "
-                        f"snapshot population"
-                    )
-                continue
-            if iu > iv:
-                iu, iv = iv, iu
-            us.append(iu)
-            vs.append(iv)
-            rates.append(rate)
-        pair_u = np.array(us, dtype=np.int64)
-        pair_v = np.array(vs, dtype=np.int64)
-        pair_rate = np.array(rates, dtype=float)
+        us, vs, rates = traffic.pair_arrays()
+        if len(ids) == 0:
+            if strict and len(us):
+                raise ValueError(
+                    f"traffic references VM {us[0]} outside the "
+                    f"snapshot population"
+                )
+            pair_u = pair_v = np.empty(0, dtype=np.int64)
+            pair_rate = np.empty(0)
+        else:
+            # Dense indices by binary search over the (sorted, unique) id
+            # vector; ids preserve order, so u < v carries over to iu < iv.
+            iu = np.searchsorted(ids, us).clip(max=len(ids) - 1)
+            iv = np.searchsorted(ids, vs).clip(max=len(ids) - 1)
+            known = (ids[iu] == us) & (ids[iv] == vs)
+            if strict and not known.all():
+                bad = np.nonzero(~known)[0][0]
+                missing = us[bad] if ids[iu[bad]] != us[bad] else vs[bad]
+                raise ValueError(
+                    f"traffic references VM {missing} outside the "
+                    f"snapshot population"
+                )
+            pair_u = iu[known]
+            pair_v = iv[known]
+            pair_rate = rates[known]
 
         n = len(ids)
         # Directed edge list (each pair twice) -> CSR sorted by (owner, peer).
@@ -497,6 +505,153 @@ def _repair_block(
     return moved
 
 
+#: Element budget for the (candidate x peer) expansion of one batched
+#: delta pass; bounds peak memory of `FastCostEngine.candidate_batch`.
+_CANDIDATE_CHUNK_ELEMS = 8_000_000
+
+
+def owner_host_rate_table(
+    owners: np.ndarray, hosts: np.ndarray, rates: np.ndarray, n_hosts: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sparse per-(owner, host) rate sums as a sorted-key lookup table.
+
+    The host-level aggregate of the Lemma 3 level-hierarchy decomposition:
+    (owner, peer host) incidences are few (Σ degree), so a sort + binary
+    search beats a dense (owners × hosts) scatter map by orders of
+    magnitude in memory.  Query with :func:`owner_host_rate_lookup`.
+    """
+    key = owners * n_hosts + hosts
+    order = np.argsort(key, kind="stable")
+    key_sorted = key[order]
+    first = np.ones(len(key_sorted), dtype=bool)
+    first[1:] = key_sorted[1:] != key_sorted[:-1]
+    return key_sorted[first], np.add.reduceat(
+        rates[order], np.flatnonzero(first)
+    )
+
+
+def owner_host_rate_lookup(
+    keys: np.ndarray,
+    sums: np.ndarray,
+    owners: np.ndarray,
+    hosts: np.ndarray,
+    n_hosts: int,
+) -> np.ndarray:
+    """Rates of (owner, host) queries against an ``owner_host_rate_table``.
+
+    Missing combinations answer 0.0 (the owner has no peer on that host).
+    """
+    query = owners * n_hosts + hosts
+    slot = np.searchsorted(keys, query)
+    slot[slot >= len(keys)] = 0
+    return np.where(keys[slot] == query, sums[slot], 0.0)
+
+
+class CandidateBatch:
+    """Flat-array snapshot of one batched §V-B5 candidate evaluation.
+
+    Rows ("pairs") are (owner, candidate host) combinations, grouped by
+    owner position — ``ptr[i]:ptr[i+1]`` is the candidate slice of the
+    ``i``-th requested VM — and ordered within a group by the naive probing
+    rank (peers by level desc / rate desc / id asc, each contributing its
+    own server then the rest of its rack, first occurrence wins).  ``delta``
+    holds each move's Lemma 3 gain and ``onto_rate`` the owner's traffic
+    onto the candidate host (what the §V-C probe subtracts twice), both
+    computed against the engine state the batch was built from.
+
+    A batch is *not* live: it goes stale for an owner as soon as one of
+    the owner's peers migrates (deltas and the candidate set itself depend
+    on peer placement).  Capacity/bandwidth feasibility is deliberately
+    NOT part of the batch — it changes with every applied wave — and is
+    recomputed from the engine's incremental mirrors via
+    :meth:`FastCostEngine.candidate_feasible`.
+    """
+
+    __slots__ = (
+        "vms",
+        "source",
+        "degree",
+        "total_rate",
+        "ptr",
+        "_owner",
+        "host",
+        "delta",
+        "onto_rate",
+    )
+
+    def __init__(
+        self,
+        vms: np.ndarray,
+        source: np.ndarray,
+        degree: np.ndarray,
+        total_rate: np.ndarray,
+        ptr: np.ndarray,
+        owner: Optional[np.ndarray],
+        host: np.ndarray,
+        delta: np.ndarray,
+        onto_rate: np.ndarray,
+    ) -> None:
+        self.vms = vms
+        self.source = source
+        self.degree = degree
+        self.total_rate = total_rate
+        self.ptr = ptr
+        self._owner = owner
+        self.host = host
+        self.delta = delta
+        self.onto_rate = onto_rate
+
+    @property
+    def owner(self) -> np.ndarray:
+        """Owner position of every pair row (materialized on demand)."""
+        if self._owner is None:
+            self._owner = np.repeat(
+                np.arange(self.n_owners, dtype=np.int64),
+                self.ptr[1:] - self.ptr[:-1],
+            )
+        return self._owner
+
+    @property
+    def n_owners(self) -> int:
+        """Number of VMs the batch was built for."""
+        return len(self.vms)
+
+    @property
+    def n_pairs(self) -> int:
+        """Number of (owner, candidate host) rows."""
+        return len(self.host)
+
+    def select(
+        self, positions: np.ndarray, with_onto: bool = True
+    ) -> "CandidateBatch":
+        """Sub-batch restricted to the given owner positions (reindexed).
+
+        Row data is gathered, not recomputed — the round engine uses this
+        to carry non-stale owners' candidates across waves.  Pass
+        ``with_onto=False`` to skip the §V-C landing-rate column (callers
+        running without a bandwidth threshold never read it).
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        counts = self.ptr[positions + 1] - self.ptr[positions]
+        new_ptr = np.zeros(len(positions) + 1, dtype=np.int64)
+        np.cumsum(counts, out=new_ptr[1:])
+        rows = np.repeat(
+            self.ptr[positions] - new_ptr[:-1], counts
+        ) + np.arange(int(counts.sum()))
+        return CandidateBatch(
+            vms=self.vms[positions],
+            source=self.source[positions],
+            degree=self.degree[positions],
+            total_rate=self.total_rate[positions],
+            ptr=new_ptr,
+            owner=None,
+            host=self.host[rows],
+            delta=self.delta[rows],
+            onto_rate=self.onto_rate[rows]
+            if with_onto
+            else np.empty(0),
+        )
+
 class FastCostEngine:
     """Incremental, vectorized cost engine bound to one allocation.
 
@@ -528,6 +683,10 @@ class FastCostEngine:
         self._path_weight = path_weight_table(self._weights, topology.max_level)
         self._rack_of = topology.host_rack_ids()
         self._pod_of = topology.host_pod_ids()
+        # Both paper topologies attach a contiguous host range to each rack
+        # (the `Topology.hosts_in_rack` contract), which is what lets the
+        # batched candidate generation enumerate rack mates arithmetically.
+        self._hosts_per_rack = topology.n_hosts // topology.n_racks
         self._slot_cap, self._ram_cap, self._cpu_cap, self._nic_cap = (
             allocation.cluster.capacity_arrays()
         )
@@ -591,25 +750,20 @@ class FastCostEngine:
         )
         snap = self._snap
         n = snap.n_vms
-        self._host_of = np.fromiter(
-            (allocation.server_of(int(vm)) for vm in snap.vm_ids),
-            dtype=np.int64,
-            count=n,
+        self._host_of, ram, cpu = allocation.mapping_arrays(
+            snap.vm_ids.tolist()
         )
         n_hosts = len(self._slot_cap)
         self._slot_used = np.bincount(self._host_of, minlength=n_hosts)
-        ram = np.fromiter(
-            (allocation.vm(int(vm)).ram_mb for vm in snap.vm_ids),
-            dtype=np.int64,
-            count=n,
-        )
-        cpu = np.fromiter(
-            (allocation.vm(int(vm)).cpu for vm in snap.vm_ids),
-            dtype=float,
-            count=n,
-        )
         self._vm_ram = ram
         self._vm_cpu = cpu
+        # With a uniform VM population (every paper scenario), per-pair
+        # capacity probes collapse to one per-host mask per wave.
+        self._uniform_vm = bool(
+            n > 0
+            and (ram == ram[0]).all()
+            and (cpu == cpu[0]).all()
+        )
         self._ram_used = np.bincount(self._host_of, weights=ram, minlength=n_hosts)
         self._ram_used = self._ram_used.astype(np.int64)
         self._cpu_used = np.bincount(self._host_of, weights=cpu, minlength=n_hosts)
@@ -831,6 +985,402 @@ class FastCostEngine:
         )[hosts]
         load_after = self._egress[hosts] + (rates.sum() - onto_target) - onto_target
         return load_after <= budget
+
+    # -- wave-batched round API ---------------------------------------------
+
+    def dense_indices(self, vm_ids: Sequence[int]) -> np.ndarray:
+        """Dense snapshot indices of the given VM ids (KeyError on misses)."""
+        index = self._snap.vm_index
+        return np.fromiter(
+            (index[int(v)] for v in vm_ids), dtype=np.int64, count=len(vm_ids)
+        )
+
+    def highest_levels(self) -> np.ndarray:
+        """Per-dense-VM highest communication level, one vectorized pass.
+
+        Equals :meth:`highest_level` for every VM (0 for peerless VMs);
+        what the batched HLF end-of-round refresh feeds into
+        :meth:`repro.core.token.Token.set_levels`.
+        """
+        snap = self._snap
+        out = np.zeros(snap.n_vms, dtype=np.int64)
+        if snap.row.size == 0:
+            return out
+        levels = pair_levels(
+            self._host_of[snap.row],
+            self._host_of[snap.peer],
+            self._rack_of,
+            self._pod_of,
+        )
+        starts = snap.ptr[:-1]
+        nonempty = snap.ptr[1:] > starts
+        if np.any(nonempty):
+            out[nonempty] = np.maximum.reduceat(levels, starts[nonempty])
+        return out
+
+    def candidate_batch(
+        self,
+        dense_vms: np.ndarray,
+        max_candidates: Optional[int] = None,
+    ) -> CandidateBatch:
+        """Batched §V-B5 candidate generation + Lemma 3 scoring.
+
+        For every VM in ``dense_vms`` (dense snapshot indices), enumerates
+        the candidate targets in the exact naive probing order of
+        :meth:`candidate_hosts` and scores every (VM, candidate) move in
+        one chunked vectorized pass.  The expansion is
+        ``Σ_u candidates(u) × degree(u)`` rows, chunked to stay bounded.
+        """
+        snap = self._snap
+        vms = np.asarray(dense_vms, dtype=np.int64)
+        n = len(vms)
+        n_hosts = len(self._slot_cap)
+        deg = (snap.ptr[vms + 1] - snap.ptr[vms]).astype(np.int64)
+        source = self._host_of[vms]
+        empty = CandidateBatch(
+            vms=vms,
+            source=source,
+            degree=deg,
+            total_rate=np.zeros(n),
+            ptr=np.zeros(n + 1, dtype=np.int64),
+            owner=np.empty(0, dtype=np.int64),
+            host=np.empty(0, dtype=np.int64),
+            delta=np.empty(0),
+            onto_rate=np.empty(0),
+        )
+        total_e = int(deg.sum())
+        if total_e == 0:
+            return empty
+
+        # Directed edges of the requested VMs, grouped by owner position.
+        cum = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(deg, out=cum[1:])
+        owner_e = np.repeat(np.arange(n, dtype=np.int64), deg)
+        edge_idx = np.repeat(snap.ptr[vms] - cum[:-1], deg) + np.arange(total_e)
+        peer_host = self._host_of[snap.peer[edge_idx]]
+        rate = snap.rate[edge_idx]
+        before = pair_levels(
+            source[owner_e], peer_host, self._rack_of, self._pod_of
+        )
+        # §V-B5 peer ranking: level desc, rate desc, VM id asc (CSR slices
+        # are ascending by peer id, and lexsort is stable).
+        order = np.lexsort((-rate, -before, owner_e))
+        owner_e = owner_e[order]
+        peer_host = peer_host[order]
+        rate = rate[order]
+        before = before[order]
+        total_rate = np.bincount(owner_e, weights=rate, minlength=n)
+        # Eq. 1 restricted to this VM's peers, at the current placement —
+        # the Lemma 3 delta of a move is this minus the post-move sum.
+        local_cost = np.bincount(
+            owner_e, weights=rate * self._path_weight[before], minlength=n
+        )
+
+        # Candidate slots with duplicates: each ranked peer contributes its
+        # own server then its whole (contiguous) rack.  The composite
+        # (owner, host, rank) sort key is built directly by broadcasting —
+        # the slot grid itself is never materialized.
+        per = self._hosts_per_rack
+        width = per + 1
+        rank_e = np.arange(total_e) - cum[owner_e]
+        rank_span = int(deg.max()) * width
+        owner_base = owner_e * (n_hosts * rank_span) + rank_e * width
+        rack_base = self._rack_of[peer_host] * per
+        key = np.empty((total_e, width), dtype=np.int64)
+        key[:, 0] = owner_base + peer_host * rank_span
+        col = np.arange(per, dtype=np.int64)
+        key[:, 1:] = (owner_base + rack_base * rank_span)[:, None] + (
+            col * rank_span + col + 1
+        )
+        # Drop candidates equal to the owner's source host: column 0 when
+        # the peer is co-located, the rack column when the source sits in
+        # the peer's rack.
+        keep = np.ones((total_e, width), dtype=bool)
+        src_e = source[owner_e]
+        keep[:, 0] = peer_host != src_e
+        src_col = src_e - rack_base
+        in_rack = np.nonzero((src_col >= 0) & (src_col < per))[0]
+        keep[in_rack, src_col[in_rack] + 1] = False
+        # Dedup per (owner, host) keeping the earliest probing rank: one
+        # composite-key sort, then run starts.
+        key = key.ravel()[keep.ravel()]
+        key.sort(kind="stable")
+        group = key // rank_span
+        first = np.ones(len(key), dtype=bool)
+        first[1:] = group[1:] != group[:-1]
+        kept = key[first]
+        # Re-sort candidates into per-owner probing order (and decode).
+        owner_c = kept // (rank_span * n_hosts)
+        rem = kept - owner_c * (rank_span * n_hosts)
+        host_c = rem // rank_span
+        rank_c = rem % rank_span
+        key2 = (owner_c * rank_span + rank_c) * n_hosts + host_c
+        key2.sort(kind="stable")
+        host_c = (key2 % n_hosts).astype(np.int32)
+        owner_c = key2 // (rank_span * n_hosts)
+        if max_candidates:
+            counts = np.bincount(owner_c, minlength=n)
+            ptr_all = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=ptr_all[1:])
+            position = np.arange(len(owner_c)) - ptr_all[owner_c]
+            trim = position < max_candidates
+            owner_c, host_c = owner_c[trim], host_c[trim]
+        counts = np.bincount(owner_c, minlength=n)
+        ptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=ptr[1:])
+        if len(owner_c) == 0:
+            return empty
+
+        # Lemma 3 deltas without expanding candidates × peers: the post-
+        # move sum decomposes over the level hierarchy,
+        #   Σ_p λ_p·w[l(x, p)] = w3·R_total + (w2−w3)·R_pod(pod_x)
+        #                      + (w1−w2)·R_rack(rack_x) + (w0−w1)·R_host(x),
+        # where R_* are the owner's peer-rate aggregates per pod/rack/host.
+        # Owners are processed in chunks against dense (chunk × groups)
+        # scatter maps, so each candidate row costs O(1) gathers.
+        n_pairs = len(owner_c)
+        delta = np.empty(n_pairs)
+        pw = self._path_weight
+        n_racks = int(self._rack_of.max()) + 1
+        n_pods = int(self._pod_of.max()) + 1
+        w3 = pw[3] if len(pw) > 3 else pw[-1]
+        w2d, w1d, w0d = pw[2] - w3, pw[1] - pw[2], pw[0] - pw[1]
+        peer_rack = self._rack_of[peer_host]
+        peer_pod = self._pod_of[peer_host]
+
+        hkeys, hsums = owner_host_rate_table(owner_e, peer_host, rate, n_hosts)
+        onto = owner_host_rate_lookup(hkeys, hsums, owner_c, host_c, n_hosts)
+
+        # Rack/pod aggregates via chunked dense maps (small group spaces).
+        chunk = max(1, _CANDIDATE_CHUNK_ELEMS // max(1, n_racks))
+        for o_lo in range(0, n, chunk):
+            o_hi = min(n, o_lo + chunk)
+            width = o_hi - o_lo
+            e_lo, e_hi = cum[o_lo], cum[o_hi]
+            local_owner = owner_e[e_lo:e_hi] - o_lo
+            e_rate = rate[e_lo:e_hi]
+            r_rack = np.bincount(
+                local_owner * n_racks + peer_rack[e_lo:e_hi],
+                weights=e_rate,
+                minlength=width * n_racks,
+            )
+            r_pod = np.bincount(
+                local_owner * n_pods + peer_pod[e_lo:e_hi],
+                weights=e_rate,
+                minlength=width * n_pods,
+            )
+            p_lo, p_hi = ptr[o_lo], ptr[o_hi]
+            row_owner = owner_c[p_lo:p_hi] - o_lo
+            row_host = host_c[p_lo:p_hi]
+            after_sum = (
+                w3 * total_rate[owner_c[p_lo:p_hi]]
+                + w2d * r_pod[row_owner * n_pods + self._pod_of[row_host]]
+                + w1d * r_rack[row_owner * n_racks + self._rack_of[row_host]]
+                + w0d * onto[p_lo:p_hi]
+            )
+            delta[p_lo:p_hi] = local_cost[owner_c[p_lo:p_hi]] - after_sum
+        return CandidateBatch(
+            vms=vms,
+            source=source,
+            degree=deg,
+            total_rate=total_rate,
+            ptr=ptr,
+            owner=owner_c,
+            host=host_c,
+            delta=delta,
+            onto_rate=onto,
+        )
+
+    def candidate_feasible(
+        self,
+        batch: CandidateBatch,
+        bandwidth_threshold: Optional[float] = None,
+    ) -> np.ndarray:
+        """Capacity (§V-B5) + bandwidth (§V-C) mask over a batch's pairs.
+
+        Evaluated against the engine's *current* incremental mirrors, so
+        the same batch can be re-masked wave after wave; uses the exact
+        float expressions of ``Allocation.can_host`` and
+        :meth:`bandwidth_feasible_many`.
+        """
+        hosts = batch.host
+        if self._uniform_vm:
+            host_ok = (
+                (self._slot_cap - self._slot_used >= 1)
+                & (self._ram_cap - self._ram_used >= self._vm_ram[0])
+                & (self._cpu_cap - self._cpu_used >= self._vm_cpu[0])
+            )
+            ok = host_ok[hosts]
+        else:
+            dense = batch.vms[batch.owner]
+            ok = (
+                (self._slot_cap[hosts] - self._slot_used[hosts] >= 1)
+                & (self._ram_cap[hosts] - self._ram_used[hosts] >= self._vm_ram[dense])
+                & (self._cpu_cap[hosts] - self._cpu_used[hosts] >= self._vm_cpu[dense])
+            )
+        if bandwidth_threshold is not None:
+            budget = bandwidth_threshold * self._nic_cap[hosts]
+            load_after = self._egress[hosts] + (
+                batch.total_rate[batch.owner] - batch.onto_rate
+            ) - batch.onto_rate
+            ok &= load_after <= budget
+        return ok
+
+    def best_candidates(
+        self,
+        batch: CandidateBatch,
+        feasible: np.ndarray,
+        return_ties: bool = False,
+    ):
+        """Per-owner best feasible candidate, first-in-probing-order ties.
+
+        Returns ``(choice, best_delta, any_feasible)``: ``choice[i]`` is a
+        row index into the batch's pair arrays (or -1 when owner ``i`` has
+        no feasible candidate), ``best_delta[i]`` the winning Lemma 3 delta
+        (``-inf`` when none).  Mirrors the naive loop's tie-breaking: the
+        first candidate in probing order achieving the maximum wins.
+
+        With ``return_ties`` a fourth element is appended: the row indices
+        of every feasible candidate whose delta exactly equals its owner's
+        best (in row order) — the exact-tie alternatives the wave planner
+        may retarget to.
+        """
+        n = batch.n_owners
+        choice = np.full(n, -1, dtype=np.int64)
+        best = np.full(n, -np.inf)
+        any_feasible = np.zeros(n, dtype=bool)
+        ties = np.empty(0, dtype=np.int64)
+        if batch.n_pairs == 0 or not np.any(batch.ptr[1:] > batch.ptr[:-1]):
+            return (
+                (choice, best, any_feasible, ties)
+                if return_ties
+                else (choice, best, any_feasible)
+            )
+        masked = np.where(feasible, batch.delta, -np.inf)
+        starts = batch.ptr[:-1]
+        nonempty = batch.ptr[1:] > starts
+        ne_starts = starts[nonempty]
+        seg_max = np.maximum.reduceat(masked, ne_starts)
+        seg_len = (batch.ptr[1:] - starts)[nonempty]
+        # Exactly-best feasible rows; their first-per-owner row IS the
+        # naive first-max choice, and an owner has a tie iff it has any
+        # feasible candidate at all.
+        hit = feasible & (masked == np.repeat(seg_max, seg_len))
+        ties = np.nonzero(hit)[0]
+        tie_owner = batch.owner[ties]
+        first = np.ones(len(ties), dtype=bool)
+        first[1:] = tie_owner[1:] != tie_owner[:-1]
+        choice[tie_owner[first]] = ties[first]
+        any_feasible[tie_owner[first]] = True
+        best[nonempty] = seg_max
+        if return_ties:
+            return choice, best, any_feasible, ties
+        return choice, best, any_feasible
+
+    def exact_deltas(
+        self, dense_vms: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        """Per-peer Lemma 3 deltas of the given moves (read-only).
+
+        The candidate batch scores with the aggregated level-hierarchy
+        formula, which can differ from the naive per-peer sum in the last
+        ulp; Theorem 1's strict inequality is decided on THIS value (the
+        same sum :meth:`apply_moves` applies), so a move whose true delta
+        is exactly zero can never slip through on rounding noise.
+        """
+        snap = self._snap
+        movers = np.asarray(dense_vms, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        deg = (snap.ptr[movers + 1] - snap.ptr[movers]).astype(np.int64)
+        total_e = int(deg.sum())
+        if total_e == 0:
+            return np.zeros(len(movers))
+        cum = np.zeros(len(movers) + 1, dtype=np.int64)
+        np.cumsum(deg, out=cum[1:])
+        owner = np.repeat(np.arange(len(movers), dtype=np.int64), deg)
+        edge_idx = np.repeat(snap.ptr[movers] - cum[:-1], deg) + np.arange(
+            total_e
+        )
+        peer_host = self._host_of[snap.peer[edge_idx]]
+        sources = self._host_of[movers]
+        before = pair_levels(
+            sources[owner], peer_host, self._rack_of, self._pod_of
+        )
+        after = pair_levels(
+            targets[owner], peer_host, self._rack_of, self._pod_of
+        )
+        contrib = snap.rate[edge_idx] * (
+            self._path_weight[before] - self._path_weight[after]
+        )
+        return np.bincount(owner, weights=contrib, minlength=len(movers))
+
+    def apply_moves(
+        self, dense_vms: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        """Batched cache update for one interference-free wave of moves.
+
+        Requires the wave contract of :func:`repro.core.migration.plan_wave`
+        — pairwise-disjoint source/target hosts and no mover being another
+        mover's communication peer — under which every move's Lemma 3
+        terms are independent and the wave equals applying the moves one
+        by one in any order.  Returns the per-move applied deltas.  The
+        bound allocation must be updated separately (callers use
+        ``Allocation.migrate_many``).
+        """
+        snap = self._snap
+        movers = np.asarray(dense_vms, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        n_moves = len(movers)
+        sources = self._host_of[movers].copy()
+        deg = (snap.ptr[movers + 1] - snap.ptr[movers]).astype(np.int64)
+        deltas = np.zeros(n_moves)
+        total_e = int(deg.sum())
+        if total_e:
+            cum = np.zeros(n_moves + 1, dtype=np.int64)
+            np.cumsum(deg, out=cum[1:])
+            owner = np.repeat(np.arange(n_moves, dtype=np.int64), deg)
+            edge_idx = np.repeat(snap.ptr[movers] - cum[:-1], deg) + np.arange(
+                total_e
+            )
+            peers = snap.peer[edge_idx]
+            rates = snap.rate[edge_idx]
+            peer_host = self._host_of[peers]
+            before = pair_levels(
+                sources[owner], peer_host, self._rack_of, self._pod_of
+            )
+            after = pair_levels(
+                targets[owner], peer_host, self._rack_of, self._pod_of
+            )
+            contrib = rates * (
+                self._path_weight[before] - self._path_weight[after]
+            )
+            deltas = np.bincount(owner, weights=contrib, minlength=n_moves)
+            # A non-moving VM may be the peer of several movers, so peer
+            # cost updates accumulate (bincount), never overwrite.
+            self._vm_cost -= np.bincount(
+                peers, weights=contrib, minlength=snap.n_vms
+            )
+            self._vm_cost[movers] -= deltas
+            self._total -= float(deltas.sum())
+            # Egress (§V-C): disjoint sources/targets make the per-host
+            # adjustments independent, so indexed writes are safe.
+            colocated_src = np.bincount(
+                owner, weights=rates * (before == 0), minlength=n_moves
+            )
+            colocated_tgt = np.bincount(
+                owner, weights=rates * (after == 0), minlength=n_moves
+            )
+            move_rate = np.bincount(owner, weights=rates, minlength=n_moves)
+            self._egress[sources] += colocated_src - (move_rate - colocated_src)
+            self._egress[targets] += (move_rate - colocated_tgt) - colocated_tgt
+        self._host_of[movers] = targets
+        self._slot_used[sources] -= 1
+        self._slot_used[targets] += 1
+        self._ram_used[sources] -= self._vm_ram[movers]
+        self._ram_used[targets] += self._vm_ram[movers]
+        self._cpu_used[sources] -= self._vm_cpu[movers]
+        self._cpu_used[targets] += self._vm_cpu[movers]
+        return deltas
 
     def apply_migration(self, vm_u: int, target_host: int) -> float:
         """Update every cache for ``vm_u`` moving to ``target_host``.

@@ -21,9 +21,105 @@ import numpy as np
 
 from repro.cluster.allocation import Allocation
 from repro.core.cost import CostModel
-from repro.core.fastcost import FastCostEngine
+from repro.core.fastcost import CandidateBatch, FastCostEngine
 from repro.traffic.matrix import TrafficMatrix
 from repro.util.validation import check_non_negative
+
+
+def plan_wave_reference(
+    sources: Sequence[int],
+    targets: Sequence[int],
+    peers: Sequence[Sequence[int]],
+    vms: Sequence[int],
+) -> List[bool]:
+    """Greedy interference-free wave selection, as a readable loop.
+
+    Scans proposed migrations in order and accepts each one whose source
+    host, target host and VM are untouched by every previously accepted
+    move — where "touched" means sharing a source/target host with it or
+    being one of its communication peers.  The vectorized
+    :func:`plan_wave` must select exactly this set (pinned by the wave
+    test suite).
+    """
+    used_hosts: set = set()
+    blocked_vms: set = set()
+    accepted: List[bool] = []
+    for vm, src, tgt, vm_peers in zip(vms, sources, targets, peers):
+        if vm in blocked_vms or src in used_hosts or tgt in used_hosts:
+            accepted.append(False)
+            continue
+        accepted.append(True)
+        used_hosts.add(src)
+        used_hosts.add(tgt)
+        blocked_vms.update(vm_peers)
+    return accepted
+
+
+def plan_wave(
+    sources: np.ndarray,
+    targets: np.ndarray,
+    mover_vms: np.ndarray,
+    peer_ptr: np.ndarray,
+    peer_flat: np.ndarray,
+    n_hosts: int,
+    n_vms: int,
+) -> np.ndarray:
+    """Vectorized greedy wave selection over proposed migrations.
+
+    Inputs are per-proposal arrays in visit order (``mover_vms`` holds
+    *dense* VM indices; ``peer_ptr``/``peer_flat`` a CSR view of each
+    mover's peers, also dense).  Returns the boolean acceptance mask of
+    :func:`plan_wave_reference`: a maximal in-order subset in which no two
+    accepted moves share a source host, a target host, or a communication
+    peer relation.  The peer relation must be *symmetric* (undirected
+    traffic, as in :class:`repro.traffic.matrix.TrafficMatrix`) — the
+    round-based implementation checks it from the later mover's side and
+    equals the reference only under that symmetry.
+
+    Works in rounds: every proposal that is the *earliest* claimant of
+    both its hosts among the still-eligible proposals is host-safe (any
+    conflicting proposal has a larger index), so only the peer rule needs
+    the short sequential sweep over that round's winners.
+    """
+    n = len(sources)
+    accepted = np.zeros(n, dtype=bool)
+    if n == 0:
+        return accepted
+    alive = np.ones(n, dtype=bool)
+    host_used = np.zeros(n_hosts, dtype=bool)
+    vm_blocked = np.zeros(n_vms, dtype=bool)
+    index = np.arange(n)
+    while True:
+        eligible = (
+            alive
+            & ~host_used[sources]
+            & ~host_used[targets]
+            & ~vm_blocked[mover_vms]
+        )
+        rows = index[eligible]
+        if rows.size == 0:
+            break
+        first_claim = np.full(n_hosts, n, dtype=np.int64)
+        np.minimum.at(first_claim, sources[rows], rows)
+        np.minimum.at(first_claim, targets[rows], rows)
+        winners = rows[
+            (first_claim[sources[rows]] == rows)
+            & (first_claim[targets[rows]] == rows)
+        ]
+        progressed = False
+        for i in winners:
+            vm = mover_vms[i]
+            if vm_blocked[vm]:
+                continue
+            accepted[i] = True
+            alive[i] = False
+            host_used[sources[i]] = True
+            host_used[targets[i]] = True
+            vm_blocked[peer_flat[peer_ptr[i] : peer_ptr[i + 1]]] = True
+            progressed = True
+        if not progressed:
+            break
+    return accepted
 
 
 @dataclass(frozen=True)
@@ -97,6 +193,16 @@ class MigrationEngine:
     def migration_cost(self) -> float:
         """The migration (overhead) cost ``cm``."""
         return self._migration_cost
+
+    @property
+    def bandwidth_threshold(self) -> Optional[float]:
+        """The §V-C link-load threshold in force (None = disabled)."""
+        return self._bandwidth_threshold
+
+    @property
+    def max_candidates(self) -> Optional[int]:
+        """Cap on probed candidate servers per decision (None = unlimited)."""
+        return self._max_candidates
 
     @property
     def fastcost(self) -> Optional[FastCostEngine]:
@@ -333,6 +439,182 @@ class MigrationEngine:
             migrated=False,
             reason="no_gain",
         )
+
+    # -- batch decisions (wave-batched token rounds) -----------------------------
+
+    def decisions_from_batch(
+        self,
+        allocation: Allocation,
+        batch: CandidateBatch,
+        fast: FastCostEngine,
+    ) -> List[MigrationDecision]:
+        """Turn one scored :class:`CandidateBatch` into per-VM decisions.
+
+        Applies the current feasibility mask, the first-max tie-breaking
+        and the Theorem 1 threshold — decision-for-decision the same
+        outcome as :meth:`evaluate` on each VM individually against the
+        same state (the batch differential suite pins this).
+        """
+        feasible = fast.candidate_feasible(batch, self._bandwidth_threshold)
+        choice, best_delta, _ = fast.best_candidates(batch, feasible)
+        # Theorem 1's strict inequality is decided on the exact per-peer
+        # delta of each tentative winner (the batch scores with the
+        # aggregated level-hierarchy formula, which can differ in the last
+        # ulp); the exact value is also what gets reported, mirroring the
+        # scalar fast path's `migration_deltas`.
+        tentative = (
+            (choice >= 0) & (best_delta > 0) & (best_delta > self._migration_cost)
+        )
+        rows = np.nonzero(tentative)[0]
+        exact = np.zeros(batch.n_owners)
+        if rows.size:
+            exact[rows] = fast.exact_deltas(
+                batch.vms[rows], batch.host[choice[rows]]
+            )
+        decisions: List[MigrationDecision] = []
+        for i in range(batch.n_owners):
+            vm_id = int(fast.snapshot.vm_ids[batch.vms[i]])
+            source = int(batch.source[i])
+            if batch.degree[i] == 0:
+                decisions.append(
+                    MigrationDecision(vm_id, source, None, 0.0, False, "no_peers")
+                )
+                continue
+            row = int(choice[i])
+            if row < 0:
+                decisions.append(
+                    MigrationDecision(
+                        vm_id, source, None, 0.0, False, "no_feasible_target"
+                    )
+                )
+                continue
+            if tentative[i]:
+                delta = float(exact[i])
+                if delta > 0 and delta > self._migration_cost:
+                    target = int(batch.host[row])
+                    if not allocation.can_host(target, allocation.vm(vm_id)):
+                        # Mirror drift (same paranoia as the scalar fast
+                        # path): defer to the naive per-VM evaluation.
+                        decisions.append(
+                            self.evaluate(allocation, fast.traffic, vm_id)
+                        )
+                        continue
+                    decisions.append(
+                        MigrationDecision(
+                            vm_id, source, target, delta, False, "beneficial"
+                        )
+                    )
+                    continue
+            decisions.append(
+                MigrationDecision(
+                    vm_id,
+                    source,
+                    None,
+                    max(0.0, float(exact[i]) if tentative[i] else float(best_delta[i])),
+                    False,
+                    "no_gain",
+                )
+            )
+        return decisions
+
+    def evaluate_many(
+        self, allocation: Allocation, traffic: TrafficMatrix, vm_ids: Sequence[int]
+    ) -> List[MigrationDecision]:
+        """Batched :meth:`evaluate` over many VMs (no mutation).
+
+        With a bound fast engine, candidate generation, Lemma 3 scoring
+        and the §V-B5/§V-C feasibility probes run as one vectorized pass
+        over all VM × candidate pairs; otherwise falls back to per-VM
+        evaluation.  Decisions come back in input order.
+        """
+        fast = self._fastcost
+        if fast is None or not fast.is_bound_to(allocation, traffic):
+            return [self.evaluate(allocation, traffic, v) for v in vm_ids]
+        batch = fast.candidate_batch(
+            fast.dense_indices(vm_ids), self._max_candidates
+        )
+        return self.decisions_from_batch(allocation, batch, fast)
+
+    def decide_many(
+        self, allocation: Allocation, traffic: TrafficMatrix, vm_ids: Sequence[int]
+    ) -> Tuple[List[MigrationDecision], List[int]]:
+        """Evaluate a batch, apply one interference-free wave, defer the rest.
+
+        Proposed migrations are partitioned by :func:`plan_wave`: accepted
+        moves (pairwise disjoint in source host, target host and peer
+        relation) are applied as one batched allocation + cache update;
+        conflicting proposals are *deferred* — their VM ids come back in
+        the second element, to be re-evaluated against the post-wave state
+        (the wave-batched round loop does exactly that).  The first element
+        holds final decisions for every settled VM, in input order.
+        """
+        decisions = self.evaluate_many(allocation, traffic, vm_ids)
+        fast = self._fastcost
+        use_fast = fast is not None and fast.is_bound_to(allocation, traffic)
+        proposals = [
+            (i, d) for i, d in enumerate(decisions) if d.target_host is not None
+        ]
+        if not proposals:
+            return decisions, []
+        if use_fast:
+            dense = fast.dense_indices([d.vm_id for _, d in proposals])
+            snap = fast.snapshot
+            counts = (snap.ptr[dense + 1] - snap.ptr[dense]).astype(np.int64)
+            peer_ptr = np.zeros(len(dense) + 1, dtype=np.int64)
+            np.cumsum(counts, out=peer_ptr[1:])
+            peer_flat = np.concatenate(
+                [snap.peer[snap.ptr[v] : snap.ptr[v + 1]] for v in dense]
+            ) if len(dense) else np.empty(0, dtype=np.int64)
+            accepted = plan_wave(
+                np.array([d.source_host for _, d in proposals], dtype=np.int64),
+                np.array([d.target_host for _, d in proposals], dtype=np.int64),
+                dense,
+                peer_ptr,
+                peer_flat,
+                n_hosts=allocation.cluster.n_servers,
+                n_vms=snap.n_vms,
+            )
+        else:
+            accepted = plan_wave_reference(
+                [d.source_host for _, d in proposals],
+                [d.target_host for _, d in proposals],
+                [sorted(traffic.peers_of(d.vm_id)) for _, d in proposals],
+                [d.vm_id for _, d in proposals],
+            )
+        moves = [
+            (d.vm_id, d.target_host)
+            for (_, d), ok in zip(proposals, accepted)
+            if ok
+        ]
+        allocation.migrate_many(moves)
+        if use_fast and moves:
+            # Proposal deltas are already the exact per-peer values
+            # (evaluate_many gates Theorem 1 on them), so the wave applies
+            # verbatim.
+            fast.apply_moves(
+                fast.dense_indices([vm for vm, _ in moves]),
+                np.array([t for _, t in moves], dtype=np.int64),
+            )
+        settled: List[MigrationDecision] = []
+        deferred: List[int] = []
+        wave = dict(moves)
+        for decision in decisions:
+            if decision.target_host is None:
+                settled.append(decision)
+            elif decision.vm_id in wave:
+                settled.append(
+                    MigrationDecision(
+                        vm_id=decision.vm_id,
+                        source_host=decision.source_host,
+                        target_host=decision.target_host,
+                        delta=decision.delta,
+                        migrated=True,
+                        reason="migrated",
+                    )
+                )
+            else:
+                deferred.append(decision.vm_id)
+        return settled, deferred
 
     def decide_and_migrate(
         self, allocation: Allocation, traffic: TrafficMatrix, vm_u: int

@@ -52,6 +52,42 @@ class TokenPolicy(ABC):
     ) -> int:
         """Return the VM the token should be passed to."""
 
+    # -- round-order snapshot API (wave-batched rounds) ------------------------
+
+    def round_order(
+        self,
+        token: Token,
+        vm_u: int,
+        allocation: Allocation,
+        traffic: TrafficMatrix,
+        cost_model: CostModel,
+    ) -> Optional[List[int]]:
+        """Snapshot of one full round's visit order starting at ``vm_u``.
+
+        Policies whose order is known (or can be frozen) at round start
+        return the |V|-entry visit list the wave-batched scheduler uses;
+        ``None`` (the default) declares the order unknowable up front, and
+        the scheduler falls back to the per-hold reference loop.
+        """
+        return None
+
+    def end_round(
+        self,
+        token: Token,
+        order: List[int],
+        allocation: Allocation,
+        traffic: TrafficMatrix,
+        cost_model: CostModel,
+    ) -> int:
+        """Close a batched round and return the next round's first holder.
+
+        Called once per wave-batched round in place of the |V| per-hold
+        ``on_hold`` calls; policies refresh whatever token state those
+        calls would have maintained.  Default: no state, next holder is
+        the cyclic successor of the last VM visited.
+        """
+        return token.successor(order[-1])
+
 
 class RoundRobinPolicy(TokenPolicy):
     """§V-A1: circulate the token in ascending VM-ID order, wrapping."""
@@ -67,6 +103,17 @@ class RoundRobinPolicy(TokenPolicy):
         cost_model: CostModel,
     ) -> int:
         return token.successor(vm_u)
+
+    def round_order(
+        self,
+        token: Token,
+        vm_u: int,
+        allocation: Allocation,
+        traffic: TrafficMatrix,
+        cost_model: CostModel,
+    ) -> Optional[List[int]]:
+        """RR's order is exactly the ascending cyclic rotation from u."""
+        return token.rotation_from(vm_u)
 
 
 class HighestLevelFirstPolicy(TokenPolicy):
@@ -150,6 +197,64 @@ class HighestLevelFirstPolicy(TokenPolicy):
         self._rebuild(token)
         top = token.max_recorded_level()
         return min(token.vms_at_level(top))
+
+    def round_order(
+        self,
+        token: Token,
+        vm_u: int,
+        allocation: Allocation,
+        traffic: TrafficMatrix,
+        cost_model: CostModel,
+    ) -> Optional[List[int]]:
+        """Priority snapshot of Algorithm 1's order for a batched round.
+
+        The live algorithm re-consults the (mutating) level estimates at
+        every hop; a batched round freezes them once: the current holder
+        first, then every other VM by recorded level descending, cyclic ID
+        order after the holder within a level.  This is the §V-A2 priority
+        *as of round start* — the order Algorithm 1 would follow if no
+        estimate changed mid-round; estimates are instead refreshed in one
+        pass by :meth:`end_round`.
+        """
+        ids = [vm for vm in token.vm_ids if vm != vm_u]
+        ids.sort(key=lambda v: (-token.level_of(v), v <= vm_u, v))
+        order = [vm_u] if vm_u in token else []
+        return order + ids
+
+    def end_round(
+        self,
+        token: Token,
+        order: List[int],
+        allocation: Allocation,
+        traffic: TrafficMatrix,
+        cost_model: CostModel,
+    ) -> int:
+        """Refresh every level estimate; restart at the top level's lowest ID.
+
+        Every VM was visited this round, so instead of replaying |V|
+        ``on_hold`` updates the policy records each VM's *measured*
+        highest level (at the post-round placement) in one bulk write —
+        at least as fresh as Algorithm 1's raise-only estimates — resets
+        the checked set, and hands the token to the lowest-ID VM at the
+        maximum recorded level (Algorithm 1 line 16).
+        """
+        if hasattr(cost_model, "highest_levels"):
+            # Vectorized: one pass over the engine's pair arrays.
+            levels = cost_model.highest_levels()
+            vm_ids = cost_model.snapshot.vm_ids
+            token.set_levels(
+                {int(v): int(l) for v, l in zip(vm_ids, levels) if int(v) in token}
+            )
+        else:
+            token.set_levels(
+                {
+                    vm: cost_model.highest_level(allocation, traffic, vm)
+                    for vm in token.vm_ids
+                }
+            )
+        self._checked.clear()
+        self._rebuild(token)
+        return min(token.vms_at_level(token.max_recorded_level()))
 
     def _next_unchecked_at_level(self, vm_u: int, level: int) -> Optional[int]:
         """First unchecked VM after u (cyclically) recorded at ``level``."""

@@ -1,0 +1,539 @@
+"""Wave-batched token rounds: one S-CORE iteration, numpy end-to-end.
+
+The reference control loop (`SCOREScheduler.run_reference`) circulates the
+token hold by hold — ~|V| per-VM python/numpy round-trips per iteration.
+When a policy can freeze its visit order at round start
+(:meth:`repro.core.policies.TokenPolicy.round_order`), this module executes
+the whole round in *waves* instead:
+
+1. **Round snapshot.**  Every hold's candidate targets and Lemma 3 deltas
+   are scored in one vectorized pass
+   (:meth:`repro.core.fastcost.FastCostEngine.candidate_batch`).  The
+   candidate *sets* are frozen for the round (the round-snapshot
+   contract); delta values are kept exact across waves by incremental
+   adjustment (see 4).
+2. **Wave planning.**  Proposals are admitted greedily in descending-gain
+   priority under the interference rule — no two migrations in a wave may
+   share a source host, a target host, or a communication-peer relation —
+   which makes every admitted move's delta, capacity probe and §V-C
+   bandwidth probe exact regardless of application order within the wave.
+   When a proposal's target host is already claimed, the planner may
+   *retarget* it to another candidate with exactly the same delta (same-
+   rack ties are pervasive), so equal-gain movers pack one wave instead
+   of serializing; in an interference-free round no retargeting (and no
+   deferral) ever happens, and the outcome is identical to the
+   sequential loop's.
+3. **Batched apply.**  Each wave lands as one batched allocation update
+   (``Allocation.migrate_many``) plus one batched cache update
+   (``FastCostEngine.apply_moves``).
+4. **Deferral + re-evaluation.**  Proposals the wave could not admit are
+   re-evaluated against the post-wave state: feasibility is re-masked
+   from the engine's live mirrors every wave, and the deltas of every
+   deferred VM with a *moved peer* are incrementally corrected (only the
+   moved peers' terms change), so every applied delta is exact at its
+   application time.  VMs without a beneficial move are settled when
+   first evaluated.
+
+A round therefore applies the same kind of strictly-improving, exactly-
+accounted migrations as the sequential loop: when no decision interacts
+with another the outcomes are identical, and when they do interact the
+round still only applies exact positive deltas (``tests/test_wave_rounds``
+pins both properties, plus the interference rule itself on live waves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.allocation import Allocation, CapacityError
+from repro.core.fastcost import CandidateBatch, FastCostEngine, pair_levels
+from repro.core.migration import MigrationDecision, MigrationEngine
+from repro.traffic.matrix import TrafficMatrix
+
+
+@dataclass
+class RoundResult:
+    """Outcome of one wave-batched token round."""
+
+    #: Final per-hold decisions, aligned with the round's visit order.
+    decisions: List[MigrationDecision] = field(default_factory=list)
+    #: Per-hold migrated flags / applied deltas, aligned with the order —
+    #: the array form the scheduler builds its time series from.
+    hold_migrated: np.ndarray = field(default_factory=lambda: np.empty(0, bool))
+    hold_delta: np.ndarray = field(default_factory=lambda: np.empty(0))
+    #: Number of migrations performed.
+    migrations: int = 0
+    #: Number of waves the round took (1 when nothing interfered).
+    waves: int = 0
+    #: Total deferral events (a hold deferred over k waves counts k times).
+    deferrals: int = 0
+    #: Per-wave applied moves, ``(vm_id, source_host, target_host)`` — the
+    #: raw material of the wave-disjointness property test.  Populated only
+    #: when the engine was built with ``record_waves=True``.
+    wave_moves: List[List[Tuple[int, int, int]]] = field(default_factory=list)
+
+    @property
+    def interference_free(self) -> bool:
+        """Whether every proposal landed in the first wave, untouched."""
+        return self.deferrals == 0
+
+
+class BatchedRoundEngine:
+    """Executes wave-batched token rounds over one (allocation, traffic).
+
+    Bound to the same :class:`FastCostEngine` the migration engine uses;
+    thresholds (``cm``, §V-C bandwidth, candidate cap) are read from the
+    :class:`MigrationEngine` so batched and per-hold decisions share one
+    configuration.
+    """
+
+    def __init__(
+        self,
+        allocation: Allocation,
+        traffic: TrafficMatrix,
+        engine: MigrationEngine,
+        fast: FastCostEngine,
+        record_waves: bool = False,
+    ) -> None:
+        if not fast.is_bound_to(allocation, traffic):
+            raise ValueError(
+                "fast engine is not bound to the scheduler's allocation/traffic"
+            )
+        self._allocation = allocation
+        self._traffic = traffic
+        self._engine = engine
+        self._fast = fast
+        self._record_waves = record_waves
+
+    def run_round(self, order: Sequence[int]) -> RoundResult:
+        """Run one full token round over ``order`` (a visit-order snapshot)."""
+        fast = self._fast
+        engine = self._engine
+        n = len(order)
+        result = RoundResult(
+            decisions=[None] * n,  # type: ignore[list-item]
+            hold_migrated=np.zeros(n, dtype=bool),
+            hold_delta=np.zeros(n),
+        )
+        batch = fast.candidate_batch(
+            fast.dense_indices(order), engine.max_candidates
+        )
+        positions = np.arange(n, dtype=np.int64)
+        cm = engine.migration_cost
+        threshold = engine.bandwidth_threshold
+        n_hosts = self._allocation.cluster.n_servers
+
+        while positions.size:
+            feasible = fast.candidate_feasible(batch, threshold)
+            choice, best, _, ties = fast.best_candidates(
+                batch, feasible, return_ties=True
+            )
+            beneficial = (choice >= 0) & (best > 0) & (best > cm)
+            self._settle_non_movers(
+                result, batch, positions, choice, best, beneficial
+            )
+            prop = np.nonzero(beneficial)[0]
+            if prop.size == 0:
+                break
+            result.waves += 1
+            accepted, target = self._plan_wave(
+                batch, best, prop, ties, n_hosts
+            )
+            moved, old_hosts, new_hosts = self._apply_wave(
+                result, positions, batch, prop[accepted], target[accepted]
+            )
+            deferred = prop[~accepted]
+            if deferred.size == 0:
+                break
+            result.deferrals += int(deferred.size)
+            keep = batch.select(deferred, with_onto=threshold is not None)
+            keep_positions = positions[deferred]
+            if moved.size:
+                self._adjust_stale(keep, moved, old_hosts, new_hosts)
+            batch = keep
+            positions = keep_positions
+
+        assert all(d is not None for d in result.decisions)
+        return result
+
+    # -- wave planning ------------------------------------------------------
+
+    def _plan_wave(
+        self,
+        batch: CandidateBatch,
+        best: np.ndarray,
+        prop: np.ndarray,
+        ties: np.ndarray,
+        n_hosts: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Greedy interference-free admission with exact-tie retargeting.
+
+        Returns ``(accepted, target)`` over ``prop``: the admission mask
+        and each admitted proposal's target host.  Priority is descending
+        Lemma 3 gain (stable on visit position).  Each proposal may land
+        on any candidate whose delta *exactly equals* its best (``ties``,
+        from :meth:`FastCostEngine.best_candidates`) — the first such host
+        in probing order not yet claimed this wave — so an already-claimed
+        host only defers a VM when no equally-good alternative exists.
+        """
+        fast = self._fast
+        snap = fast.snapshot
+        n_prop = len(prop)
+        order = np.argsort(-best[prop], kind="stable")
+        rank_of = np.empty(n_prop, dtype=np.int64)
+        rank_of[order] = np.arange(n_prop)
+
+        # Tied rows of the proposal owners only, mapped to proposal index.
+        prop_index = np.full(batch.n_owners, -1, dtype=np.int64)
+        prop_index[prop] = np.arange(n_prop)
+        t_owner = prop_index[batch.owner[ties]]
+        in_prop = t_owner >= 0
+        t_owner = t_owner[in_prop]
+        t_host = batch.host[ties[in_prop]]
+
+        sources = batch.source[prop]
+        vms = batch.vms[prop]
+        accepted = np.zeros(n_prop, dtype=bool)
+        target = np.full(n_prop, -1, dtype=np.int64)
+        alive = np.ones(n_prop, dtype=bool)
+        host_used = np.zeros(n_hosts, dtype=bool)
+        vm_blocked = np.zeros(snap.n_vms, dtype=bool)
+        big = n_prop  # sentinel priority rank
+
+        while True:
+            alive &= ~host_used[sources] & ~vm_blocked[vms]
+            # Compact the tied rows to the still-contending owners; rows of
+            # admitted/claimed hosts and settled owners never return.
+            open_rows = alive[t_owner] & ~host_used[t_host]
+            t_owner = t_owner[open_rows]
+            t_host = t_host[open_rows]
+            if t_owner.size == 0:
+                break
+            # First open tied row per owner (probing order).
+            pick = np.full(n_prop, -1, dtype=np.int64)
+            # rows are grouped by owner ascending; first occurrence wins.
+            first_of_owner = np.ones(len(t_owner), dtype=bool)
+            first_of_owner[1:] = t_owner[1:] != t_owner[:-1]
+            pick[t_owner[first_of_owner]] = np.nonzero(first_of_owner)[0]
+            contenders = np.nonzero(pick >= 0)[0]
+            # Host claims resolve by gain priority (then visit order).
+            claim = np.full(n_hosts, big, dtype=np.int64)
+            np.minimum.at(claim, sources[contenders], rank_of[contenders])
+            np.minimum.at(claim, t_host[pick[contenders]], rank_of[contenders])
+            winners = contenders[
+                (claim[sources[contenders]] == rank_of[contenders])
+                & (claim[t_host[pick[contenders]]] == rank_of[contenders])
+            ]
+            # Peer filter, vectorized: a winner yields when one of its
+            # peers is a higher-priority winner (the loser stays alive for
+            # the next admission round — conservative vs the sequential
+            # sweep, but converging to the same admitted set).
+            winner_rank = np.full(snap.n_vms, big, dtype=np.int64)
+            winner_rank[vms[winners]] = rank_of[winners]
+            w_ptr, w_peers = self._peer_slices(vms[winners])
+            peer_best = np.full(len(winners), big, dtype=np.int64)
+            starts = w_ptr[:-1]
+            nonempty = w_ptr[1:] > starts
+            if np.any(nonempty):
+                peer_best[nonempty] = np.minimum.reduceat(
+                    winner_rank[w_peers], starts[nonempty]
+                )
+            ok = (peer_best > rank_of[winners]) & ~vm_blocked[vms[winners]]
+            chosen = winners[ok]
+            if chosen.size == 0:
+                break
+            accepted[chosen] = True
+            alive[chosen] = False
+            target[chosen] = t_host[pick[chosen]]
+            host_used[sources[chosen]] = True
+            host_used[target[chosen]] = True
+            c_ptr, c_peers = self._peer_slices(vms[chosen])
+            vm_blocked[c_peers] = True
+        return accepted, target
+
+    def _peer_slices(self, dense_vms: np.ndarray):
+        """CSR (ptr, flat peer indices) of the given dense VMs."""
+        snap = self._fast.snapshot
+        counts = (snap.ptr[dense_vms + 1] - snap.ptr[dense_vms]).astype(np.int64)
+        ptr = np.zeros(len(dense_vms) + 1, dtype=np.int64)
+        np.cumsum(counts, out=ptr[1:])
+        flat = np.repeat(snap.ptr[dense_vms] - ptr[:-1], counts) + np.arange(
+            int(ptr[-1])
+        )
+        return ptr, snap.peer[flat]
+
+    # -- wave application ---------------------------------------------------
+
+    def _apply_wave(
+        self,
+        result: RoundResult,
+        positions: np.ndarray,
+        batch: CandidateBatch,
+        wave: np.ndarray,
+        targets: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Apply one admitted wave; returns (moved dense, old, new hosts).
+
+        The batched apply is guarded by ``Allocation.migrate_many``'s
+        validate-first contract: if the allocation's own accounting rejects
+        any move (mirror drift — not expected, but checked), the wave
+        falls back to per-move application and the rejected holds settle
+        through the sequential reference path.
+        """
+        fast = self._fast
+        allocation = self._allocation
+        vm_ids = fast.snapshot.vm_ids
+        dense = batch.vms[wave]
+        sources = batch.source[wave]
+        # Theorem 1 is decided on the exact per-peer delta (the value the
+        # cache update applies), not the batch's aggregated score — a move
+        # whose true gain is zero must not ride in on rounding noise.  A
+        # proposal failing the exact gate settles as no-gain.
+        exact = fast.exact_deltas(dense, targets)
+        cm = self._engine.migration_cost
+        genuine = (exact > 0) & (exact > cm)
+        if not genuine.all():
+            decisions = result.decisions
+            for pos, vm_id, src, d in zip(
+                positions[wave[~genuine]].tolist(),
+                vm_ids[dense[~genuine]].tolist(),
+                sources[~genuine].tolist(),
+                exact[~genuine].tolist(),
+            ):
+                decisions[pos] = MigrationDecision(
+                    vm_id=vm_id,
+                    source_host=src,
+                    target_host=None,
+                    delta=max(0.0, d),
+                    migrated=False,
+                    reason="no_gain",
+                )
+            wave = wave[genuine]
+            dense = dense[genuine]
+            sources = sources[genuine]
+            targets = targets[genuine]
+        moves = list(zip(vm_ids[dense].tolist(), targets.tolist()))
+        moved_rows: List[int] = []
+        drift_moved: List[Tuple[int, int, int]] = []  # dense, old, new
+        wave_log: List[Tuple[int, int, int]] = []
+        try:
+            allocation.migrate_many(moves)
+            moved_rows = list(range(len(moves)))
+        except CapacityError:
+            for row, (vm_id, tgt) in enumerate(moves):
+                try:
+                    allocation.migrate(vm_id, tgt)
+                    moved_rows.append(row)
+                except CapacityError:
+                    decision = self._engine.decide_and_migrate(
+                        allocation, self._traffic, vm_id
+                    )
+                    pos = positions[wave[row]]
+                    result.decisions[pos] = decision
+                    if decision.migrated:
+                        result.migrations += 1
+                        result.hold_migrated[pos] = True
+                        result.hold_delta[pos] = decision.delta
+                        drift_moved.append(
+                            (
+                                int(dense[row]),
+                                decision.source_host,
+                                decision.target_host,
+                            )
+                        )
+                        wave_log.append(
+                            (vm_id, decision.source_host, decision.target_host)
+                        )
+        moved_rows = np.array(moved_rows, dtype=np.int64)
+        if moved_rows.size:
+            deltas = fast.apply_moves(dense[moved_rows], targets[moved_rows])
+            pos_arr = positions[wave[moved_rows]]
+            result.hold_migrated[pos_arr] = True
+            result.hold_delta[pos_arr] = deltas
+            decisions = result.decisions
+            srcs = sources[moved_rows].tolist()
+            for pos, row, src, delta in zip(
+                pos_arr.tolist(), moved_rows.tolist(), srcs, deltas.tolist()
+            ):
+                vm_id, tgt = moves[row]
+                decisions[pos] = MigrationDecision(
+                    vm_id=vm_id,
+                    source_host=src,
+                    target_host=tgt,
+                    delta=delta,
+                    migrated=True,
+                    reason="migrated",
+                )
+            if self._record_waves:
+                wave_log.extend(
+                    (moves[row][0], src, moves[row][1])
+                    for row, src in zip(moved_rows.tolist(), srcs)
+                )
+            result.migrations += int(moved_rows.size)
+        if self._record_waves:
+            result.wave_moves.append(wave_log)
+        moved_dense = np.concatenate(
+            [dense[moved_rows], np.array([m[0] for m in drift_moved], dtype=np.int64)]
+        )
+        old_hosts = np.concatenate(
+            [sources[moved_rows], np.array([m[1] for m in drift_moved], dtype=np.int64)]
+        )
+        new_hosts = np.concatenate(
+            [targets[moved_rows], np.array([m[2] for m in drift_moved], dtype=np.int64)]
+        )
+        return moved_dense, old_hosts, new_hosts
+
+    # -- staleness ----------------------------------------------------------
+
+    def _adjust_stale(
+        self,
+        batch: CandidateBatch,
+        moved: np.ndarray,
+        old_hosts: np.ndarray,
+        new_hosts: np.ndarray,
+    ) -> None:
+        """Correct deferred owners' deltas for this wave's peer movements.
+
+        For owner u with candidate x and moved peer p (rate λ):
+
+        ``Δ(u→x) += λ·(w[l(src_u, new_p)] − w[l(src_u, old_p)])
+                  − λ·(w[l(x, new_p)] − w[l(x, old_p)])``
+
+        and the §V-C landing rate gains/loses λ as p lands on / leaves x.
+        Only the moved peers' terms change, so the correction touches
+        ``Σ_u |candidates(u)| × |moved peers(u)|`` rows — a tiny slice of
+        a full re-score — and keeps every retained delta exact against
+        the post-wave placement (candidate sets stay the round snapshot).
+        """
+        fast = self._fast
+        snap = fast.snapshot
+        pw = fast._path_weight
+        rack_of, pod_of = fast._rack_of, fast._pod_of
+        moved_flag = np.zeros(snap.n_vms, dtype=bool)
+        moved_flag[moved] = True
+        old_of = np.zeros(snap.n_vms, dtype=np.int64)
+        new_of = np.zeros(snap.n_vms, dtype=np.int64)
+        old_of[moved] = old_hosts
+        new_of[moved] = new_hosts
+
+        # (owner, moved peer) incidences of the deferred owners.
+        owners = np.arange(batch.n_owners, dtype=np.int64)
+        deg = batch.degree
+        cum = np.zeros(batch.n_owners + 1, dtype=np.int64)
+        np.cumsum(deg, out=cum[1:])
+        owner_e = np.repeat(owners, deg)
+        edge = np.repeat(snap.ptr[batch.vms] - cum[:-1], deg) + np.arange(
+            int(cum[-1])
+        )
+        peer = snap.peer[edge]
+        hit = moved_flag[peer]
+        if not np.any(hit):
+            return
+        m_owner = owner_e[hit]
+        m_peer = peer[hit]
+        m_rate = snap.rate[edge[hit]]
+        m_old = old_of[m_peer]
+        m_new = new_of[m_peer]
+
+        src = batch.source[m_owner]
+        src_term = m_rate * (
+            pw[pair_levels(src, m_new, rack_of, pod_of)]
+            - pw[pair_levels(src, m_old, rack_of, pod_of)]
+        )
+        # Work in the compact row space of the stale owners only (their
+        # candidate segments), then scatter once into the batch arrays.
+        row_counts = (batch.ptr[1:] - batch.ptr[:-1]).astype(np.int64)
+        u_own, inv = np.unique(m_owner, return_inverse=True)
+        seg_len = row_counts[u_own]
+        c_ptr = np.zeros(len(u_own) + 1, dtype=np.int64)
+        np.cumsum(seg_len, out=c_ptr[1:])
+        n_stale_rows = int(c_ptr[-1])
+        if n_stale_rows == 0:
+            return
+        stale_rows = np.repeat(batch.ptr[u_own] - c_ptr[:-1], seg_len) + np.arange(
+            n_stale_rows
+        )
+        # Source-side term: one per-owner aggregate over its whole segment.
+        src_adjust = np.zeros(len(u_own))
+        np.add.at(src_adjust, inv, src_term)
+        adjust = np.repeat(src_adjust, seg_len)
+
+        # Candidate-side term: expand each incidence over the owner's rows.
+        inc_rows = seg_len[inv]
+        i_ptr = np.zeros(len(m_owner) + 1, dtype=np.int64)
+        np.cumsum(inc_rows, out=i_ptr[1:])
+        total = int(i_ptr[-1])
+        row_local = np.repeat(c_ptr[inv] - i_ptr[:-1], inc_rows) + np.arange(
+            total
+        )
+        inc = np.repeat(np.arange(len(m_owner), dtype=np.int64), inc_rows)
+        hosts = batch.host[stale_rows[row_local]]
+        new_r = m_new[inc]
+        old_r = m_old[inc]
+        # The level-weight difference vanishes unless the candidate host
+        # shares a pod with the peer's old or new placement (both levels
+        # are 3 otherwise) — which prunes the expensive part of the
+        # expansion to a couple of pods' worth of rows.
+        host_pod = pod_of[hosts]
+        near = (host_pod == pod_of[new_r]) | (host_pod == pod_of[old_r])
+        row_near = row_local[near]
+        hosts_n = hosts[near]
+        new_n = new_r[near]
+        old_n = old_r[near]
+        rate_n = m_rate[inc[near]]
+        cand_term = rate_n * (
+            pw[pair_levels(hosts_n, new_n, rack_of, pod_of)]
+            - pw[pair_levels(hosts_n, old_n, rack_of, pod_of)]
+        )
+        adjust -= np.bincount(row_near, weights=cand_term, minlength=n_stale_rows)
+        batch.delta[stale_rows] += adjust
+        if self._engine.bandwidth_threshold is not None:
+            # The §V-C landing rate is only consumed when the threshold is
+            # in force; skip the correction otherwise.
+            onto_term = rate_n * (
+                (new_n == hosts_n).astype(float) - (old_n == hosts_n)
+            )
+            batch.onto_rate[stale_rows] += np.bincount(
+                row_near, weights=onto_term, minlength=n_stale_rows
+            )
+
+    # -- settlement ---------------------------------------------------------
+
+    def _settle_non_movers(
+        self,
+        result: RoundResult,
+        batch: CandidateBatch,
+        positions: np.ndarray,
+        choice: np.ndarray,
+        best: np.ndarray,
+        beneficial: np.ndarray,
+    ) -> None:
+        """Record final decisions for every owner without a beneficial move."""
+        decisions = result.decisions
+        vm_ids = self._fast.snapshot.vm_ids
+        rows = np.nonzero(~beneficial)[0]
+        if rows.size == 0:
+            return
+        reason_code = np.where(
+            batch.degree[rows] == 0, 0, np.where(choice[rows] < 0, 1, 2)
+        )
+        deltas = np.where(reason_code == 2, np.maximum(best[rows], 0.0), 0.0)
+        reasons = ("no_peers", "no_feasible_target", "no_gain")
+        for pos, vm_id, source, code, delta in zip(
+            positions[rows].tolist(),
+            vm_ids[batch.vms[rows]].tolist(),
+            batch.source[rows].tolist(),
+            reason_code.tolist(),
+            deltas.tolist(),
+        ):
+            decisions[pos] = MigrationDecision(
+                vm_id=vm_id,
+                source_host=source,
+                target_host=None,
+                delta=delta,
+                migrated=False,
+                reason=reasons[code],
+            )

@@ -19,11 +19,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.cluster.allocation import Allocation
 from repro.core.cost import CostModel
 from repro.core.fastcost import FastCostEngine
 from repro.core.migration import MigrationDecision, MigrationEngine
 from repro.core.policies import TokenPolicy
+from repro.core.rounds import BatchedRoundEngine
 from repro.core.token import Token
 from repro.traffic.matrix import TrafficMatrix
 from repro.util.validation import check_positive
@@ -67,12 +70,24 @@ class SchedulerReport:
         return 1.0 - self.final_cost / self.initial_cost
 
     def cost_ratio_series(self, reference_cost: float) -> List[Tuple[float, float]]:
-        """The paper's Fig. 3d–i series: cost(t) / reference (e.g. GA-optimal)."""
+        """The paper's Fig. 3d–i series: cost(t) / reference (e.g. GA-optimal).
+
+        Tolerates reports with no recorded points (e.g. a hand-built or
+        not-yet-run report): the series is simply empty.
+        """
         check_positive("reference_cost", reference_cost)
+        if not self.time_series:
+            return []
         return [(t, cost / reference_cost) for t, cost in self.time_series]
 
     def migrated_ratio_series(self) -> List[Tuple[int, float]]:
-        """The paper's Fig. 2 series: migrated-VM ratio per iteration."""
+        """The paper's Fig. 2 series: migrated-VM ratio per iteration.
+
+        Empty when the report holds no iterations (zero-iteration reports
+        are legal values, not errors).
+        """
+        if not self.iterations:
+            return []
         return [(it.index, it.migrated_ratio) for it in self.iterations]
 
 
@@ -87,6 +102,7 @@ class SCOREScheduler:
         engine: MigrationEngine,
         token_interval_s: float = 1.0,
         use_fastcost: bool = True,
+        use_batched_rounds: bool = True,
     ) -> None:
         """
         ``use_fastcost`` (default on) builds a
@@ -96,6 +112,14 @@ class SCOREScheduler:
         cost updates, and vectorized highest-level queries for the policy.
         Disable it to run every decision through the naive
         :class:`~repro.core.cost.CostModel` reference path.
+
+        ``use_batched_rounds`` (default on) executes each token round as
+        interference-free migration *waves* over the policy's round-order
+        snapshot (:mod:`repro.core.rounds`) whenever the policy can freeze
+        its visit order up front (RR exactly; HLF via a priority snapshot)
+        and the fast engine is active; otherwise — and always with
+        ``use_fastcost=False`` or an order-free policy — :meth:`run` falls
+        back to the per-hold reference loop (:meth:`run_reference`).
         """
         check_positive("token_interval_s", token_interval_s)
         missing = traffic.vms_with_traffic - set(allocation.vm_ids())
@@ -115,6 +139,7 @@ class SCOREScheduler:
         # that point then cost nothing, and the run-start sync isn't paid
         # twice for a freshly constructed scheduler.
         self._use_fastcost = use_fastcost
+        self._use_batched_rounds = use_batched_rounds
         self._fast: Optional[FastCostEngine] = None
 
     @property
@@ -145,6 +170,12 @@ class SCOREScheduler:
     ) -> SchedulerReport:
         """Circulate the token for ``n_iterations`` full rounds.
 
+        Dispatches to the wave-batched round engine when it applies (fast
+        engine active, batched rounds enabled, and the policy provides a
+        round-order snapshot), else to the per-hold reference loop — the
+        two agree whenever round decisions don't interact, and the wave
+        differential suite pins their relationship when they do.
+
         Parameters
         ----------
         n_iterations:
@@ -158,6 +189,50 @@ class SCOREScheduler:
         """
         if n_iterations < 1:
             raise ValueError(f"n_iterations must be >= 1, got {n_iterations}")
+        cost_model = self._prepare_engines()
+        if self._use_batched_rounds and self._fast is not None:
+            order = self._policy.round_order(
+                self._token,
+                self._token.lowest_id,
+                self._allocation,
+                self._traffic,
+                cost_model,
+            )
+            if order is not None:
+                return self._run_batched(
+                    cost_model,
+                    order,
+                    n_iterations,
+                    stop_when_stable,
+                    record_every_hold,
+                )
+        return self._run_reference_loop(
+            cost_model, n_iterations, stop_when_stable, record_every_hold
+        )
+
+    def run_reference(
+        self,
+        n_iterations: int = 5,
+        stop_when_stable: bool = False,
+        record_every_hold: bool = False,
+    ) -> SchedulerReport:
+        """The per-hold token loop (pre-batching semantics), kept verbatim.
+
+        One Theorem 1 decision per hold, policy ``on_hold``/``next_vm``
+        after every decision — the oracle the wave-batched path is pinned
+        against.  Honors ``use_fastcost`` exactly like :meth:`run` (the
+        per-decision math still goes through the fast engine when active);
+        only the round batching is bypassed.
+        """
+        if n_iterations < 1:
+            raise ValueError(f"n_iterations must be >= 1, got {n_iterations}")
+        cost_model = self._prepare_engines()
+        return self._run_reference_loop(
+            cost_model, n_iterations, stop_when_stable, record_every_hold
+        )
+
+    def _prepare_engines(self) -> CostModel:
+        """Build/resync the fast engine; return the active cost model."""
         if self._use_fastcost:
             if self._fast is None:
                 self._fast = FastCostEngine(
@@ -176,7 +251,15 @@ class SCOREScheduler:
                     self._fast.rebuild()
         # Policies take whichever implementation is active — the fast engine
         # answers highest_level from its arrays with the CostModel signature.
-        cost_model = self._fast or self._engine.cost_model
+        return self._fast or self._engine.cost_model
+
+    def _run_reference_loop(
+        self,
+        cost_model: CostModel,
+        n_iterations: int,
+        stop_when_stable: bool,
+        record_every_hold: bool,
+    ) -> SchedulerReport:
         cost = cost_model.total_cost(self._allocation, self._traffic)
         report = SchedulerReport(initial_cost=cost, final_cost=cost)
         report.time_series.append((self._clock, cost))
@@ -222,6 +305,75 @@ class SCOREScheduler:
             if stop_when_stable and migrations == 0:
                 break
 
+        report.final_cost = cost
+        return report
+
+    def _run_batched(
+        self,
+        cost_model: CostModel,
+        first_order: List[int],
+        n_iterations: int,
+        stop_when_stable: bool,
+        record_every_hold: bool,
+    ) -> SchedulerReport:
+        """Wave-batched rounds over the policy's round-order snapshots.
+
+        The report keeps the reference layout — one decision per hold in
+        visit order, a time-series point per migrated hold (or per hold
+        with ``record_every_hold``) and one per iteration end — with each
+        wave's cost change attributed to the holds that moved.
+        """
+        assert self._fast is not None
+        rounds = BatchedRoundEngine(
+            self._allocation, self._traffic, self._engine, self._fast
+        )
+        cost = cost_model.total_cost(self._allocation, self._traffic)
+        report = SchedulerReport(initial_cost=cost, final_cost=cost)
+        report.time_series.append((self._clock, cost))
+
+        order = first_order
+        for iteration in range(1, n_iterations + 1):
+            result = rounds.run_round(order)
+            report.decisions.extend(result.decisions)
+            # Per-hold cost series, attributed at each migrated hold in
+            # visit order (cumulative exact deltas).
+            costs = cost - np.cumsum(result.hold_delta)
+            clocks = self._clock + self._interval * np.arange(
+                1, len(order) + 1
+            )
+            self._clock = float(clocks[-1])
+            cost = float(costs[-1])
+            if record_every_hold:
+                report.time_series.extend(
+                    zip(clocks.tolist(), costs.tolist())
+                )
+            else:
+                hit = result.hold_migrated
+                report.time_series.extend(
+                    zip(clocks[hit].tolist(), costs[hit].tolist())
+                )
+            report.iterations.append(
+                IterationStats(
+                    index=iteration,
+                    visits=len(order),
+                    migrations=result.migrations,
+                    cost_at_end=cost,
+                )
+            )
+            report.time_series.append((self._clock, cost))
+            holder = self._policy.end_round(
+                self._token, order, self._allocation, self._traffic, cost_model
+            )
+            if stop_when_stable and result.migrations == 0:
+                break
+            if iteration < n_iterations:
+                order = self._policy.round_order(
+                    self._token,
+                    holder,
+                    self._allocation,
+                    self._traffic,
+                    cost_model,
+                )
         report.final_cost = cost
         return report
 

@@ -162,6 +162,47 @@ class Token:
             index = 0
         return self._ids[index]
 
+    def rotation_from(self, vm_id: int) -> List[int]:
+        """The full token round starting at ``vm_id``, in visit order.
+
+        This is the round-order *snapshot* the wave-batched scheduler
+        consumes: the cyclic ascending-ID sequence a Round-Robin token
+        would traverse over one iteration (``vm_id`` itself first when it
+        is in the token, else its successor).  O(|V|) and allocation-free
+        beyond the result list.
+        """
+        index = bisect_left(self._ids, vm_id)
+        if index == len(self._ids):
+            index = 0
+        return self._ids[index:] + self._ids[:index]
+
+    def set_levels(self, levels: Dict[int, int]) -> None:
+        """Bulk-overwrite recorded level estimates (one version bump).
+
+        The wave-batched HLF round uses this to refresh every entry from
+        the measured highest levels at the end of a round instead of |V|
+        single :meth:`set_level` calls; buckets are rebuilt wholesale.
+        Unknown VM ids and out-of-range levels raise, leaving the token
+        unchanged.
+        """
+        for vm_id, level in levels.items():
+            if vm_id not in self._levels:
+                raise KeyError(f"VM {vm_id} is not in the token")
+            if not 0 <= level <= MAX_LEVEL_VALUE:
+                raise ValueError(f"level must fit in 8 bits, got {level}")
+        changed = False
+        for vm_id, level in levels.items():
+            if self._levels[vm_id] != level:
+                self._levels[vm_id] = level
+                changed = True
+        if not changed:
+            return
+        buckets: Dict[int, List[int]] = {}
+        for vm_id in self._ids:
+            buckets.setdefault(self._levels[vm_id], []).append(vm_id)
+        self._buckets = buckets
+        self._version += 1
+
     def vms_at_level(self, level: int) -> List[int]:
         """All VM IDs whose recorded estimate equals ``level`` (ascending).
 

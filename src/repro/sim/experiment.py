@@ -62,6 +62,9 @@ class ExperimentConfig:
     seed: int = 42
     # Engine: vectorized fast-cost engine (default) vs naive CostModel loops.
     fastcost: bool = True
+    # Wave-batched token rounds (default) vs the per-hold reference loop;
+    # only takes effect with fastcost and an order-known policy (rr/hlf).
+    batched_rounds: bool = True
 
     def __post_init__(self) -> None:
         if self.topology not in ("canonical", "fattree"):
@@ -265,6 +268,7 @@ def run_experiment(
         engine,
         token_interval_s=config.token_interval_s,
         use_fastcost=config.fastcost,
+        use_batched_rounds=config.batched_rounds,
     )
     report = scheduler.run(n_iterations=config.n_iterations)
 

@@ -213,8 +213,83 @@ class LinkLoadCalculator:
         """Per-VM rate crossing ``link_id`` (both endpoints contribute).
 
         This is what a centralized controller (Remedy) uses to rank VMs on
-        a congested link.
+        a congested link.  Routed batched over the dense link index like
+        :meth:`loads`; the retained per-pair loop survives as
+        :meth:`vm_contributions_reference` (the differential oracle).
         """
+        return self.vm_contributions_many(allocation, traffic, [link_id])[
+            link_id
+        ]
+
+    def vm_contributions_many(
+        self,
+        allocation: Allocation,
+        traffic: TrafficMatrix,
+        link_ids: Sequence[LinkId],
+    ) -> Dict[LinkId, Dict[int, float]]:
+        """Per-VM contributions of several links from ONE routing pass.
+
+        Routes every pair once through
+        :meth:`repro.topology.base.Topology.batch_path_link_indices` and
+        slices the requested links out of the dense index — what lets
+        Remedy rank the VMs of every congested link per round without
+        re-routing the whole matrix per link.  Like the reference, flows
+        are attributed at flow level (the pair's single base-key path),
+        matching :meth:`vm_contributions_reference` exactly.
+        """
+        result: Dict[LinkId, Dict[int, float]] = {
+            link_id: {} for link_id in link_ids
+        }
+        topo = self._topology
+        us, vs, rates = traffic.pair_arrays()
+        if len(us) == 0 or not link_ids:
+            return result
+        hosts_u = np.fromiter(
+            (allocation.server_of(int(u)) for u in us),
+            dtype=np.int64,
+            count=len(us),
+        )
+        hosts_v = np.fromiter(
+            (allocation.server_of(int(v)) for v in vs),
+            dtype=np.int64,
+            count=len(vs),
+        )
+        keys = (
+            us.astype(np.uint64) * np.uint64(2654435761) + vs.astype(np.uint64)
+        ) & np.uint64(0xFFFFFFFF)
+        link_idx, flow_idx = topo.batch_path_link_indices(
+            hosts_u, hosts_v, keys
+        )
+        dense_index = topo.link_dense_index()
+        # One grouping pass over the routed entries; each requested link is
+        # then a binary-searched slice, and its per-VM sums one bincount
+        # over the slice's (deduplicated) endpoint ids.
+        order = np.argsort(link_idx, kind="stable")
+        link_sorted = link_idx[order]
+        flow_sorted = flow_idx[order]
+        for link_id in link_ids:
+            dense = dense_index.get(link_id)
+            if dense is None:
+                continue
+            lo = np.searchsorted(link_sorted, dense, side="left")
+            hi = np.searchsorted(link_sorted, dense, side="right")
+            if lo == hi:
+                continue
+            pairs = flow_sorted[lo:hi]
+            endpoints = np.concatenate([us[pairs], vs[pairs]])
+            weights = np.tile(rates[pairs], 2)
+            vm_ids, inverse = np.unique(endpoints, return_inverse=True)
+            sums = np.bincount(inverse, weights=weights, minlength=len(vm_ids))
+            result[link_id] = dict(zip(vm_ids.tolist(), sums.tolist()))
+        return result
+
+    def vm_contributions_reference(
+        self,
+        allocation: Allocation,
+        traffic: TrafficMatrix,
+        link_id: LinkId,
+    ) -> Dict[int, float]:
+        """The readable per-pair routing loop (differential reference)."""
         topo = self._topology
         contributions: Dict[int, float] = {}
         for u, v, rate in traffic.pairs():

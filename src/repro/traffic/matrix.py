@@ -85,6 +85,38 @@ class TrafficMatrix:
                 if u < v:
                     yield (u, v, rate)
 
+    def pair_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All unordered pairs as flat arrays ``(u, v, rate)`` with u < v.
+
+        The array view of :meth:`pairs`, assembled through C-speed
+        iterators — what the fast-engine snapshot builds from at paper
+        scale (~50k pairs) without a per-pair python loop.
+        """
+        from itertools import chain
+
+        lens = np.fromiter(
+            (len(nbrs) for nbrs in self._adj.values()),
+            dtype=np.int64,
+            count=len(self._adj),
+        )
+        total = int(lens.sum())
+        us = np.repeat(
+            np.fromiter(self._adj.keys(), dtype=np.int64, count=len(self._adj)),
+            lens,
+        )
+        vs = np.fromiter(
+            chain.from_iterable(nbrs.keys() for nbrs in self._adj.values()),
+            dtype=np.int64,
+            count=total,
+        )
+        rates = np.fromiter(
+            chain.from_iterable(nbrs.values() for nbrs in self._adj.values()),
+            dtype=float,
+            count=total,
+        )
+        keep = us < vs
+        return us[keep], vs[keep], rates[keep]
+
     @property
     def n_pairs(self) -> int:
         """Number of communicating pairs."""

@@ -106,3 +106,86 @@ class TestRun:
         )
         result = ga.run()
         assert result.generations <= 5
+
+
+class TestBatchedPolish:
+    def _optimizer(self, seed=7):
+        from repro.sim.experiment import ExperimentConfig, build_environment
+        from repro.baselines.ga import GAConfig, GeneticOptimizer
+
+        env = build_environment(
+            ExperimentConfig(n_racks=8, hosts_per_rack=4, seed=seed)
+        )
+        return GeneticOptimizer(
+            env.allocation, env.traffic, env.cost_model, GAConfig(seed=seed)
+        )
+
+    def test_polish_population_matches_per_row_polish(self):
+        """Multi-row polish == polishing each row alone (disjoint copies)."""
+        import numpy as np
+
+        ga = self._optimizer()
+        rows = np.stack(
+            [ga._assignment_from_allocation() for _ in range(3)]
+        )
+        rows[1] = ga._random_packed_assignment()
+        rows[2] = ga._component_packed_assignment()
+        singles = rows.copy()
+        for row in singles:
+            ga._greedy_polish(row, max_passes=6)
+        batched = rows.copy()
+        ga.polish_population(batched, max_passes=6)
+        assert (batched == singles).all()
+        for row in batched:
+            assert ga.is_feasible(row)
+
+    def test_polish_population_improves_or_preserves_cost(self):
+        import numpy as np
+
+        ga = self._optimizer(seed=9)
+        rows = np.stack(
+            [ga._random_packed_assignment() for _ in range(2)]
+        )
+        before = [ga.cost_of(r) for r in rows]
+        ga.polish_population(rows, max_passes=4)
+        after = [ga.cost_of(r) for r in rows]
+        assert all(a <= b + 1e-9 for a, b in zip(after, before))
+
+    def test_initial_population_anchors_are_polished_and_feasible(self):
+        ga = self._optimizer(seed=3)
+        population = ga.initial_population()
+        for row in population[:3]:
+            assert ga.is_feasible(row)
+
+
+class TestDiversityStop:
+    def test_uniform_population_stops_immediately(self):
+        import numpy as np
+
+        from repro.baselines.ga import GeneticOptimizer
+
+        costs = np.full(10, 123.0)
+        assert GeneticOptimizer.population_diversity(costs) == 0.0
+        spread = np.array([100.0, 101.0])
+        assert GeneticOptimizer.population_diversity(spread) > 0.0
+
+    def test_run_stops_on_converged_population(self):
+        """A degenerate 2-individual population collapses and stops early."""
+        from repro.baselines.ga import GAConfig
+        from repro.sim.experiment import ExperimentConfig, build_environment
+        from repro.baselines.ga import GeneticOptimizer
+
+        env = build_environment(
+            ExperimentConfig(n_racks=4, hosts_per_rack=2, seed=5)
+        )
+        config = GAConfig(
+            population_size=2,
+            max_generations=4000,
+            patience=4000,
+            improvement_threshold=1e-12,
+            diversity_stop=1e-3,
+            seed=5,
+        )
+        ga = GeneticOptimizer(env.allocation, env.traffic, env.cost_model, config)
+        result = ga.run()
+        assert result.generations < 4000

@@ -6,8 +6,15 @@ candidate ranking, delta computation or token circulation that alters the
 trajectory shows up here first.  Costs are pinned to 1e-9 relative (the
 engine's documented agreement bound); migration counts are exact.
 
-If a deliberate behaviour change moves these numbers, update the constants
-in the same commit and say why in its message.
+Two trajectories are pinned per scenario: the default wave-batched rounds
+(``final_cost`` / ``total_migrations``) and the per-hold reference loop
+(``reference_final_cost`` / ``reference_migrations``, the pre-batching
+numbers).  The naive ``CostModel`` path must land exactly on the
+reference trajectory — the batched path follows a deliberately different
+(gain-prioritized) move order and is pinned separately.
+
+If a deliberate behaviour change moves these numbers, update the
+constants in the same commit and say why in its message.
 """
 
 from __future__ import annotations
@@ -20,14 +27,18 @@ GOLDEN = {
     "canonical-default": {
         "config": {},
         "initial_cost": 5804273135.939611,
-        "final_cost": 1113319350.3722916,
-        "total_migrations": 360,
+        "final_cost": 750085752.752514,
+        "total_migrations": 384,
+        "reference_final_cost": 1113319350.3722916,
+        "reference_migrations": 360,
     },
     "fattree-default": {
         "config": {"topology": "fattree"},
         "initial_cost": 1431579631.597858,
-        "final_cost": 316606833.87769055,
-        "total_migrations": 100,
+        "final_cost": 314624570.5150111,
+        "total_migrations": 87,
+        "reference_final_cost": 316606833.87769055,
+        "reference_migrations": 100,
     },
 }
 
@@ -43,12 +54,38 @@ def test_seed42_headline_numbers_are_stable(name):
     assert result.report.total_migrations == golden["total_migrations"]
 
 
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_seed42_reference_trajectory_is_stable(name):
+    """The per-hold loop still lands on the pre-batching golden numbers."""
+    golden = GOLDEN[name]
+    result = run_experiment(
+        ExperimentConfig(**golden["config"], batched_rounds=False)
+    )
+    assert result.initial_cost == pytest.approx(
+        golden["initial_cost"], rel=1e-9
+    )
+    assert result.final_cost == pytest.approx(
+        golden["reference_final_cost"], rel=1e-9
+    )
+    assert result.report.total_migrations == golden["reference_migrations"]
+
+
+def test_batched_rounds_do_not_lose_quality_on_the_golden_runs():
+    """On the pinned defaults the wave order converges at least as low."""
+    for golden in GOLDEN.values():
+        assert golden["final_cost"] <= golden["reference_final_cost"] * (
+            1 + 1e-9
+        )
+
+
 def test_naive_engine_reproduces_the_golden_trajectory():
-    """The readable CostModel path lands on the same numbers (1e-9 rel)."""
+    """The readable CostModel path lands on the reference numbers (1e-9)."""
     golden = GOLDEN["canonical-default"]
     result = run_experiment(ExperimentConfig(fastcost=False))
     assert result.initial_cost == pytest.approx(
         golden["initial_cost"], rel=1e-9
     )
-    assert result.final_cost == pytest.approx(golden["final_cost"], rel=1e-9)
-    assert result.report.total_migrations == golden["total_migrations"]
+    assert result.final_cost == pytest.approx(
+        golden["reference_final_cost"], rel=1e-9
+    )
+    assert result.report.total_migrations == golden["reference_migrations"]

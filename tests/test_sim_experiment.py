@@ -89,7 +89,10 @@ class TestRunExperiment:
             assert result.final_cost <= result.initial_cost
 
     def test_naive_engine_matches_fast_engine(self):
-        fast = run_experiment(SMALL)
+        # Engine-math agreement is pinned on the per-hold loop (batched
+        # rounds follow a different trajectory by design and are pinned
+        # against run_reference in test_wave_rounds).
+        fast = run_experiment(SMALL.with_(batched_rounds=False))
         naive = run_experiment(SMALL.with_(fastcost=False))
         assert fast.initial_cost == pytest.approx(naive.initial_cost, rel=1e-9)
         assert fast.final_cost == pytest.approx(naive.final_cost, rel=1e-9)

@@ -175,3 +175,68 @@ class TestContributions:
     def test_flow_key_stability(self):
         assert _pair_flow_key(3, 9) == _pair_flow_key(9, 3)
         assert _pair_flow_key(1, 2) != _pair_flow_key(1, 3)
+
+
+class TestContributionsDifferential:
+    """Batched vm_contributions == the retained per-pair reference."""
+
+    def _random_setup(self, seed, fattree=False):
+        import numpy as np
+
+        from repro.topology.fattree import FatTree
+
+        topo = (
+            FatTree(k=4)
+            if fattree
+            else CanonicalTree(n_racks=8, hosts_per_rack=4, tors_per_agg=4, n_cores=2)
+        )
+        cluster = Cluster(topo, ServerCapacity(max_vms=4))
+        allocation = Allocation(cluster)
+        rng = np.random.default_rng(seed)
+        n_vms = 40
+        for vm_id in range(n_vms):
+            while True:
+                host = int(rng.integers(0, topo.n_hosts))
+                vm = VM(vm_id, ram_mb=128, cpu=0.1)
+                if allocation.can_host(host, vm):
+                    allocation.add_vm(vm, host)
+                    break
+        tm = TrafficMatrix()
+        for _ in range(60):
+            u, v = rng.integers(0, n_vms, size=2)
+            if u != v:
+                tm.set_rate(int(u), int(v), float(rng.integers(1, 10_000)))
+        return topo, allocation, tm
+
+    @pytest.mark.parametrize("fattree", [False, True])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_reference_on_every_link(self, seed, fattree):
+        topo, allocation, tm = self._random_setup(seed, fattree)
+        calc = LinkLoadCalculator(topo)
+        for link_id in topo.links:
+            want = calc.vm_contributions_reference(allocation, tm, link_id)
+            got = calc.vm_contributions(allocation, tm, link_id)
+            assert set(got) == set(want)
+            for vm_id, rate in want.items():
+                assert got[vm_id] == pytest.approx(rate, rel=1e-12)
+
+    def test_many_equals_single(self, env):
+        topo, allocation = env
+        tm = TrafficMatrix()
+        tm.set_rate(1, 2, 100)
+        tm.set_rate(1, 3, 40)
+        calc = LinkLoadCalculator(topo)
+        links = list(topo.links)[:5]
+        batched = calc.vm_contributions_many(allocation, tm, links)
+        for link_id in links:
+            assert batched[link_id] == calc.vm_contributions(
+                allocation, tm, link_id
+            )
+
+    def test_unknown_link_yields_empty(self, env):
+        topo, allocation = env
+        tm = TrafficMatrix()
+        tm.set_rate(1, 2, 100)
+        calc = LinkLoadCalculator(topo)
+        bogus = canonical_link_id(host_node(0), tor_node(3))
+        assert calc.vm_contributions_many(allocation, tm, [bogus]) == {bogus: {}}

@@ -104,7 +104,10 @@ class TestTokenRound:
         scheduler = SCOREScheduler(
             sim_allocation, deployment.traffic, RoundRobinPolicy(), sim_engine
         )
-        report = scheduler.run(n_iterations=1)
+        # The deployment executes hold by hold, so the apples-to-apples
+        # simulator run is the per-hold reference loop (wave-batched
+        # rounds are pinned against it separately in test_wave_rounds).
+        report = scheduler.run_reference(n_iterations=1)
 
         deployment.run_round()
         assert deployment.allocation.as_dict() == sim_allocation.as_dict()
