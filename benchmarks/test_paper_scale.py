@@ -23,7 +23,12 @@ from repro.baselines.ga import GAConfig, GeneticOptimizer
 from repro.core.migration import MigrationEngine
 from repro.core.policies import policy_by_name
 from repro.core.scheduler import SCOREScheduler
-from repro.sim.experiment import ExperimentConfig, build_environment
+from repro.sim.experiment import (
+    ExperimentConfig,
+    build_environment,
+    make_scheduler,
+)
+from repro.util.rng import make_rng
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 REPORT_PATH = os.path.join(REPO_ROOT, "BENCH_fastcost.json")
@@ -275,3 +280,101 @@ def test_ga_generation_at_paper_scale(emit):
         f"batched GA generation is only {speedup:.1f}x faster than the "
         f"per-individual loop; the floor is {GA_SPEEDUP_FLOOR:.0f}x"
     )
+
+
+#: Acceptance floor for the delta path: the mean epoch transition of a
+#: paper-scale multi-epoch dynamic run (traffic delta through
+#: ``SCOREScheduler.apply_traffic_delta``, matrix + engine together) must
+#: beat a full ``FastCostEngine.rebuild()`` by at least this factor.
+EPOCH_SPEEDUP_FLOOR = 5.0
+
+#: Epochs of the timed dynamic run.
+EPOCH_BENCH_EPOCHS = 10
+
+#: Fraction of (heaviest) pairs whose rate a sliding-window re-estimate
+#: changes per epoch — the paper's premise is that hotspots drift slowly,
+#: so most pairs' averages are unchanged window over window.
+EPOCH_CHANGED_FRACTION = 0.05
+
+
+@pytest.mark.smoke
+@pytest.mark.slow
+def test_epoch_transitions_at_paper_scale(emit):
+    """Delta-path epoch transitions vs full rebuild on the canonical tree.
+
+    Runs a real 10-epoch dynamic loop at paper scale: each epoch perturbs
+    the heaviest ~10% of pairs (a sliding-window re-estimate under slow
+    hotspot drift) through ``apply_traffic_delta`` and re-runs one token
+    iteration.  Records the mean epoch-transition wall clock (``epoch_s``,
+    matrix patch + engine patch) against a freshly measured full
+    ``rebuild()`` (``rebuild_s``) — both on the same runner, so the
+    asserted ratio is machine-independent — plus the scheduling time, to
+    show epochs are dominated by scheduling, not state maintenance.
+    """
+    config = ExperimentConfig.paper_canonical(policy="rr", n_iterations=1)
+    env = build_environment(config)
+    scheduler = make_scheduler(env, config)
+    scheduler.run(n_iterations=1)  # settle the heavy first round
+    fast = scheduler.fastcost
+    assert fast is not None
+
+    rebuild_s = min(
+        _timed(fast.rebuild) for _ in range(3)
+    )
+
+    pairs = sorted(env.traffic.pairs(), key=lambda p: -p[2])
+    changed = pairs[: max(1, int(len(pairs) * EPOCH_CHANGED_FRACTION))]
+    rng = make_rng(config.seed)
+    transition_times = []
+    schedule_times = []
+    for _ in range(EPOCH_BENCH_EPOCHS):
+        factors = 0.7 + 0.6 * rng.random(len(changed))
+        delta = [
+            (u, v, r * float(f)) for (u, v, r), f in zip(changed, factors)
+        ]
+        t0 = time.perf_counter()
+        scheduler.apply_traffic_delta(delta)
+        transition_times.append(time.perf_counter() - t0)
+        t1 = time.perf_counter()
+        scheduler.run(n_iterations=1)
+        schedule_times.append(time.perf_counter() - t1)
+    assert fast.in_sync, "the dynamic run must never need a cold rebuild"
+
+    epoch_s = sum(transition_times) / len(transition_times)
+    schedule_s = sum(schedule_times) / len(schedule_times)
+    record = {
+        "name": "paper_canonical_epoch_transition",
+        "topology": config.topology,
+        "n_hosts": env.topology.n_hosts,
+        "n_vms": env.allocation.n_vms,
+        "n_pairs": env.traffic.n_pairs,
+        "epochs": EPOCH_BENCH_EPOCHS,
+        "changed_pairs_per_epoch": len(changed),
+        "epoch_s": round(epoch_s, 4),
+        "rebuild_s": round(rebuild_s, 4),
+        "epoch_schedule_s": round(schedule_s, 3),
+        "speedup_vs_rebuild": round(rebuild_s / epoch_s, 1),
+    }
+    _write_report(record)
+    emit(
+        f"[paper-scale] epoch transitions: {len(changed)} changed pairs/epoch"
+        f" over {EPOCH_BENCH_EPOCHS} epochs",
+        f"[paper-scale]   delta path {epoch_s * 1e3:7.2f}ms   full rebuild "
+        f"{rebuild_s * 1e3:7.2f}ms   speedup {rebuild_s / epoch_s:.1f}x   "
+        f"scheduling {schedule_s:.2f}s/epoch",
+    )
+
+    assert epoch_s * EPOCH_SPEEDUP_FLOOR <= rebuild_s, (
+        f"delta-path epoch transition averages {epoch_s * 1e3:.1f}ms; "
+        f">= {EPOCH_SPEEDUP_FLOOR:.0f}x under the {rebuild_s * 1e3:.1f}ms "
+        f"full rebuild is required"
+    )
+    assert schedule_s > epoch_s, (
+        "epochs must be dominated by scheduling, not state maintenance"
+    )
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0

@@ -30,6 +30,7 @@ from repro.cluster import (
     PlacementManager,
     Server,
     ServerCapacity,
+    place_arrivals,
     place_packed,
     place_random,
     place_round_robin,
@@ -58,6 +59,16 @@ from repro.core import (
     policy_by_name,
 )
 
+from repro.scenarios import (
+    ChurnSpec,
+    DriftSpec,
+    Scenario,
+    register_scenario,
+    run_scenario,
+    scenario_by_name,
+    scenario_names,
+)
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -71,6 +82,7 @@ __all__ = [
     "Allocation",
     "CapacityError",
     "PlacementManager",
+    "place_arrivals",
     "place_packed",
     "place_random",
     "place_round_robin",
@@ -93,5 +105,12 @@ __all__ = [
     "MigrationDecision",
     "SCOREScheduler",
     "SchedulerReport",
+    "Scenario",
+    "DriftSpec",
+    "ChurnSpec",
+    "run_scenario",
+    "register_scenario",
+    "scenario_by_name",
+    "scenario_names",
     "__version__",
 ]

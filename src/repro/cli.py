@@ -11,6 +11,10 @@ Commands
     table.
 ``migration-profile``
     Profile the live-migration model across background loads (Fig. 5c/d).
+``scenario``
+    Run a named scenario from the catalogue (drifting traffic, tenant
+    churn, maintenance drains) epoch by epoch via the delta-path engine;
+    ``--list`` prints the catalogue.
 ``info``
     Print version and the paper-scale configurations.
 """
@@ -145,6 +149,50 @@ def _cmd_migration_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.scenarios import run_scenario, scenario_by_name, scenario_names
+
+    if args.list or args.name is None:
+        print(f"{'scenario':22s} description")
+        for name in scenario_names():
+            print(f"{name:22s} {scenario_by_name(name).description}")
+        if args.name is None and not args.list:
+            print("\nrun one with: python -m repro scenario <name>")
+        return 0
+    scenario = scenario_by_name(args.name)
+    print(f"scenario: {scenario.name} — {scenario.description}")
+    result = run_scenario(
+        scenario,
+        scale=args.scale,
+        epochs=args.epochs,
+        iterations_per_epoch=args.iterations_per_epoch,
+        seed=args.seed,
+    )
+    env = result.environment
+    print(f"topology: {env.topology.describe()}  policy: {scenario.config.policy}")
+    print(
+        f"{'epoch':>5s} {'vms':>6s} {'migr':>6s} {'return':>6s} {'arr':>4s} "
+        f"{'dep':>4s} {'drain':>5s} {'cost after':>12s} {'trans':>8s} {'sched':>8s}"
+    )
+    for s in result.epoch_stats:
+        print(
+            f"{s.epoch:5d} {s.n_vms:6d} {s.migrations:6d} {s.returning:6d} "
+            f"{s.arrivals:4d} {s.departures:4d} {s.drained:5d} "
+            f"{s.cost_after:12.4g} {s.transition_s:7.3f}s {s.schedule_s:7.3f}s"
+        )
+    print(
+        f"cost {result.initial_cost:,.0f} -> {result.final_cost:,.0f}  "
+        f"migrations {result.total_migrations} "
+        f"(oscillation {result.oscillation_index:.1%}, "
+        f"settled={result.settled})"
+    )
+    print(
+        f"wall clock: transitions {result.total_transition_s:.3f}s, "
+        f"scheduling {result.total_schedule_s:.3f}s"
+    )
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     print(f"repro {__version__} — S-CORE reproduction (ICDCS 2014)")
     print("paper-scale configurations:")
@@ -186,6 +234,27 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser.add_argument("--samples", type=int, default=30)
     profile_parser.add_argument("--seed", type=int, default=42)
     profile_parser.set_defaults(func=_cmd_migration_profile)
+
+    scenario_parser = sub.add_parser(
+        "scenario", help="run a named scenario from the catalogue"
+    )
+    scenario_parser.add_argument(
+        "name", nargs="?", default=None,
+        help="registered scenario name (omit or --list to see the catalogue)",
+    )
+    scenario_parser.add_argument(
+        "--list", action="store_true", help="print the scenario catalogue"
+    )
+    scenario_parser.add_argument(
+        "--scale", choices=["toy", "small", "paper"], default=None,
+        help="topology scale override (default: as declared)",
+    )
+    scenario_parser.add_argument("--epochs", type=int, default=None)
+    scenario_parser.add_argument(
+        "--iterations-per-epoch", type=int, default=None
+    )
+    scenario_parser.add_argument("--seed", type=int, default=None)
+    scenario_parser.set_defaults(func=_cmd_scenario)
 
     info_parser = sub.add_parser("info", help="version and paper-scale info")
     info_parser.set_defaults(func=_cmd_info)

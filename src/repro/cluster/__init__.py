@@ -16,6 +16,7 @@ from repro.cluster.server import Server, ServerCapacity
 from repro.cluster.cluster import Cluster
 from repro.cluster.allocation import Allocation, CapacityError
 from repro.cluster.placement import (
+    place_arrivals,
     place_packed,
     place_random,
     place_round_robin,
@@ -30,6 +31,7 @@ __all__ = [
     "Cluster",
     "Allocation",
     "CapacityError",
+    "place_arrivals",
     "place_packed",
     "place_random",
     "place_round_robin",

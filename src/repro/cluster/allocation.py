@@ -37,6 +37,18 @@ class Allocation:
         self._vms_on: List[Set[int]] = [set() for _ in range(n)]
         self._used_ram: List[int] = [0] * n
         self._used_cpu: List[float] = [0.0] * n
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Counter bumped on every mutation (placement or membership).
+
+        The fast cost engine records the version it mirrored; a mismatch
+        at the next run means some writer bypassed the engine's
+        incremental update path and a full resync is needed.  Batch
+        operations bump it once.
+        """
+        return self._version
 
     # -- basic accessors ------------------------------------------------------
 
@@ -128,6 +140,57 @@ class Allocation:
         self._vms_on[host].add(vm.vm_id)
         self._used_ram[host] += vm.ram_mb
         self._used_cpu[host] += vm.cpu
+        self._version += 1
+
+    def add_vms(self, vms: Sequence[VM], hosts: Sequence[int]) -> None:
+        """Place one batch of arriving VMs: validate all, then place.
+
+        The first-class tenant-arrival API: capacity is checked for the
+        whole batch *before* any mutation — including several arrivals
+        landing on the same host — so a rejected batch raises
+        :class:`CapacityError` and leaves the allocation untouched.  The
+        version counter bumps once for the batch.
+        """
+        vms = list(vms)
+        hosts = [int(h) for h in hosts]
+        if len(vms) != len(hosts):
+            raise ValueError(
+                f"{len(vms)} VMs but {len(hosts)} hosts in the arrival batch"
+            )
+        ids = [vm.vm_id for vm in vms]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate VM IDs in the arrival batch")
+        already = [vm_id for vm_id in ids if vm_id in self._vms]
+        if already:
+            raise ValueError(f"VM {already[0]} is already placed")
+        need_slots: Dict[int, int] = {}
+        need_ram: Dict[int, int] = {}
+        need_cpu: Dict[int, float] = {}
+        for vm, host in zip(vms, hosts):
+            if not 0 <= host < self._cluster.n_servers:
+                raise ValueError(f"host index {host} out of range")
+            need_slots[host] = need_slots.get(host, 0) + 1
+            need_ram[host] = need_ram.get(host, 0) + vm.ram_mb
+            need_cpu[host] = need_cpu.get(host, 0.0) + vm.cpu
+        for host, slots in need_slots.items():
+            if (
+                self.free_slots(host) < slots
+                or self.free_ram_mb(host) < need_ram[host]
+                or self.free_cpu(host) < need_cpu[host]
+            ):
+                raise CapacityError(
+                    f"arrival batch rejected: host {host} lacks headroom for "
+                    f"{slots} VM(s): slots={self.free_slots(host)}, "
+                    f"ram={self.free_ram_mb(host)}MiB, cpu={self.free_cpu(host)}"
+                )
+        for vm, host in zip(vms, hosts):
+            self._vms[vm.vm_id] = vm
+            self._host_of[vm.vm_id] = host
+            self._vms_on[host].add(vm.vm_id)
+            self._used_ram[host] += vm.ram_mb
+            self._used_cpu[host] += vm.cpu
+        if vms:
+            self._version += 1
 
     def remove_vm(self, vm_id: int) -> VM:
         """Remove a VM from the allocation entirely and return it."""
@@ -136,7 +199,33 @@ class Allocation:
         self._vms_on[host].discard(vm_id)
         self._used_ram[host] -= vm.ram_mb
         self._used_cpu[host] -= vm.cpu
+        self._version += 1
         return vm
+
+    def remove_vms(self, vm_ids: Sequence[int]) -> List[VM]:
+        """Remove one batch of departing VMs; all-or-nothing.
+
+        Unknown (or duplicate) IDs raise before any removal happens; the
+        version counter bumps once for the batch.  Returns the removed
+        VM objects in input order.
+        """
+        ids = [int(v) for v in vm_ids]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate VM IDs in the departure batch")
+        missing = [vm_id for vm_id in ids if vm_id not in self._vms]
+        if missing:
+            raise KeyError(f"VM {missing[0]} is not placed")
+        removed: List[VM] = []
+        for vm_id in ids:
+            vm = self._vms.pop(vm_id)
+            host = self._host_of.pop(vm_id)
+            self._vms_on[host].discard(vm_id)
+            self._used_ram[host] -= vm.ram_mb
+            self._used_cpu[host] -= vm.cpu
+            removed.append(vm)
+        if ids:
+            self._version += 1
+        return removed
 
     def migrate(self, vm_id: int, target_host: int) -> None:
         """Move a VM to ``target_host`` (the paper's ``u -> x``).
@@ -162,6 +251,7 @@ class Allocation:
         self._vms_on[target_host].add(vm_id)
         self._used_ram[target_host] += vm.ram_mb
         self._used_cpu[target_host] += vm.cpu
+        self._version += 1
 
     def migrate_many(self, moves: Iterable[tuple]) -> None:
         """Apply one wave of migrations as a batch: validate all, then move.
@@ -203,6 +293,8 @@ class Allocation:
             self._vms_on[target].add(vm_id)
             self._used_ram[target] += vm.ram_mb
             self._used_cpu[target] += vm.cpu
+        if moves:
+            self._version += 1
 
     # -- bulk / copy -----------------------------------------------------------------
 

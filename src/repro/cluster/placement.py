@@ -19,7 +19,7 @@ Four strategies are provided:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -137,6 +137,68 @@ def place_striped(cluster: Cluster, vms: Iterable[VM]) -> Allocation:
         if not placed:
             raise CapacityError(f"no server can accommodate VM {vm.vm_id}")
     return allocation
+
+
+def locality_probe_order(topology, preferred_rack: Optional[int] = None) -> List[int]:
+    """Hosts in rack → same-pod → anywhere preference order from a rack.
+
+    The shared spill order of arrival placement (:func:`place_arrivals`)
+    and maintenance drains (``SCOREScheduler.drain_hosts``): the
+    preferred rack's hosts first (ascending), then the other racks of its
+    pod, then the rest of the topology.  ``None`` degrades to plain
+    ascending host order.
+    """
+    if preferred_rack is None:
+        return list(topology.hosts)
+    order: List[int] = list(topology.hosts_in_rack(preferred_rack))
+    pod = topology.pod_of(order[0])
+    for rack in range(topology.n_racks):
+        if rack == preferred_rack:
+            continue
+        hosts = topology.hosts_in_rack(rack)
+        if topology.pod_of(hosts[0]) == pod:
+            order.extend(hosts)
+    in_order = set(order)
+    order.extend(h for h in topology.hosts if h not in in_order)
+    return order
+
+
+def place_arrivals(
+    allocation: Allocation,
+    vms: Sequence[VM],
+    preferred_rack: Optional[int] = None,
+) -> List[int]:
+    """Choose hosts for a batch of arriving VMs on a *live* allocation.
+
+    Models tenant arrivals into a running data centre: each VM lands on
+    the first feasible host of ``preferred_rack`` (ascending host order);
+    when that rack is full the VM *spills* to the other racks of the same
+    pod, then anywhere (:func:`locality_probe_order`).  Without a
+    preferred rack, hosts are probed in ascending order directly.
+    Returns the chosen host per VM (the VMs are NOT placed; pair with
+    :meth:`Allocation.add_vms`) and raises :class:`CapacityError` when
+    any VM fits nowhere.
+    """
+    topology = allocation.topology
+    probe_order = locality_probe_order(topology, preferred_rack)
+
+    # Track headroom consumed by earlier arrivals of this same batch so
+    # the chosen hosts stay feasible when the batch lands together.
+    slots = {h: allocation.free_slots(h) for h in probe_order}
+    ram = {h: allocation.free_ram_mb(h) for h in probe_order}
+    cpu = {h: allocation.free_cpu(h) for h in probe_order}
+    chosen: List[int] = []
+    for vm in vms:
+        for host in probe_order:
+            if slots[host] >= 1 and ram[host] >= vm.ram_mb and cpu[host] >= vm.cpu:
+                chosen.append(host)
+                slots[host] -= 1
+                ram[host] -= vm.ram_mb
+                cpu[host] -= vm.cpu
+                break
+        else:
+            raise CapacityError(f"no server can accommodate VM {vm.vm_id}")
+    return chosen
 
 
 PLACEMENT_STRATEGIES = {

@@ -63,7 +63,11 @@ def path_weight_table(weights: LinkWeights, max_level: int) -> np.ndarray:
 
 
 class TrafficSnapshot:
-    """An immutable array view of a traffic matrix over a dense VM index.
+    """An array view of a traffic matrix over a dense VM index.
+
+    Snapshots mutate only through the owning engine's delta APIs
+    (`FastCostEngine.apply_traffic_delta`/`add_vms`/`remove_vms`); every
+    other consumer treats them as frozen.
 
     ``vm_ids`` fixes the index space (ascending VM id order); the CSR
     triplet (``ptr``, ``peer``, ``rate``) stores each VM's peers — peers
@@ -657,11 +661,15 @@ class FastCostEngine:
 
     The engine snapshots the traffic matrix and mirrors the allocation's
     VM → host mapping and per-host capacity usage into flat arrays.  All
-    mutations must flow through :meth:`apply_migration` (the scheduler and
-    :class:`repro.core.migration.MigrationEngine` do this) or be followed
-    by :meth:`rebuild`; the scheduler rebuilds at the start of every run
-    and after churn/traffic updates, so external mutation between runs is
-    safe.
+    mutations must flow through the engine's update path —
+    :meth:`apply_migration`/:meth:`apply_moves` for placement changes (the
+    scheduler and :class:`repro.core.migration.MigrationEngine` do this),
+    :meth:`apply_traffic_delta` for λ re-estimates and
+    :meth:`add_vms`/:meth:`remove_vms` for tenant churn — or be followed
+    by :meth:`rebuild`.  The engine tracks the bound objects' version
+    counters (:attr:`in_sync`), so the scheduler only pays a full rebuild
+    when some writer actually bypassed that path; multi-epoch dynamic
+    runs whose transitions go through the delta APIs never cold-rebuild.
     """
 
     def __init__(
@@ -743,14 +751,27 @@ class FastCostEngine:
         self.rebuild()
 
     def rebuild(self) -> None:
-        """Resnapshot traffic and resync every cache from the allocation."""
-        allocation = self._allocation
+        """Resnapshot traffic and resync every cache from the allocation.
+
+        This is the pinned reference path for epoch transitions: the
+        delta APIs (:meth:`apply_traffic_delta`, :meth:`add_vms`,
+        :meth:`remove_vms`) must leave the engine in exactly the state a
+        full rebuild would produce (within float-summation reordering),
+        which the delta differential suite asserts.
+        """
         self._snap = TrafficSnapshot.build(
-            self._traffic, list(allocation.vm_ids()), strict=True
+            self._traffic, list(self._allocation.vm_ids()), strict=True
         )
+        self._sync_allocation_mirrors()
+        self._index_pairs()
+        self._recompute_cost_caches()
+        self._mark_synced()
+
+    def _sync_allocation_mirrors(self) -> None:
+        """Re-extract the VM → host map and capacity usage mirrors."""
         snap = self._snap
         n = snap.n_vms
-        self._host_of, ram, cpu = allocation.mapping_arrays(
+        self._host_of, ram, cpu = self._allocation.mapping_arrays(
             snap.vm_ids.tolist()
         )
         n_hosts = len(self._slot_cap)
@@ -767,7 +788,29 @@ class FastCostEngine:
         self._ram_used = np.bincount(self._host_of, weights=ram, minlength=n_hosts)
         self._ram_used = self._ram_used.astype(np.int64)
         self._cpu_used = np.bincount(self._host_of, weights=cpu, minlength=n_hosts)
-        # Per-VM Eq. (1) costs over the directed edge list, then Eq. (2).
+
+    def _index_pairs(self) -> None:
+        """(Re)build the sorted-key lookup indexes over the pair arrays.
+
+        ``_pair_key_sorted``/``_pair_sorted_order`` answer "where is pair
+        (u, v)?" by binary search, and ``_csr_key`` does the same for the
+        two directed CSR entries of a pair — what lets a traffic delta
+        patch rates in place instead of re-snapshotting.
+        """
+        snap = self._snap
+        n = snap.n_vms
+        key = snap.pair_u * n + snap.pair_v
+        self._pair_sorted_order = np.argsort(key, kind="stable")
+        self._pair_key_sorted = key[self._pair_sorted_order]
+        # CSR entries are sorted by (row, peer), so this key is ascending.
+        self._csr_key = snap.row * n + snap.peer
+
+    def _recompute_cost_caches(self) -> None:
+        """Per-VM Eq. (1) costs, the Eq. (2) total and §V-C egress, from
+        the current snapshot + placement arrays in one vectorized pass."""
+        snap = self._snap
+        n = snap.n_vms
+        n_hosts = len(self._slot_cap)
         levels = pair_levels(
             self._host_of[snap.row],
             self._host_of[snap.peer],
@@ -787,6 +830,333 @@ class FastCostEngine:
             weights=snap.rate[crossing],
             minlength=n_hosts,
         )
+
+    # -- incremental epoch transitions (state deltas) ------------------------
+
+    def _mark_synced(self) -> None:
+        """Adopt the bound objects' current versions (full-resync paths only).
+
+        Only :meth:`rebuild` may call this: it re-reads ground truth, so
+        whatever mutations happened are now reflected.  Incremental ops
+        instead advance the recorded versions by exactly the one bump
+        their paired mutation causes (:meth:`_advance_sync`) — a foreign
+        out-of-band edit then leaves the counters mismatched and the next
+        run pays the rebuild instead of silently trusting stale caches.
+        """
+        self._alloc_version = self._allocation.version
+        self._traffic_version = self._traffic.version
+
+    def _advance_sync(self, allocation: bool = False, traffic: bool = False) -> None:
+        """Credit one paired version bump to the engine's sync ledger."""
+        if allocation:
+            self._alloc_version += 1
+        if traffic:
+            self._traffic_version += 1
+
+    @property
+    def in_sync(self) -> bool:
+        """Whether the caches still describe the bound objects' live state.
+
+        Compares the version counters recorded at the last rebuild or
+        incremental update against the bound allocation and traffic
+        matrix.  ``False`` means some writer bypassed the engine's update
+        path (direct ``allocation.migrate``, out-of-band ``set_rate``);
+        the scheduler then falls back to a full :meth:`rebuild`.
+        """
+        return (
+            self._alloc_version == self._allocation.version
+            and self._traffic_version == self._traffic.version
+        )
+
+    def apply_traffic_delta(self, changed_pairs) -> int:
+        """Patch the snapshot and every cost cache for one batch of λ
+        changes — the epoch-transition alternative to :meth:`rebuild`.
+
+        ``changed_pairs`` is an iterable of ``(vm_u, vm_v, new_rate)``
+        triples with *absolute* new rates (0 removes the pair), or a
+        ``(us, vs, rates)`` tuple of flat arrays; a pair listed twice
+        takes its last value.  The bound :class:`TrafficMatrix` must
+        receive the same delta (callers go through
+        ``SCOREScheduler.apply_traffic_delta``, which patches both); the
+        engine records the matrix's post-delta version so :attr:`in_sync`
+        holds afterwards.
+
+        Rate-only deltas (every changed pair already snapshotted, none
+        removed) are patched in place in O(changed) with incremental
+        Eq. 1/2 and egress adjustments; structural deltas (new or
+        vanished pairs) rebuild the CSR from the merged pair arrays —
+        still numpy end-to-end, skipping the python-dict walk of a full
+        rebuild.  VM ids outside the snapshot population raise
+        ``KeyError`` (add the VMs first via :meth:`add_vms`).  Returns
+        the number of pair changes applied.
+        """
+        us, vs, rates = self._parse_delta(changed_pairs)
+        if us.size == 0:
+            return 0
+        snap = self._snap
+        ids = snap.vm_ids
+        if len(ids) == 0:
+            raise KeyError("the engine's snapshot holds no VMs")
+        iu = np.searchsorted(ids, us).clip(max=len(ids) - 1)
+        iv = np.searchsorted(ids, vs).clip(max=len(ids) - 1)
+        known = (ids[iu] == us) & (ids[iv] == vs)
+        if not known.all():
+            bad = np.nonzero(~known)[0][0]
+            missing = us[bad] if ids[iu[bad]] != us[bad] else vs[bad]
+            raise KeyError(
+                f"VM {missing} is not in the engine's snapshot; "
+                f"call add_vms() (or rebuild()) first"
+            )
+        lo = np.minimum(iu, iv)
+        hi = np.maximum(iu, iv)
+        n = snap.n_vms
+        key = lo * n + hi
+        # Dedup keeping the last occurrence per pair.
+        order = np.argsort(key, kind="stable")
+        last = np.ones(len(order), dtype=bool)
+        key_sorted = key[order]
+        last[:-1] = key_sorted[1:] != key_sorted[:-1]
+        sel = order[last]
+        lo, hi, rates, key = lo[sel], hi[sel], rates[sel], key_sorted[last]
+        n_applied = len(key)
+
+        table = self._pair_key_sorted
+        if len(table):
+            pos = np.searchsorted(table, key).clip(max=len(table) - 1)
+            found = table[pos] == key
+        else:
+            pos = np.zeros(len(key), dtype=np.int64)
+            found = np.zeros(len(key), dtype=bool)
+        additions = ~found & (rates > 0)
+        removals = found & (rates == 0)
+        if not np.any(additions) and not np.any(removals):
+            live = found  # ~found & rate==0 rows are no-ops
+            if np.any(live):
+                self._patch_rates(
+                    self._pair_sorted_order[pos[live]],
+                    lo[live],
+                    hi[live],
+                    rates[live],
+                )
+        else:
+            updates = found & (rates > 0)
+            pair_rate = snap.pair_rate.copy()
+            pair_rate[self._pair_sorted_order[pos[updates]]] = rates[updates]
+            pair_u, pair_v = snap.pair_u, snap.pair_v
+            if np.any(removals):
+                keep = np.ones(len(pair_rate), dtype=bool)
+                keep[self._pair_sorted_order[pos[removals]]] = False
+                pair_u = pair_u[keep]
+                pair_v = pair_v[keep]
+                pair_rate = pair_rate[keep]
+            if np.any(additions):
+                pair_u = np.concatenate([pair_u, lo[additions]])
+                pair_v = np.concatenate([pair_v, hi[additions]])
+                pair_rate = np.concatenate([pair_rate, rates[additions]])
+            self._set_pairs(pair_u, pair_v, pair_rate)
+        self._advance_sync(traffic=True)
+        return n_applied
+
+    @staticmethod
+    def _parse_delta(changed_pairs):
+        """Normalize a traffic delta to (us, vs, rates) int64/float arrays."""
+        if (
+            isinstance(changed_pairs, tuple)
+            and len(changed_pairs) == 3
+            and isinstance(changed_pairs[0], np.ndarray)
+        ):
+            us = np.asarray(changed_pairs[0], dtype=np.int64)
+            vs = np.asarray(changed_pairs[1], dtype=np.int64)
+            rates = np.asarray(changed_pairs[2], dtype=float)
+            if not (len(us) == len(vs) == len(rates)):
+                raise ValueError("delta arrays must have equal length")
+        else:
+            triples = np.asarray(list(changed_pairs), dtype=float)
+            if triples.size == 0:
+                triples = triples.reshape(0, 3)
+            if triples.ndim != 2 or triples.shape[1] != 3:
+                raise ValueError(
+                    "changed_pairs must be (vm_u, vm_v, rate) triples"
+                )
+            us = triples[:, 0].astype(np.int64)
+            vs = triples[:, 1].astype(np.int64)
+            rates = triples[:, 2]
+        if np.any(us == vs):
+            raise ValueError("self-traffic is not modelled")
+        if np.any(rates < 0) or np.any(np.isnan(rates)):
+            raise ValueError("rates must be >= 0")
+        return us, vs, rates
+
+    def _patch_rates(
+        self,
+        pair_idx: np.ndarray,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        new_rates: np.ndarray,
+    ) -> None:
+        """In-place rate update for pairs already in the snapshot.
+
+        The placement is untouched, so every changed pair's level — and
+        therefore its path weight — is fixed; the caches shift by
+        ``(new − old) · w[level]`` terms only.
+        """
+        snap = self._snap
+        n = snap.n_vms
+        delta = new_rates - snap.pair_rate[pair_idx]
+        snap.pair_rate[pair_idx] = new_rates
+        # Both directed CSR entries of each pair.
+        snap.rate[np.searchsorted(self._csr_key, lo * n + hi)] = new_rates
+        snap.rate[np.searchsorted(self._csr_key, hi * n + lo)] = new_rates
+        host_lo = self._host_of[lo]
+        host_hi = self._host_of[hi]
+        levels = pair_levels(host_lo, host_hi, self._rack_of, self._pod_of)
+        contrib = delta * self._path_weight[levels]
+        self._vm_cost += np.bincount(
+            np.concatenate([lo, hi]),
+            weights=np.concatenate([contrib, contrib]),
+            minlength=n,
+        )
+        self._total += float(contrib.sum())
+        crossing = levels > 0
+        if np.any(crossing):
+            shift = delta[crossing]
+            self._egress += np.bincount(
+                np.concatenate([host_lo[crossing], host_hi[crossing]]),
+                weights=np.concatenate([shift, shift]),
+                minlength=len(self._egress),
+            )
+
+    def _set_pairs(
+        self, pair_u: np.ndarray, pair_v: np.ndarray, pair_rate: np.ndarray
+    ) -> None:
+        """Install new undirected pair arrays (dense indices, u < v) over
+        the same VM population and rebuild the CSR, indexes and caches."""
+        snap = self._snap
+        n = snap.n_vms
+        pair_u = np.asarray(pair_u, dtype=np.int64)
+        pair_v = np.asarray(pair_v, dtype=np.int64)
+        pair_rate = np.asarray(pair_rate, dtype=float)
+        row = np.concatenate([pair_u, pair_v])
+        col = np.concatenate([pair_v, pair_u])
+        val = np.concatenate([pair_rate, pair_rate])
+        order = np.lexsort((col, row))
+        snap.row = row[order]
+        snap.peer = col[order]
+        snap.rate = val[order]
+        ptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(snap.row, minlength=n), out=ptr[1:])
+        snap.ptr = ptr
+        snap.pair_u, snap.pair_v, snap.pair_rate = pair_u, pair_v, pair_rate
+        self._index_pairs()
+        self._recompute_cost_caches()
+
+    def add_vms(self, vms: Sequence) -> None:
+        """Mirror one batch of VM arrivals already applied to the allocation.
+
+        Call :meth:`Allocation.add_vms` first (the allocation enforces
+        capacity); hosts are read back from it.  The dense VM index, CSR
+        arrays and capacity mirrors are patched in place — new VMs join
+        with no traffic, so Eq. 1/2 and egress caches are unchanged
+        (route subsequent rate changes through :meth:`apply_traffic_delta`).
+        """
+        vms = list(vms)
+        if not vms:
+            return
+        snap = self._snap
+        add_ids = np.array([vm.vm_id for vm in vms], dtype=np.int64)
+        order = np.argsort(add_ids, kind="stable")
+        add_ids = add_ids[order]
+        if np.any(add_ids[1:] == add_ids[:-1]):
+            raise ValueError("duplicate VM IDs in the arrival batch")
+        hosts = np.array(
+            [self._allocation.server_of(int(v)) for v in add_ids],
+            dtype=np.int64,
+        )
+        add_ram = np.array([vms[i].ram_mb for i in order], dtype=np.int64)
+        add_cpu = np.array([vms[i].cpu for i in order], dtype=float)
+        pos = np.searchsorted(snap.vm_ids, add_ids)
+        if len(snap.vm_ids):
+            clipped = pos.clip(max=len(snap.vm_ids) - 1)
+            if np.any(snap.vm_ids[clipped] == add_ids):
+                dup = add_ids[snap.vm_ids[clipped] == add_ids][0]
+                raise ValueError(f"VM {dup} is already in the snapshot")
+        old_n = snap.n_vms
+        # Every old dense index shifts right by the number of arrivals
+        # inserted at or before it; the shift is monotone, so the CSR stays
+        # sorted by (row, peer) after remapping — no re-sort needed.
+        old_to_new = np.arange(old_n, dtype=np.int64) + np.searchsorted(
+            pos, np.arange(old_n), side="right"
+        )
+        snap.vm_ids = np.insert(snap.vm_ids, pos, add_ids)
+        snap.vm_index = {int(v): i for i, v in enumerate(snap.vm_ids)}
+        snap.peer = old_to_new[snap.peer]
+        snap.row = old_to_new[snap.row]
+        snap.pair_u = old_to_new[snap.pair_u]
+        snap.pair_v = old_to_new[snap.pair_v]
+        new_n = old_n + len(add_ids)
+        ptr = np.zeros(new_n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(snap.row, minlength=new_n), out=ptr[1:])
+        snap.ptr = ptr
+        self._host_of = np.insert(self._host_of, pos, hosts)
+        self._vm_ram = np.insert(self._vm_ram, pos, add_ram)
+        self._vm_cpu = np.insert(self._vm_cpu, pos, add_cpu)
+        self._vm_cost = np.insert(self._vm_cost, pos, 0.0)
+        n_hosts = len(self._slot_cap)
+        self._slot_used += np.bincount(hosts, minlength=n_hosts)
+        self._ram_used += np.bincount(
+            hosts, weights=add_ram, minlength=n_hosts
+        ).astype(np.int64)
+        self._cpu_used += np.bincount(hosts, weights=add_cpu, minlength=n_hosts)
+        self._uniform_vm = bool(
+            (self._vm_ram == self._vm_ram[0]).all()
+            and (self._vm_cpu == self._vm_cpu[0]).all()
+        )
+        self._index_pairs()
+        self._advance_sync(allocation=True)
+
+    def remove_vms(self, vm_ids: Sequence[int]) -> None:
+        """Mirror one batch of VM departures already applied to the allocation.
+
+        Drops the VMs from the dense index, removes every pair touching
+        them (the matrix-side zeroing is the caller's job —
+        ``SCOREScheduler.retire_vms`` does both) and patches the capacity
+        mirrors; the cost caches are recomputed in one vectorized pass.
+        """
+        ids = np.unique(np.asarray(list(vm_ids), dtype=np.int64))
+        if ids.size == 0:
+            return
+        snap = self._snap
+        dense = self.dense_indices(ids.tolist())  # KeyError on unknowns
+        old_n = snap.n_vms
+        keep_mask = np.ones(old_n, dtype=bool)
+        keep_mask[dense] = False
+        hosts = self._host_of[dense]
+        n_hosts = len(self._slot_cap)
+        self._slot_used -= np.bincount(hosts, minlength=n_hosts)
+        self._ram_used -= np.bincount(
+            hosts, weights=self._vm_ram[dense], minlength=n_hosts
+        ).astype(np.int64)
+        self._cpu_used -= np.bincount(
+            hosts, weights=self._vm_cpu[dense], minlength=n_hosts
+        )
+        old_to_new = np.cumsum(keep_mask) - 1  # valid at kept indices only
+        pair_keep = keep_mask[snap.pair_u] & keep_mask[snap.pair_v]
+        pair_u = old_to_new[snap.pair_u[pair_keep]]
+        pair_v = old_to_new[snap.pair_v[pair_keep]]
+        pair_rate = snap.pair_rate[pair_keep]
+        snap.vm_ids = snap.vm_ids[keep_mask]
+        snap.vm_index = {int(v): i for i, v in enumerate(snap.vm_ids)}
+        self._host_of = self._host_of[keep_mask]
+        self._vm_ram = self._vm_ram[keep_mask]
+        self._vm_cpu = self._vm_cpu[keep_mask]
+        n = snap.n_vms
+        self._uniform_vm = bool(
+            n > 0
+            and (self._vm_ram == self._vm_ram[0]).all()
+            and (self._vm_cpu == self._vm_cpu[0]).all()
+        )
+        self._set_pairs(pair_u, pair_v, pair_rate)
+        self._advance_sync(allocation=True)
 
     # -- CostModel-compatible queries --------------------------------------
 
@@ -1017,6 +1387,45 @@ class FastCostEngine:
         if np.any(nonempty):
             out[nonempty] = np.maximum.reduceat(levels, starts[nonempty])
         return out
+
+    def wave_level_updates(
+        self, dense_vms: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Algorithm 1's token updates for one wave of settled holds.
+
+        Returns ``(own_levels, peer_dense, raise_levels)``: each given
+        VM's measured highest communication level (what the holder writes
+        into its own token entry), plus — deduplicated to the max per
+        peer — the level each of its peers would be raised to
+        (``l_v ← l(u, v)`` only when larger).  One vectorized pass over
+        the settled VMs' incident edges; the HLF policy feeds the result
+        into :meth:`repro.core.token.Token.raise_levels`.
+        """
+        snap = self._snap
+        vms = np.asarray(dense_vms, dtype=np.int64)
+        deg = (snap.ptr[vms + 1] - snap.ptr[vms]).astype(np.int64)
+        own = np.zeros(len(vms), dtype=np.int64)
+        total = int(deg.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return own, empty, empty.copy()
+        cum = np.zeros(len(vms) + 1, dtype=np.int64)
+        np.cumsum(deg, out=cum[1:])
+        owner = np.repeat(np.arange(len(vms), dtype=np.int64), deg)
+        edge = np.repeat(snap.ptr[vms] - cum[:-1], deg) + np.arange(total)
+        peers = snap.peer[edge]
+        levels = pair_levels(
+            self._host_of[vms][owner],
+            self._host_of[peers],
+            self._rack_of,
+            self._pod_of,
+        )
+        nonempty = deg > 0
+        own[nonempty] = np.maximum.reduceat(levels, cum[:-1][nonempty])
+        raise_to = np.zeros(snap.n_vms, dtype=np.int64)
+        np.maximum.at(raise_to, peers, levels)
+        touched = np.unique(peers)
+        return own, touched, raise_to[touched]
 
     def candidate_batch(
         self,
@@ -1380,6 +1789,9 @@ class FastCostEngine:
         self._ram_used[targets] += self._vm_ram[movers]
         self._cpu_used[sources] -= self._vm_cpu[movers]
         self._cpu_used[targets] += self._vm_cpu[movers]
+        if n_moves:
+            # Paired with the caller's single Allocation.migrate_many bump.
+            self._advance_sync(allocation=True)
         return deltas
 
     def apply_migration(self, vm_u: int, target_host: int) -> float:
@@ -1438,6 +1850,8 @@ class FastCostEngine:
         self._ram_used[target] += self._vm_ram[dense]
         self._cpu_used[source] -= self._vm_cpu[dense]
         self._cpu_used[target] += self._vm_cpu[dense]
+        # Paired with the caller's single Allocation.migrate bump.
+        self._advance_sync(allocation=True)
         return delta
 
     # -- internals ----------------------------------------------------------

@@ -88,6 +88,13 @@ class TokenPolicy(ABC):
         """
         return token.successor(order[-1])
 
+    #: Per-wave token refresh hook for wave-batched rounds.  Policies that
+    #: maintain token state mid-round (HLF's Algorithm 1 estimates) override
+    #: this with a method ``(token, vm_ids, allocation, traffic, cost_model)``
+    #: invoked after every applied wave with the holds settled in it; ``None``
+    #: (the default) skips the callback entirely.
+    wave_refresh = None
+
 
 class RoundRobinPolicy(TokenPolicy):
     """§V-A1: circulate the token in ascending VM-ID order, wrapping."""
@@ -220,6 +227,66 @@ class HighestLevelFirstPolicy(TokenPolicy):
         ids.sort(key=lambda v: (-token.level_of(v), v <= vm_u, v))
         order = [vm_u] if vm_u in token else []
         return order + ids
+
+    def wave_refresh(
+        self,
+        token: Token,
+        vm_ids: List[int],
+        allocation: Allocation,
+        traffic: TrafficMatrix,
+        cost_model: CostModel,
+    ) -> None:
+        """Algorithm 1's raise-only estimate updates, batched per wave.
+
+        Applied after each wave of a batched round for the holds settled
+        in it: every settled VM writes its *measured* highest level into
+        its own token entry (Algorithm 1 line 4) and raises each peer's
+        entry to at least ``l(u, v)`` (the raise-only rule) — so the
+        token's estimates track the live per-hold policy wave by wave
+        instead of only at round end.  The round's visit order is already
+        frozen, so this changes mid-round token *state*, not the round's
+        decisions; :meth:`end_round`'s bulk measured refresh still runs
+        (it is at least as fresh as these estimates).
+        """
+        if not vm_ids:
+            return
+        present = [vm for vm in vm_ids if vm in token]
+        if not present:
+            return
+        if hasattr(cost_model, "wave_level_updates"):
+            fast = cost_model
+            own, peer_dense, raise_to = fast.wave_level_updates(
+                fast.dense_indices(present)
+            )
+            peer_ids = fast.snapshot.vm_ids[peer_dense]
+            token.raise_levels(
+                {
+                    int(v): int(l)
+                    for v, l in zip(peer_ids, raise_to)
+                    if int(v) in token
+                }
+            )
+            token.set_levels(
+                {vm: int(l) for vm, l in zip(present, own)}
+            )
+            return
+        raises: Dict[int, int] = {}
+        for vm_u in present:
+            host_u = allocation.server_of(vm_u)
+            for peer in traffic.peers_of(vm_u):
+                if peer in token:
+                    level = cost_model.topology.level_between(
+                        host_u, allocation.server_of(peer)
+                    )
+                    if level > raises.get(peer, -1):
+                        raises[peer] = level
+        token.raise_levels(raises)
+        token.set_levels(
+            {
+                vm: cost_model.highest_level(allocation, traffic, vm)
+                for vm in present
+            }
+        )
 
     def end_round(
         self,

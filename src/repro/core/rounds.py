@@ -97,7 +97,13 @@ class BatchedRoundEngine:
         engine: MigrationEngine,
         fast: FastCostEngine,
         record_waves: bool = False,
+        wave_callback=None,
     ) -> None:
+        """``wave_callback``, when given, is invoked after every wave with
+        the list of VM ids whose holds settled in it (movers and
+        non-movers alike; every VM of the round is reported exactly once
+        across the round's waves).  The scheduler wires it to the
+        policy's mid-round token refresh (``TokenPolicy.wave_refresh``)."""
         if not fast.is_bound_to(allocation, traffic):
             raise ValueError(
                 "fast engine is not bound to the scheduler's allocation/traffic"
@@ -107,6 +113,7 @@ class BatchedRoundEngine:
         self._engine = engine
         self._fast = fast
         self._record_waves = record_waves
+        self._wave_callback = wave_callback
 
     def run_round(self, order: Sequence[int]) -> RoundResult:
         """Run one full token round over ``order`` (a visit-order snapshot)."""
@@ -132,19 +139,26 @@ class BatchedRoundEngine:
                 batch, feasible, return_ties=True
             )
             beneficial = (choice >= 0) & (best > 0) & (best > cm)
-            self._settle_non_movers(
+            settled_ids = self._settle_non_movers(
                 result, batch, positions, choice, best, beneficial
             )
             prop = np.nonzero(beneficial)[0]
             if prop.size == 0:
+                if self._wave_callback is not None and settled_ids:
+                    self._wave_callback(settled_ids)
                 break
             result.waves += 1
             accepted, target = self._plan_wave(
                 batch, best, prop, ties, n_hosts
             )
             moved, old_hosts, new_hosts = self._apply_wave(
-                result, positions, batch, prop[accepted], target[accepted]
+                result, positions, batch, prop[accepted], target[accepted],
+                settled_ids,
             )
+            if self._wave_callback is not None and settled_ids:
+                # Fired after the wave landed, so refreshes see the
+                # post-wave placement (the freshest state this round).
+                self._wave_callback(settled_ids)
             deferred = prop[~accepted]
             if deferred.size == 0:
                 break
@@ -274,8 +288,13 @@ class BatchedRoundEngine:
         batch: CandidateBatch,
         wave: np.ndarray,
         targets: np.ndarray,
+        settled_ids: List[int],
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Apply one admitted wave; returns (moved dense, old, new hosts).
+
+        Every hold decided here (movers, exact-gate no-gain settles and
+        capacity-fallback decisions) is appended to ``settled_ids`` for
+        the wave callback.
 
         The batched apply is guarded by ``Allocation.migrate_many``'s
         validate-first contract: if the allocation's own accounting rejects
@@ -294,6 +313,7 @@ class BatchedRoundEngine:
         # proposal failing the exact gate settles as no-gain.
         exact = fast.exact_deltas(dense, targets)
         cm = self._engine.migration_cost
+        settled_ids.extend(vm_ids[dense].tolist())
         genuine = (exact > 0) & (exact > cm)
         if not genuine.all():
             decisions = result.decisions
@@ -510,21 +530,26 @@ class BatchedRoundEngine:
         choice: np.ndarray,
         best: np.ndarray,
         beneficial: np.ndarray,
-    ) -> None:
-        """Record final decisions for every owner without a beneficial move."""
+    ) -> List[int]:
+        """Record final decisions for every owner without a beneficial move.
+
+        Returns the settled VM ids (the wave callback reports them
+        together with the wave's movers).
+        """
         decisions = result.decisions
         vm_ids = self._fast.snapshot.vm_ids
         rows = np.nonzero(~beneficial)[0]
         if rows.size == 0:
-            return
+            return []
         reason_code = np.where(
             batch.degree[rows] == 0, 0, np.where(choice[rows] < 0, 1, 2)
         )
         deltas = np.where(reason_code == 2, np.maximum(best[rows], 0.0), 0.0)
         reasons = ("no_peers", "no_feasible_target", "no_gain")
+        settled = vm_ids[batch.vms[rows]].tolist()
         for pos, vm_id, source, code, delta in zip(
             positions[rows].tolist(),
-            vm_ids[batch.vms[rows]].tolist(),
+            settled,
             batch.source[rows].tolist(),
             reason_code.tolist(),
             deltas.tolist(),
@@ -537,3 +562,4 @@ class BatchedRoundEngine:
                 migrated=False,
                 reason=reasons[code],
             )
+        return settled

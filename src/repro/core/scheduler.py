@@ -21,7 +21,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.cluster.allocation import Allocation
+from repro.cluster.allocation import Allocation, CapacityError
+from repro.cluster.placement import locality_probe_order
 from repro.core.cost import CostModel
 from repro.core.fastcost import FastCostEngine
 from repro.core.migration import MigrationDecision, MigrationEngine
@@ -241,14 +242,15 @@ class SCOREScheduler:
                     weights=self._engine.cost_model.weights,
                 )
                 self._engine.attach_fastcost(self._fast)
-            else:
-                # Resync against any mutation since the last run (traffic
-                # edits, direct allocation moves); everything inside the
-                # loop then goes through the engine and stays incremental.
-                if self._fast.traffic is not self._traffic:
-                    self._fast.update_traffic(self._traffic)
-                else:
-                    self._fast.rebuild()
+            elif self._fast.traffic is not self._traffic:
+                self._fast.update_traffic(self._traffic)
+            elif not self._fast.in_sync:
+                # Some writer bypassed the engine's update path since the
+                # last run (direct allocation moves, out-of-band set_rate):
+                # pay one full resync.  Mutations routed through the
+                # scheduler's churn/delta APIs keep the engine in sync, so
+                # multi-epoch dynamic runs skip this entirely.
+                self._fast.rebuild()
         # Policies take whichever implementation is active — the fast engine
         # answers highest_level from its arrays with the CostModel signature.
         return self._fast or self._engine.cost_model
@@ -324,8 +326,19 @@ class SCOREScheduler:
         wave's cost change attributed to the holds that moved.
         """
         assert self._fast is not None
+        wave_callback = None
+        if self._policy.wave_refresh is not None:
+            policy = self._policy
+
+            def wave_callback(vm_ids: List[int]) -> None:
+                policy.wave_refresh(
+                    self._token, vm_ids, self._allocation, self._traffic,
+                    cost_model,
+                )
+
         rounds = BatchedRoundEngine(
-            self._allocation, self._traffic, self._engine, self._fast
+            self._allocation, self._traffic, self._engine, self._fast,
+            wave_callback=wave_callback,
         )
         cost = cost_model.total_cost(self._allocation, self._traffic)
         report = SchedulerReport(initial_cost=cost, final_cost=cost)
@@ -384,26 +397,147 @@ class SCOREScheduler:
         scheduler places it and adds its (zero-level) token entry, and the
         next iterations optimize it like any other VM.
         """
-        self._allocation.add_vm(vm, host)
-        self._token.add_vm(vm.vm_id)
+        self.admit_vms([vm], [host])
+
+    def admit_vms(self, vms: Sequence, hosts: Sequence[int]) -> None:
+        """Bring one batch of arriving VMs online.
+
+        The allocation validates the whole batch before placing anything
+        (atomic on failure); the fast engine's dense index and capacity
+        mirrors are patched in place, so no cold rebuild is paid at the
+        next run.  Arrivals join with no traffic — route their flows
+        through :meth:`apply_traffic_delta` afterwards.
+        """
+        vms = list(vms)
+        self._allocation.add_vms(vms, hosts)
+        for vm in vms:
+            self._token.add_vm(vm.vm_id)
         if self._fast is not None:
-            self._fast.rebuild()
+            self._fast.add_vms(vms)
 
     def retire_vm(self, vm_id: int) -> None:
         """Take a VM offline: remove it from the allocation, the token and
         the traffic matrix (its flows cease)."""
-        for peer in list(self._traffic.peers_of(vm_id)):
-            self._traffic.set_rate(vm_id, peer, 0.0)
-        self._allocation.remove_vm(vm_id)
-        self._token.remove_vm(vm_id)
+        self.retire_vms([vm_id])
+
+    def retire_vms(self, vm_ids: Sequence[int]) -> None:
+        """Take one batch of VMs offline (tenant departures).
+
+        Their flows cease (the traffic matrix drops every pair touching
+        them), they leave the allocation and the token, and the fast
+        engine patches its dense index incrementally.  The token must
+        keep at least one entry; unknown ids raise before any removal.
+        """
+        ids = [int(v) for v in vm_ids]
+        if not ids:
+            return
+        gone = set(ids)
+        if not set(self._token.vm_ids) - gone:
+            raise ValueError("cannot retire every VM; the token needs a holder")
+        missing = [v for v in ids if v not in self._allocation]
+        if missing:
+            raise KeyError(f"VM {missing[0]} is not placed")
+        ceased = [
+            (vm_id, peer, 0.0)
+            for vm_id in ids
+            for peer in self._traffic.peers_of(vm_id)
+            if peer not in gone or peer > vm_id
+        ]
+        # Flows cease first (one paired traffic delta, while the engine
+        # still knows the VMs), then the population shrinks.
+        self.apply_traffic_delta(ceased)
+        self._allocation.remove_vms(ids)
+        for vm_id in ids:
+            self._token.remove_vm(vm_id)
         if self._fast is not None:
-            self._fast.rebuild()
+            self._fast.remove_vms(ids)
+
+    def apply_traffic_delta(self, changed_pairs) -> int:
+        """Patch λ for one batch of pairs — the incremental epoch transition.
+
+        ``changed_pairs`` holds ``(vm_u, vm_v, new_rate)`` triples (or a
+        ``(us, vs, rates)`` array tuple) with absolute new rates; 0
+        removes a pair.  The bound traffic matrix and the fast engine's
+        snapshot/caches are patched together, so the sliding-window
+        re-estimation of §IV costs O(changed pairs) instead of the full
+        O(pairs) rebuild `update_traffic` pays.  Returns the number of
+        pair changes applied.
+        """
+        # The array form requires actual ndarrays (mirroring the engine's
+        # parser) — a plain tuple of exactly three (u, v, rate) triples is
+        # a triple list, not a transposed (us, vs, rates) bundle.
+        if (
+            isinstance(changed_pairs, tuple)
+            and len(changed_pairs) == 3
+            and isinstance(changed_pairs[0], np.ndarray)
+        ):
+            triples = list(zip(*changed_pairs))
+            engine_delta = changed_pairs
+        else:
+            triples = list(changed_pairs)
+            engine_delta = triples
+        if self._fast is not None:
+            # Engine-side validation runs first (unknown VMs, negative
+            # rates) so a bad delta leaves the matrix untouched too.  The
+            # engine credits itself the matrix's one version bump.
+            applied = self._fast.apply_traffic_delta(engine_delta)
+            if applied:
+                self._traffic.apply_delta(triples)
+            return applied
+        placed = set(self._allocation.vm_ids())
+        endpoints = {int(u) for u, _, _ in triples} | {
+            int(v) for _, v, _ in triples
+        }
+        missing = endpoints - placed
+        if missing:
+            raise KeyError(
+                f"traffic delta references VMs absent from the allocation: "
+                f"{sorted(missing)[:5]}"
+            )
+        return self._traffic.apply_delta(triples)
+
+    def drain_hosts(self, hosts: Sequence[int]) -> List[Tuple[int, int]]:
+        """Evacuate every VM from the given hosts (maintenance drain).
+
+        Each VM moves to the first feasible host outside the drained set
+        — preferring the same rack, then the same pod, then anywhere
+        (ascending host order) — through the engine's incremental update
+        path, so a drain is O(moved VMs), not a rebuild.  Returns the
+        ``(vm_id, target_host)`` moves performed; raises
+        :class:`~repro.cluster.allocation.CapacityError` when a VM fits
+        nowhere (the drain stops at that VM).
+        """
+        drained = set(int(h) for h in hosts)
+        topology = self._allocation.topology
+        moves: List[Tuple[int, int]] = []
+        for host in sorted(drained):
+            candidates = [
+                h
+                for h in locality_probe_order(topology, topology.rack_of(host))
+                if h not in drained
+            ]
+            for vm_id in sorted(self._allocation.vms_on(host)):
+                vm = self._allocation.vm(vm_id)
+                target = next(
+                    (h for h in candidates if self._allocation.can_host(h, vm)),
+                    None,
+                )
+                if target is None:
+                    raise CapacityError(
+                        f"drain failed: no feasible host for VM {vm_id}"
+                    )
+                self._allocation.migrate(vm_id, target)
+                if self._fast is not None:
+                    self._fast.apply_migration(vm_id, target)
+                moves.append((vm_id, target))
+        return moves
 
     def update_traffic(self, traffic: TrafficMatrix) -> None:
         """Install a fresh traffic-matrix estimate (next measurement window).
 
         The token and allocation persist; only λ changes, modelling the
-        periodic re-estimation of §IV.
+        periodic re-estimation of §IV.  This is the full-rebuild path —
+        prefer :meth:`apply_traffic_delta` when the change set is known.
         """
         missing = traffic.vms_with_traffic - set(self._allocation.vm_ids())
         if missing:

@@ -203,6 +203,33 @@ class Token:
         self._buckets = buckets
         self._version += 1
 
+    def raise_levels(self, levels: Dict[int, int]) -> int:
+        """Bulk raise-only update: Algorithm 1's rule over many entries.
+
+        Each entry is raised to its given level only when that exceeds the
+        stored estimate (``l_v ← l(u,v)`` only when larger) — what the
+        wave-batched HLF round applies per wave instead of |settled| single
+        :meth:`raise_level` calls.  One version bump when anything changed;
+        unknown VM ids and out-of-range levels raise, leaving the token
+        unchanged.  Returns the number of entries raised.
+        """
+        for vm_id, level in levels.items():
+            if vm_id not in self._levels:
+                raise KeyError(f"VM {vm_id} is not in the token")
+            if not 0 <= level <= MAX_LEVEL_VALUE:
+                raise ValueError(f"level must fit in 8 bits, got {level}")
+        raised = 0
+        for vm_id, level in levels.items():
+            old = self._levels[vm_id]
+            if old < level:
+                self._bucket_remove(old, vm_id)
+                self._bucket_add(level, vm_id)
+                self._levels[vm_id] = level
+                raised += 1
+        if raised:
+            self._version += 1
+        return raised
+
     def vms_at_level(self, level: int) -> List[int]:
         """All VM IDs whose recorded estimate equals ``level`` (ascending).
 

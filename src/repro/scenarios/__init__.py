@@ -1,0 +1,41 @@
+"""Declarative scenarios: live, churning data centres as named values.
+
+The growth layer over :mod:`repro.sim`: a :class:`Scenario` couples a
+static :class:`~repro.sim.experiment.ExperimentConfig` with a traffic
+:class:`DriftSpec` and a population :class:`ChurnSpec`;
+:func:`run_scenario` executes it epoch by epoch through the fast engine's
+incremental state-delta APIs (no per-epoch snapshot rebuilds).  A shipped
+catalogue (steady, diurnal-drift, hotspot-flip, flash-crowd,
+rolling-maintenance) registers on import; ``register_scenario`` grows it.
+
+See ``docs/scenarios.md`` for the catalogue and how to add a scenario.
+"""
+
+from repro.scenarios.scenario import (
+    ChurnSpec,
+    DriftSpec,
+    Scenario,
+)
+from repro.scenarios.registry import (
+    iter_scenarios,
+    register_scenario,
+    scenario_by_name,
+    scenario_names,
+)
+from repro.scenarios.runner import EpochStats, ScenarioResult, run_scenario
+
+# Importing the catalogue registers the shipped scenarios.
+from repro.scenarios import catalogue  # noqa: F401  (registration side effect)
+
+__all__ = [
+    "Scenario",
+    "DriftSpec",
+    "ChurnSpec",
+    "EpochStats",
+    "ScenarioResult",
+    "run_scenario",
+    "register_scenario",
+    "scenario_by_name",
+    "scenario_names",
+    "iter_scenarios",
+]

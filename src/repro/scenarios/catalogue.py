@@ -1,0 +1,94 @@
+"""The shipped scenario catalogue.
+
+Five named studies spanning the dynamics the paper argues about (§IV,
+§VI-B) and the operational events a live DC adds on top.  Each registers
+on import of :mod:`repro.scenarios`; run one with
+``python -m repro scenario <name>`` or
+:func:`repro.scenarios.run_scenario`.  Configs are laptop-scale by
+default — pass ``scale="toy"`` for CI smoke or ``scale="paper"`` for the
+published 2560-host dimensions.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.registry import register_scenario
+from repro.scenarios.scenario import ChurnSpec, DriftSpec, Scenario
+from repro.sim.experiment import ExperimentConfig
+
+#: Shared static base: the repo's default canonical tree with HLF.
+_BASE = ExperimentConfig(policy="hlf", pattern="sparse")
+
+STEADY = register_scenario(
+    Scenario(
+        name="steady",
+        description=(
+            "Fixed traffic, fixed population: the convergence baseline. "
+            "With no external change, migrations decay epoch over epoch."
+        ),
+        config=_BASE,
+        epochs=3,
+        iterations_per_epoch=2,
+    )
+)
+
+DIURNAL_DRIFT = register_scenario(
+    Scenario(
+        name="diurnal-drift",
+        description=(
+            "Day/night load swings: two counter-phased pair groups on a "
+            "sinusoid, shifting the hotspot structure every epoch while "
+            "total load stays level."
+        ),
+        config=_BASE,
+        epochs=6,
+        iterations_per_epoch=2,
+        drift=DriftSpec(kind="diurnal", amplitude=0.6, period_epochs=6),
+    )
+)
+
+HOTSPOT_FLIP = register_scenario(
+    Scenario(
+        name="hotspot-flip",
+        description=(
+            "A service re-shard: the heaviest pairs all re-target at "
+            "epoch 2 (structural add/remove delta), and S-CORE must "
+            "re-localize the new cliques."
+        ),
+        config=_BASE,
+        epochs=5,
+        iterations_per_epoch=2,
+        drift=DriftSpec(kind="hotspot_flip", flip_epoch=2, top_pairs=8),
+    )
+)
+
+FLASH_CROWD = register_scenario(
+    Scenario(
+        name="flash-crowd",
+        description=(
+            "A tenant burst arrives at epoch 1 with heavy traffic to the "
+            "hottest VM (placed near its rack, spilling when full), then "
+            "departs two epochs later."
+        ),
+        config=_BASE,
+        epochs=5,
+        iterations_per_epoch=2,
+        churn=ChurnSpec(
+            kind="flash_crowd", start_epoch=1, duration=2, crowd_size=12
+        ),
+    )
+)
+
+ROLLING_MAINTENANCE = register_scenario(
+    Scenario(
+        name="rolling-maintenance",
+        description=(
+            "One rack per epoch is drained for maintenance (VMs evacuate "
+            "through the incremental engine path); S-CORE re-optimizes "
+            "around the displaced load.  Lower fill leaves drain headroom."
+        ),
+        config=_BASE.with_(fill_fraction=0.7),
+        epochs=4,
+        iterations_per_epoch=2,
+        churn=ChurnSpec(kind="rolling_drain", start_epoch=1),
+    )
+)

@@ -1,0 +1,52 @@
+"""The named-scenario registry.
+
+Scenarios register once (the shipped catalogue does so on import of
+:mod:`repro.scenarios`) and are then addressable everywhere by name —
+``python -m repro scenario <name>``, the tier-1 scenario smoke test, the
+benchmarks.  Registering is how a user grows the catalogue::
+
+    from repro.scenarios import Scenario, DriftSpec, register_scenario
+
+    register_scenario(Scenario(
+        name="my-burst",
+        description="...",
+        drift=DriftSpec(kind="jitter", noise=0.3),
+    ))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.scenarios.scenario import Scenario
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, replace: bool = False) -> Scenario:
+    """Add a scenario to the registry (name collisions raise unless
+    ``replace``); returns the scenario for chaining."""
+    if not replace and scenario.name in _REGISTRY:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def scenario_by_name(name: str) -> Scenario:
+    """Look a registered scenario up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; known: {scenario_names()}"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    """Registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def iter_scenarios() -> List[Scenario]:
+    """All registered scenarios, in name order."""
+    return [_REGISTRY[name] for name in scenario_names()]

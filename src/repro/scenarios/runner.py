@@ -1,0 +1,166 @@
+"""The scenario runner: multi-epoch S-CORE over drift + churn, delta-path.
+
+One epoch is: apply the scenario's churn events (arrivals, departures,
+maintenance drains), advance the drift process and feed its change list
+through ``SCOREScheduler.apply_traffic_delta``, then run the token loop
+for ``iterations_per_epoch`` rounds.  Every transition goes through the
+engine's incremental state-delta APIs, so a multi-epoch run never pays a
+full snapshot rebuild — the wall-clock split between ``transition_s`` and
+``schedule_s`` in each :class:`EpochStats` shows epochs dominated by
+scheduling, not by state maintenance.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Union
+
+from repro.scenarios.registry import scenario_by_name
+from repro.scenarios.scenario import Scenario
+from repro.core.scheduler import SchedulerReport
+from repro.sim.dynamics import count_returning_migrations
+from repro.sim.experiment import Environment, build_environment, make_scheduler
+
+
+@dataclass(frozen=True)
+class EpochStats:
+    """One epoch of a scenario run, summarized."""
+
+    epoch: int
+    n_vms: int
+    migrations: int
+    returning: int
+    arrivals: int
+    departures: int
+    drained: int
+    cost_before: float
+    cost_after: float
+    #: Epoch-transition wall clock: churn + drift through the delta path.
+    transition_s: float
+    #: Token-loop wall clock for the epoch's iterations.
+    schedule_s: float
+
+
+@dataclass
+class ScenarioResult:
+    """Full record of one scenario run."""
+
+    scenario: Scenario
+    environment: Environment
+    epoch_stats: List[EpochStats] = field(default_factory=list)
+    epoch_reports: List[SchedulerReport] = field(default_factory=list)
+    initial_cost: float = 0.0
+    final_cost: float = 0.0
+
+    @property
+    def total_migrations(self) -> int:
+        """Migrations performed across every epoch."""
+        return sum(s.migrations for s in self.epoch_stats)
+
+    @property
+    def returning_migrations(self) -> int:
+        """Migrations that returned a VM to a host it previously left."""
+        return sum(s.returning for s in self.epoch_stats)
+
+    @property
+    def oscillation_index(self) -> float:
+        """Fraction of migrations that were returns (§VI-B ping-pong)."""
+        total = self.total_migrations
+        return self.returning_migrations / total if total else 0.0
+
+    @property
+    def migrations_per_epoch(self) -> List[int]:
+        """Per-epoch migration counts, epoch order."""
+        return [s.migrations for s in self.epoch_stats]
+
+    @property
+    def settled(self) -> bool:
+        """Whether the final epoch needed no migrations at all."""
+        return bool(self.epoch_stats) and self.epoch_stats[-1].migrations == 0
+
+    @property
+    def total_transition_s(self) -> float:
+        """Aggregate epoch-transition wall clock (delta path)."""
+        return sum(s.transition_s for s in self.epoch_stats)
+
+    @property
+    def total_schedule_s(self) -> float:
+        """Aggregate token-loop wall clock."""
+        return sum(s.schedule_s for s in self.epoch_stats)
+
+
+def run_scenario(
+    scenario: Union[Scenario, str],
+    scale: Optional[str] = None,
+    epochs: Optional[int] = None,
+    iterations_per_epoch: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> ScenarioResult:
+    """Run one scenario (by value or registered name) end to end.
+
+    ``scale`` picks a named topology scale (``toy``/``small``/``paper``);
+    ``epochs``, ``iterations_per_epoch`` and ``seed`` override the
+    scenario's declared values.  The environment is built fresh, the
+    control loop comes from :func:`repro.sim.experiment.make_scheduler`,
+    and every epoch transition runs through the scheduler's incremental
+    delta APIs.
+    """
+    if isinstance(scenario, str):
+        scenario = scenario_by_name(scenario)
+    scenario = scenario.scaled(scale)
+    if seed is not None:
+        scenario = scenario.with_(config=scenario.config.with_(seed=seed))
+    n_epochs = epochs if epochs is not None else scenario.epochs
+    if n_epochs < 1:
+        raise ValueError(f"epochs must be >= 1, got {n_epochs}")
+    iterations = (
+        iterations_per_epoch
+        if iterations_per_epoch is not None
+        else scenario.iterations_per_epoch
+    )
+
+    environment = build_environment(scenario.config)
+    scheduler = make_scheduler(environment)
+    drift = scenario.drift.build(environment.traffic, seed=scenario.config.seed)
+    churn = scenario.churn.build()
+    result = ScenarioResult(scenario=scenario, environment=environment)
+    former_hosts: Dict[int, Set[int]] = {}
+
+    for epoch in range(n_epochs):
+        t0 = time.perf_counter()
+        arrivals, departures, drained = churn.apply(
+            epoch, environment, scheduler
+        )
+        if epoch > 0 and drift is not None:
+            delta = drift.step_delta()
+            if delta:
+                scheduler.apply_traffic_delta(delta)
+        transition_s = time.perf_counter() - t0
+
+        t1 = time.perf_counter()
+        report = scheduler.run(n_iterations=iterations)
+        schedule_s = time.perf_counter() - t1
+
+        if epoch == 0:
+            result.initial_cost = report.initial_cost
+        result.final_cost = report.final_cost
+        result.epoch_reports.append(report)
+        result.epoch_stats.append(
+            EpochStats(
+                epoch=epoch,
+                n_vms=environment.allocation.n_vms,
+                migrations=report.total_migrations,
+                returning=count_returning_migrations(
+                    report.decisions, former_hosts
+                ),
+                arrivals=arrivals,
+                departures=departures,
+                drained=drained,
+                cost_before=report.initial_cost,
+                cost_after=report.final_cost,
+                transition_s=transition_s,
+                schedule_s=schedule_s,
+            )
+        )
+    return result

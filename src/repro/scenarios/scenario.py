@@ -1,0 +1,263 @@
+"""Declarative scenario descriptions for live, churning data centres.
+
+A :class:`Scenario` names everything a multi-epoch S-CORE study needs —
+the static environment (:class:`~repro.sim.experiment.ExperimentConfig`:
+topology family/scale, workload pattern, placement, policy, budgets), how
+traffic *drifts* between measurement windows (:class:`DriftSpec`) and how
+the tenant population *churns* (:class:`ChurnSpec`) — as one frozen value.
+The scenario runner (:mod:`repro.scenarios.runner`), the CLI
+(``python -m repro scenario <name>``), the examples and the benchmarks all
+consume these instead of hand-assembling drift loops; the shipped
+catalogue lives in :mod:`repro.scenarios.catalogue`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+from repro.cluster.allocation import CapacityError
+from repro.cluster.placement import place_arrivals
+from repro.sim.experiment import Environment, ExperimentConfig
+from repro.traffic.temporal import (
+    DiurnalDriftProcess,
+    HotspotDriftProcess,
+    HotspotFlipDrift,
+)
+
+DRIFT_KINDS = ("none", "jitter", "diurnal", "hotspot_flip")
+CHURN_KINDS = ("none", "flash_crowd", "rolling_drain")
+
+#: Topology-dimension overrides per named scale; everything else (pattern,
+#: policy, budgets, seed) comes from the scenario's own config.
+SCALES = {
+    "toy": dict(
+        n_racks=8, hosts_per_rack=2, tors_per_agg=4, n_cores=2,
+        vms_per_host=4, fattree_k=4,
+    ),
+    "small": dict(
+        n_racks=32, hosts_per_rack=4, tors_per_agg=8, n_cores=4,
+        vms_per_host=8, fattree_k=8,
+    ),
+    "paper": dict(
+        n_racks=128, hosts_per_rack=20, tors_per_agg=8, n_cores=4,
+        vms_per_host=16, fattree_k=16,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class DriftSpec:
+    """How λ(u, v) evolves between epochs (the §IV re-estimation windows).
+
+    ``kind`` selects the process:
+
+    ``none``
+        Rates never change (the steady baseline).
+    ``jitter``
+        :class:`HotspotDriftProcess` — bounded multiplicative noise on
+        every pair plus rare hotspot redirects (``noise``,
+        ``redirect_prob``).
+    ``diurnal``
+        :class:`DiurnalDriftProcess` — two counter-phased pair groups on a
+        sinusoid (``amplitude``, ``period_epochs``).
+    ``hotspot_flip``
+        :class:`HotspotFlipDrift` — the ``top_pairs`` heaviest pairs all
+        re-target at ``flip_epoch``.
+    """
+
+    kind: str = "none"
+    noise: float = 0.1
+    redirect_prob: float = 0.05
+    amplitude: float = 0.5
+    period_epochs: int = 8
+    flip_epoch: int = 2
+    top_pairs: int = 8
+
+    def __post_init__(self) -> None:
+        if self.kind not in DRIFT_KINDS:
+            raise ValueError(
+                f"unknown drift kind {self.kind!r}; known: {DRIFT_KINDS}"
+            )
+
+    def build(self, base_traffic, seed=None):
+        """Instantiate the drift process over ``base_traffic`` (or None)."""
+        if self.kind == "none":
+            return None
+        if self.kind == "jitter":
+            return HotspotDriftProcess(
+                base_traffic,
+                noise=self.noise,
+                redirect_prob=self.redirect_prob,
+                seed=seed,
+            )
+        if self.kind == "diurnal":
+            return DiurnalDriftProcess(
+                base_traffic,
+                amplitude=self.amplitude,
+                period_epochs=self.period_epochs,
+            )
+        return HotspotFlipDrift(
+            base_traffic,
+            flip_epoch=self.flip_epoch,
+            top_pairs=self.top_pairs,
+            seed=seed,
+        )
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """How the VM population changes while S-CORE runs.
+
+    ``kind`` selects the process:
+
+    ``none``
+        Fixed tenant population.
+    ``flash_crowd``
+        At ``start_epoch`` a burst of ``crowd_size`` VMs arrives with
+        heavy traffic to the hottest existing VM (placed near its rack,
+        spilling per :func:`~repro.cluster.placement.place_arrivals`);
+        ``duration`` epochs later the crowd departs.
+    ``rolling_drain``
+        One rack per epoch is drained for maintenance
+        (:meth:`SCOREScheduler.drain_hosts`), cycling through the racks.
+    """
+
+    kind: str = "none"
+    start_epoch: int = 1
+    duration: int = 2
+    crowd_size: int = 12
+    crowd_rate: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHURN_KINDS:
+            raise ValueError(
+                f"unknown churn kind {self.kind!r}; known: {CHURN_KINDS}"
+            )
+
+    def build(self) -> "ChurnProcess":
+        """Instantiate the churn process (the ``none`` process is inert).
+
+        The shipped processes are fully deterministic given the scenario
+        config (the flash crowd targets the measured-hottest VM; the
+        drain cycles racks), so no seed is threaded through.
+        """
+        if self.kind == "flash_crowd":
+            return FlashCrowdChurn(self)
+        if self.kind == "rolling_drain":
+            return RollingDrainChurn(self)
+        return ChurnProcess()
+
+
+class ChurnProcess:
+    """Base churn process: applies population changes through the
+    scheduler's incremental churn APIs.  The base class is inert."""
+
+    def apply(self, epoch: int, environment: Environment, scheduler) -> Tuple[int, int, int]:
+        """Apply this epoch's churn; returns (arrivals, departures, drained)."""
+        return (0, 0, 0)
+
+
+class FlashCrowdChurn(ChurnProcess):
+    """A tenant burst: arrive hot, talk hard, leave after a few epochs."""
+
+    def __init__(self, spec: ChurnSpec) -> None:
+        self._spec = spec
+        self._crowd: List[int] = []
+
+    def apply(self, epoch: int, environment: Environment, scheduler) -> Tuple[int, int, int]:
+        spec = self._spec
+        if epoch == spec.start_epoch:
+            allocation = environment.allocation
+            matrix = environment.traffic
+            # The crowd targets the hottest existing VM (deterministic:
+            # heaviest aggregate load, lowest id on ties).
+            seed_vm = max(
+                allocation.vm_ids(),
+                key=lambda v: (matrix.vm_load(v), -v),
+            )
+            rack = allocation.topology.rack_of(allocation.server_of(seed_vm))
+            free = (
+                environment.cluster.total_vm_slots - allocation.n_vms
+            )
+            size = min(spec.crowd_size, max(0, free))
+            if size == 0:
+                return (0, 0, 0)
+            config = environment.config
+            vms = environment.manager.create_vms(
+                size, ram_mb=config.vm_ram_mb, cpu=config.vm_cpu
+            )
+            try:
+                hosts = place_arrivals(allocation, vms, preferred_rack=rack)
+            except CapacityError:
+                return (0, 0, 0)
+            scheduler.admit_vms(vms, hosts)
+            delta = [(vm.vm_id, seed_vm, spec.crowd_rate) for vm in vms]
+            delta += [
+                (vms[i].vm_id, vms[i + 1].vm_id, spec.crowd_rate / 4.0)
+                for i in range(len(vms) - 1)
+            ]
+            scheduler.apply_traffic_delta(delta)
+            self._crowd = [vm.vm_id for vm in vms]
+            return (size, 0, 0)
+        if self._crowd and epoch == spec.start_epoch + spec.duration:
+            departed = len(self._crowd)
+            scheduler.retire_vms(self._crowd)
+            self._crowd = []
+            return (0, departed, 0)
+        return (0, 0, 0)
+
+
+class RollingDrainChurn(ChurnProcess):
+    """Rolling maintenance: evacuate one rack per epoch, cycling."""
+
+    def __init__(self, spec: ChurnSpec) -> None:
+        self._spec = spec
+
+    def apply(self, epoch: int, environment: Environment, scheduler) -> Tuple[int, int, int]:
+        if epoch < self._spec.start_epoch:
+            return (0, 0, 0)
+        topology = environment.topology
+        rack = (epoch - self._spec.start_epoch) % topology.n_racks
+        moves = scheduler.drain_hosts(topology.hosts_in_rack(rack))
+        return (0, 0, len(moves))
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, declarative multi-epoch S-CORE study."""
+
+    name: str
+    description: str
+    config: ExperimentConfig = field(default_factory=ExperimentConfig)
+    epochs: int = 5
+    iterations_per_epoch: int = 2
+    drift: DriftSpec = field(default_factory=DriftSpec)
+    churn: ChurnSpec = field(default_factory=ChurnSpec)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a scenario needs a name")
+        if self.epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {self.epochs}")
+        if self.iterations_per_epoch < 1:
+            raise ValueError(
+                f"iterations_per_epoch must be >= 1, "
+                f"got {self.iterations_per_epoch}"
+            )
+
+    def scaled(self, scale: Optional[str]) -> "Scenario":
+        """A copy at one of the named topology scales (None = as declared)."""
+        if scale is None:
+            return self
+        try:
+            dims = SCALES[scale]
+        except KeyError:
+            raise ValueError(
+                f"unknown scale {scale!r}; known: {sorted(SCALES)}"
+            ) from None
+        return replace(self, config=self.config.with_(**dims))
+
+    def with_(self, **changes) -> "Scenario":
+        """A modified copy (convenience for sweeps and overrides)."""
+        return replace(self, **changes)

@@ -28,6 +28,7 @@ class DynamicRunResult:
 
     epoch_reports: List[SchedulerReport] = field(default_factory=list)
     migrations_per_epoch: List[int] = field(default_factory=list)
+    returning_per_epoch: List[int] = field(default_factory=list)
     returning_migrations: int = 0
     total_migrations: int = 0
 
@@ -44,6 +45,30 @@ class DynamicRunResult:
         return bool(self.migrations_per_epoch) and self.migrations_per_epoch[-1] == 0
 
 
+def count_returning_migrations(decisions, former_hosts: Dict[int, Set[int]]) -> int:
+    """Count migrations that return a VM to a host it previously left.
+
+    ``former_hosts`` (VM → hosts it has departed) carries across calls, so
+    feeding one epoch's decisions at a time yields per-epoch returning
+    counts against the full history.  Histories are strictly per-VM: the
+    wave-batched scheduler applies a round's migrations as simultaneous
+    ``Allocation.migrate_many`` batches, so another VM vacating a host in
+    the same batch must never make a landing there count as a "return" —
+    only the VM's *own* earlier departures do.  A VM moves at most once
+    per round and the report lists rounds in order, so its decisions are
+    chronological regardless of how waves interleaved within a round.
+    """
+    returning = 0
+    for decision in decisions:
+        if not decision.migrated:
+            continue
+        history = former_hosts.setdefault(decision.vm_id, set())
+        if decision.target_host in history:
+            returning += 1
+        history.add(decision.source_host)
+    return returning
+
+
 def run_dynamic(
     environment: Environment,
     policy: TokenPolicy,
@@ -56,9 +81,17 @@ def run_dynamic(
 ) -> DynamicRunResult:
     """Run S-CORE across ``epochs`` traffic re-estimation windows.
 
-    Epoch 0 uses the environment's base matrix; each later epoch draws the
-    next matrix from a hotspot-drift process, models the sliding-window
-    re-estimation of §IV, and re-runs the token loop.
+    Epoch 0 uses the environment's base matrix; each later epoch advances
+    a hotspot-drift process and feeds its change list through the
+    scheduler's incremental delta path
+    (:meth:`~repro.core.scheduler.SCOREScheduler.apply_traffic_delta`) —
+    modelling the sliding-window re-estimation of §IV without ever
+    rebuilding the engine state — then re-runs the token loop.  The
+    environment's traffic matrix is advanced in place.
+
+    For richer dynamics (diurnal swings, tenant churn, maintenance
+    drains) use the declarative scenario layer:
+    ``repro.scenarios.run_scenario``.
     """
     check_positive("epochs", epochs)
     check_positive("iterations_per_epoch", iterations_per_epoch)
@@ -73,18 +106,14 @@ def run_dynamic(
     former_hosts: Dict[int, Set[int]] = {}
     for epoch in range(epochs):
         if epoch > 0:
-            scheduler.update_traffic(drift.step())
+            delta = drift.step_delta()
+            if delta:
+                scheduler.apply_traffic_delta(delta)
         report = scheduler.run(n_iterations=iterations_per_epoch)
-        migrations = 0
-        for decision in report.decisions:
-            if not decision.migrated:
-                continue
-            migrations += 1
-            result.total_migrations += 1
-            history = former_hosts.setdefault(decision.vm_id, set())
-            if decision.target_host in history:
-                result.returning_migrations += 1
-            history.add(decision.source_host)
+        returning = count_returning_migrations(report.decisions, former_hosts)
+        result.total_migrations += report.total_migrations
+        result.returning_migrations += returning
         result.epoch_reports.append(report)
-        result.migrations_per_epoch.append(migrations)
+        result.migrations_per_epoch.append(report.total_migrations)
+        result.returning_per_epoch.append(returning)
     return result

@@ -178,6 +178,33 @@ def build_environment(config: ExperimentConfig) -> Environment:
     )
 
 
+def make_scheduler(
+    environment: Environment, config: Optional[ExperimentConfig] = None
+) -> SCOREScheduler:
+    """Build the S-CORE scheduler stack an :class:`ExperimentConfig` names.
+
+    The one place the (migration engine, policy, scheduler) wiring lives:
+    :func:`run_experiment`, the scenario runner and the CLI all construct
+    their control loop here instead of hand-assembling it.  ``config``
+    defaults to the environment's own.
+    """
+    config = config or environment.config
+    engine = MigrationEngine(
+        environment.cost_model,
+        migration_cost=config.migration_cost,
+        bandwidth_threshold=config.bandwidth_threshold,
+    )
+    return SCOREScheduler(
+        environment.allocation,
+        environment.traffic,
+        policy_by_name(config.policy, seed=config.seed),
+        engine,
+        token_interval_s=config.token_interval_s,
+        use_fastcost=config.fastcost,
+        use_batched_rounds=config.batched_rounds,
+    )
+
+
 @dataclass
 class ExperimentResult:
     """Everything a benchmark needs to print a paper figure."""
@@ -256,20 +283,7 @@ def run_experiment(
         )
         ga_result = ga.run()
 
-    engine = MigrationEngine(
-        env.cost_model,
-        migration_cost=config.migration_cost,
-        bandwidth_threshold=config.bandwidth_threshold,
-    )
-    scheduler = SCOREScheduler(
-        env.allocation,
-        env.traffic,
-        policy_by_name(config.policy, seed=config.seed),
-        engine,
-        token_interval_s=config.token_interval_s,
-        use_fastcost=config.fastcost,
-        use_batched_rounds=config.batched_rounds,
-    )
+    scheduler = make_scheduler(env, config)
     report = scheduler.run(n_iterations=config.n_iterations)
 
     utilization_after: Dict[int, List[float]] = {}

@@ -30,8 +30,10 @@ from repro.traffic.generator import (
 )
 from repro.traffic.flows import Flow, FlowSizeDistribution, flows_to_matrix
 from repro.traffic.temporal import (
+    DiurnalDriftProcess,
     EwmaRateEstimator,
     HotspotDriftProcess,
+    HotspotFlipDrift,
     SlidingWindowRateEstimator,
 )
 
@@ -47,5 +49,7 @@ __all__ = [
     "flows_to_matrix",
     "EwmaRateEstimator",
     "SlidingWindowRateEstimator",
+    "DiurnalDriftProcess",
     "HotspotDriftProcess",
+    "HotspotFlipDrift",
 ]

@@ -25,6 +25,17 @@ class TrafficMatrix:
 
     def __init__(self) -> None:
         self._adj: Dict[int, Dict[int, float]] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Counter bumped on every mutation.
+
+        Derived caches (the fast engine's traffic snapshot) compare it to
+        detect out-of-band matrix edits and resync instead of drifting;
+        bulk operations bump it once.
+        """
+        return self._version
 
     # -- mutation ----------------------------------------------------------
 
@@ -33,6 +44,7 @@ class TrafficMatrix:
         if vm_u == vm_v:
             raise ValueError(f"self-traffic is not modelled (VM {vm_u})")
         check_non_negative("rate", rate)
+        self._version += 1
         if rate == 0.0:
             self._adj.get(vm_u, {}).pop(vm_v, None)
             self._adj.get(vm_v, {}).pop(vm_u, None)
@@ -48,6 +60,49 @@ class TrafficMatrix:
         """Accumulate onto λ(u, v)."""
         check_non_negative("rate", rate)
         self.set_rate(vm_u, vm_v, self.rate(vm_u, vm_v) + rate)
+
+    def apply_delta(self, changed_pairs: Iterable[Tuple[int, int, float]]) -> int:
+        """Overwrite λ for every ``(u, v, new_rate)`` triple in one batch.
+
+        The epoch-transition form of :meth:`set_rate`: new rates are
+        absolute (a rate of 0 removes the pair), validation runs before
+        any write so a bad triple leaves the matrix untouched, and the
+        version counter bumps once for the whole batch.  Returns the
+        number of pairs written.  The loop is kept tight (direct adjacency
+        writes) because drift processes push tens of thousands of pairs
+        per epoch through it at paper scale.
+        """
+        triples = [(int(u), int(v), float(r)) for u, v, r in changed_pairs]
+        for u, v, rate in triples:
+            if u == v:
+                raise ValueError(f"self-traffic is not modelled (VM {u})")
+            if rate < 0 or rate != rate:
+                raise ValueError(f"rate must be >= 0, got {rate}")
+        adj = self._adj
+        for u, v, rate in triples:
+            if rate == 0.0:
+                row = adj.get(u)
+                if row is not None:
+                    row.pop(v, None)
+                    if not row:
+                        del adj[u]
+                row = adj.get(v)
+                if row is not None:
+                    row.pop(u, None)
+                    if not row:
+                        del adj[v]
+            else:
+                row = adj.get(u)
+                if row is None:
+                    row = adj[u] = {}
+                row[v] = rate
+                row = adj.get(v)
+                if row is None:
+                    row = adj[v] = {}
+                row[u] = rate
+        if triples:
+            self._version += 1
+        return len(triples)
 
     def scale(self, factor: float) -> "TrafficMatrix":
         """Return a new matrix with every rate multiplied by ``factor``.

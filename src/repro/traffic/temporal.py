@@ -11,6 +11,7 @@ what makes S-CORE stable (§VI-B, VM-oscillation discussion).
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import Deque, Dict, Iterator, List, Tuple
 
@@ -145,14 +146,30 @@ class HotspotDriftProcess:
 
     def step(self) -> TrafficMatrix:
         """Advance one interval and return the new matrix."""
+        self.step_delta()
+        return self._current.copy()
+
+    def step_delta(self) -> List[Tuple[int, int, float]]:
+        """Advance one interval and return the λ changes as a delta.
+
+        The epoch-transition form of :meth:`step`: the same RNG stream,
+        the same resulting matrix (:attr:`current` advances in place),
+        but the return value is the ``(u, v, new_rate)`` change list a
+        delta-path consumer (``SCOREScheduler.apply_traffic_delta``)
+        feeds to the engine without rebuilding anything.  A redirected
+        pair appears with rate 0 and its new target with the merged rate.
+        """
         rng = self._rng
         pairs = list(self._current.pairs())
         if not pairs:
-            return self._current.copy()
+            return []
         updated = TrafficMatrix()
         for u, v, rate in pairs:
             jitter = 1.0 + self._noise * (2 * rng.random() - 1.0)
             updated.set_rate(u, v, rate * jitter)
+        changed: Dict[Tuple[int, int], float] = {
+            _pair(u, v): rate for u, v, rate in updated.pairs()
+        }
         if rng.random() < self._redirect_prob:
             # Move the heaviest pair's traffic to a new random peer.
             u, v, rate = max(pairs, key=lambda p: p[2])
@@ -161,8 +178,10 @@ class HotspotDriftProcess:
             if candidate not in (u, v):
                 updated.set_rate(u, v, 0.0)
                 updated.add_rate(u, candidate, rate)
+                changed[_pair(u, v)] = 0.0
+                changed[_pair(u, candidate)] = updated.rate(u, candidate)
         self._current = updated
-        return updated.copy()
+        return [(u, v, rate) for (u, v), rate in changed.items()]
 
     def run(self, steps: int) -> Iterator[TrafficMatrix]:
         """Yield ``steps`` successive matrices."""
@@ -170,3 +189,120 @@ class HotspotDriftProcess:
             raise ValueError(f"steps must be >= 0, got {steps}")
         for _ in range(steps):
             yield self.step()
+
+
+class DiurnalDriftProcess:
+    """Sinusoidal day/night load swings over two counter-phased regions.
+
+    DC measurement studies report strong diurnal periodicity: user-facing
+    services peak in the day, batch/backup traffic at night.  Pairs are
+    split into two fixed groups by endpoint parity; group A's rates scale
+    by ``1 + amplitude·sin(2π·t/period)`` and group B by the opposite
+    phase, so the *relative* hotspot structure shifts every epoch while
+    total load stays roughly level.  Fully deterministic (no RNG) — the
+    same base matrix always yields the same trajectory.
+    """
+
+    def __init__(
+        self,
+        base: TrafficMatrix,
+        amplitude: float = 0.5,
+        period_epochs: int = 8,
+    ) -> None:
+        if not 0 <= amplitude < 1:
+            raise ValueError(f"amplitude must be in [0, 1), got {amplitude}")
+        check_positive("period_epochs", period_epochs)
+        self._base = base.copy()
+        self._current = base.copy()
+        self._amplitude = amplitude
+        self._period = period_epochs
+        self._epoch = 0
+
+    @property
+    def current(self) -> TrafficMatrix:
+        """The current matrix (do not mutate; copy if needed)."""
+        return self._current
+
+    def step_delta(self) -> List[Tuple[int, int, float]]:
+        """Advance one epoch; return the (u, v, new_rate) change list."""
+        self._epoch += 1
+        swing = self._amplitude * math.sin(
+            2.0 * math.pi * self._epoch / self._period
+        )
+        changed: List[Tuple[int, int, float]] = []
+        for u, v, rate in self._base.pairs():
+            factor = 1.0 + swing if (u + v) % 2 == 0 else 1.0 - swing
+            new_rate = rate * factor
+            if new_rate != self._current.rate(u, v):
+                changed.append((u, v, new_rate))
+        self._current.apply_delta(changed)
+        return changed
+
+    def step(self) -> TrafficMatrix:
+        """Advance one epoch and return a copy of the new matrix."""
+        self.step_delta()
+        return self._current.copy()
+
+
+class HotspotFlipDrift:
+    """A one-shot hotspot relocation: the heavy pairs re-target at once.
+
+    Models the adversarial end of the paper's "hotspots change slowly"
+    premise: at ``flip_epoch`` the ``top_pairs`` heaviest pairs all
+    redirect their traffic to fresh partners simultaneously (a service
+    re-shard, a failover).  Every other epoch is a no-op, so the delta
+    path's structural add/remove handling is exercised in isolation.
+    """
+
+    def __init__(
+        self,
+        base: TrafficMatrix,
+        flip_epoch: int = 2,
+        top_pairs: int = 8,
+        seed: SeedLike = None,
+    ) -> None:
+        check_positive("flip_epoch", flip_epoch)
+        check_positive("top_pairs", top_pairs)
+        self._current = base.copy()
+        self._flip_epoch = flip_epoch
+        self._top_pairs = top_pairs
+        self._rng = make_rng(seed)
+        self._epoch = 0
+
+    @property
+    def current(self) -> TrafficMatrix:
+        """The current matrix (do not mutate; copy if needed)."""
+        return self._current
+
+    def step_delta(self) -> List[Tuple[int, int, float]]:
+        """Advance one epoch; non-flip epochs return an empty delta."""
+        self._epoch += 1
+        if self._epoch != self._flip_epoch:
+            return []
+        pairs = sorted(self._current.pairs(), key=lambda p: (-p[2], p[0], p[1]))
+        heavy = pairs[: self._top_pairs]
+        vms = sorted(self._current.vms_with_traffic)
+        if not heavy or len(vms) < 3:
+            return []
+        # Zero every heavy pair first, then merge the redirected rates:
+        # interleaving the two would let a later zeroing wipe out traffic
+        # an earlier redirect just landed on that pair (load must be
+        # conserved across the flip).
+        changed: Dict[Tuple[int, int], float] = {
+            _pair(u, v): 0.0 for u, v, _ in heavy
+        }
+        for u, v, rate in heavy:
+            partner = int(vms[int(self._rng.integers(0, len(vms)))])
+            if partner in (u, v):
+                partner = next(x for x in vms if x not in (u, v))
+            key = _pair(u, partner)
+            base_rate = changed.get(key, self._current.rate(u, partner))
+            changed[key] = base_rate + rate
+        delta = [(u, v, rate) for (u, v), rate in changed.items()]
+        self._current.apply_delta(delta)
+        return delta
+
+    def step(self) -> TrafficMatrix:
+        """Advance one epoch and return a copy of the new matrix."""
+        self.step_delta()
+        return self._current.copy()

@@ -82,3 +82,33 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "downtime" in out
         assert out.count("\n") >= 4
+
+
+class TestScenarioCommand:
+    def test_list_catalogue(self, capsys):
+        assert main(["scenario", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "steady", "diurnal-drift", "hotspot-flip",
+            "flash-crowd", "rolling-maintenance",
+        ):
+            assert name in out
+
+    def test_bare_command_lists_too(self, capsys):
+        assert main(["scenario"]) == 0
+        assert "steady" in capsys.readouterr().out
+
+    def test_run_named_scenario_toy(self, capsys):
+        code = main(
+            ["scenario", "steady", "--scale", "toy", "--epochs", "2",
+             "--iterations-per-epoch", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "epoch" in out
+        assert "migrations" in out
+        assert "scheduling" in out
+
+    def test_unknown_scenario_errors(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            main(["scenario", "not-a-scenario"])

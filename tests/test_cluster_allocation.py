@@ -140,3 +140,65 @@ class TestCopyAndMappings:
         allocation.add_vm(vm(3), 2)
         assert allocation.mapping_is_feasible({1: 0, 2: 0, 3: 1})
         assert not allocation.mapping_is_feasible({1: 0, 2: 0, 3: 0})
+
+
+class TestBatchChurn:
+    """First-class VM arrival/departure batches (tenant churn)."""
+
+    def test_add_vms_places_the_batch(self, allocation):
+        allocation.add_vms([vm(1), vm(2), vm(3)], [0, 0, 5])
+        assert allocation.server_of(1) == 0
+        assert allocation.server_of(2) == 0
+        assert allocation.server_of(3) == 5
+        allocation.validate()
+
+    def test_add_vms_atomic_on_shared_host_overflow(self, allocation):
+        # Host 0 has 2 slots; 3 arrivals aimed at it must all be rejected.
+        with pytest.raises(CapacityError):
+            allocation.add_vms([vm(1), vm(2), vm(3)], [0, 0, 0])
+        assert allocation.n_vms == 0
+
+    def test_add_vms_rejects_duplicates_and_mismatch(self, allocation):
+        with pytest.raises(ValueError, match="duplicate"):
+            allocation.add_vms([vm(1), vm(1)], [0, 1])
+        with pytest.raises(ValueError, match="hosts"):
+            allocation.add_vms([vm(1)], [0, 1])
+        allocation.add_vm(vm(5), 0)
+        with pytest.raises(ValueError, match="already placed"):
+            allocation.add_vms([vm(5)], [1])
+
+    def test_remove_vms_returns_in_order(self, allocation):
+        allocation.add_vms([vm(1), vm(2), vm(3)], [0, 1, 2])
+        removed = allocation.remove_vms([3, 1])
+        assert [v.vm_id for v in removed] == [3, 1]
+        assert allocation.n_vms == 1
+        allocation.validate()
+
+    def test_remove_vms_atomic_on_unknown(self, allocation):
+        allocation.add_vms([vm(1), vm(2)], [0, 1])
+        with pytest.raises(KeyError):
+            allocation.remove_vms([1, 99])
+        assert allocation.n_vms == 2
+
+
+class TestVersionCounter:
+    def test_mutations_bump_once_per_batch(self, allocation):
+        v0 = allocation.version
+        allocation.add_vms([vm(1), vm(2)], [0, 1])
+        assert allocation.version == v0 + 1
+        allocation.migrate(1, 4)
+        assert allocation.version == v0 + 2
+        allocation.migrate(1, 4)  # no-op migration: no bump
+        assert allocation.version == v0 + 2
+        allocation.migrate_many([(1, 5), (2, 6)])
+        assert allocation.version == v0 + 3
+        allocation.migrate_many([(1, 5)])  # all no-ops: no bump
+        assert allocation.version == v0 + 3
+        allocation.remove_vms([1, 2])
+        assert allocation.version == v0 + 4
+
+    def test_empty_batches_do_not_bump(self, allocation):
+        v0 = allocation.version
+        allocation.add_vms([], [])
+        allocation.remove_vms([])
+        assert allocation.version == v0

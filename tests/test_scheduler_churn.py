@@ -4,12 +4,14 @@ import pytest
 
 from repro import (
     CostModel,
+    HighestLevelFirstPolicy,
     MigrationEngine,
     RoundRobinPolicy,
     SCOREScheduler,
     VM,
+    place_arrivals,
 )
-from repro.cluster import Cluster, ServerCapacity
+from repro.cluster import CapacityError, Cluster, ServerCapacity
 from repro.cluster.allocation import Allocation
 from repro.topology import CanonicalTree
 from repro.traffic import TrafficMatrix
@@ -83,5 +85,113 @@ class TestRetirement:
         report = scheduler.run(n_iterations=2)
         assert report.final_cost == pytest.approx(
             model.total_cost(allocation, traffic), rel=1e-9
+        )
+        allocation.validate()
+
+
+class TestChurnEdges:
+    """The awkward cases: token holders leaving, pending movers vanishing,
+    arrivals into full racks, and batch atomicity."""
+
+    def test_retire_the_token_holder(self, scheduler_env):
+        """Removing the VM that would hold the token next keeps the loop
+        sound: circulation falls to its cyclic successor."""
+        scheduler, allocation, traffic = scheduler_env
+        holder = scheduler.token.lowest_id
+        assert holder == 1
+        scheduler.retire_vm(1)
+        assert 1 not in scheduler.token
+        report = scheduler.run(n_iterations=1)
+        assert report.iterations[0].visits == 2
+        assert {d.vm_id for d in report.decisions} == {2, 3}
+        allocation.validate()
+
+    def test_retire_vm_with_pending_beneficial_move(self, scheduler_env):
+        """A VM whose next hold *would* migrate disappears between rounds:
+        its pending wave entry must die with it, and its peers' candidate
+        state must not dangle."""
+        scheduler, allocation, traffic = scheduler_env
+        # VM 1 (host 0) <-> VM 2 (host 4) is the heavy pair; a run would
+        # migrate one toward the other.  Confirm the pending gain, then
+        # retire the mover before the round happens.
+        decision = scheduler._engine.evaluate(allocation, traffic, 2)
+        assert decision.target_host is not None
+        scheduler.retire_vm(2)
+        report = scheduler.run(n_iterations=2)
+        assert all(d.vm_id != 2 for d in report.decisions)
+        assert report.final_cost == pytest.approx(
+            scheduler.cost_model.total_cost(allocation, traffic), rel=1e-9
+        )
+        allocation.validate()
+
+    def test_retire_all_vms_rejected(self, scheduler_env):
+        scheduler, allocation, traffic = scheduler_env
+        with pytest.raises(ValueError, match="token needs a holder"):
+            scheduler.retire_vms([1, 2, 3])
+        # Nothing was mutated by the rejected batch.
+        assert sorted(scheduler.token.vm_ids) == [1, 2, 3]
+        assert 1 in allocation and 2 in allocation and 3 in allocation
+
+    def test_admit_batch_atomic_on_capacity_failure(self, scheduler_env):
+        scheduler, allocation, traffic = scheduler_env
+        newcomers = [VM(20 + i, ram_mb=256, cpu=0.25) for i in range(5)]
+        with pytest.raises(CapacityError):
+            # Host 0 has 3 free slots (holds VM 1 of 4); 5 arrivals exceed it.
+            scheduler.admit_vms(newcomers, [0] * 5)
+        assert all(vm.vm_id not in allocation for vm in newcomers)
+        assert all(vm.vm_id not in scheduler.token for vm in newcomers)
+        allocation.validate()
+
+    def test_arrivals_spill_out_of_a_full_rack(self, scheduler_env):
+        """place_arrivals fills the preferred rack, then spills to its pod,
+        then anywhere — modelling arrivals aimed at a hot rack."""
+        scheduler, allocation, traffic = scheduler_env
+        topo = allocation.topology
+        # Fill rack 0 (hosts 0, 1) completely.
+        filler = []
+        for host in topo.hosts_in_rack(0):
+            for i in range(allocation.free_slots(host)):
+                vm = VM(100 + len(filler), ram_mb=256, cpu=0.25)
+                allocation.add_vm(vm, host)
+                filler.append(vm)
+        assert all(
+            allocation.free_slots(h) == 0 for h in topo.hosts_in_rack(0)
+        )
+        arrivals = [VM(200, ram_mb=256, cpu=0.25), VM(201, ram_mb=256, cpu=0.25)]
+        hosts = place_arrivals(allocation, arrivals, preferred_rack=0)
+        # Spilled out of rack 0 but stayed in its pod (racks 0-1 share
+        # the first aggregation domain on this topology).
+        pod0 = topo.pod_of(topo.hosts_in_rack(0)[0])
+        for host in hosts:
+            assert topo.rack_of(host) != 0
+            assert topo.pod_of(host) == pod0
+
+    def test_spill_raises_when_cluster_is_full(self, scheduler_env):
+        scheduler, allocation, traffic = scheduler_env
+        filler_id = 300
+        for host in range(allocation.cluster.n_servers):
+            while allocation.free_slots(host) > 0:
+                allocation.add_vm(VM(filler_id, ram_mb=256, cpu=0.25), host)
+                filler_id += 1
+        with pytest.raises(CapacityError):
+            place_arrivals(
+                allocation, [VM(999, ram_mb=256, cpu=0.25)], preferred_rack=0
+            )
+
+    def test_hlf_policy_survives_churn_between_rounds(self, scheduler_env):
+        """HLF's token buckets rebuild cleanly when churn mutates the
+        token between batched rounds."""
+        _, allocation, traffic = scheduler_env
+        engine = MigrationEngine(CostModel(allocation.topology))
+        scheduler = SCOREScheduler(
+            allocation, traffic, HighestLevelFirstPolicy(), engine
+        )
+        scheduler.run(n_iterations=1)
+        scheduler.admit_vm(VM(7, ram_mb=256, cpu=0.25), 5)
+        traffic.set_rate(7, 3, 250)
+        scheduler.retire_vm(1)
+        report = scheduler.run(n_iterations=2)
+        assert report.final_cost == pytest.approx(
+            scheduler.cost_model.total_cost(allocation, traffic), rel=1e-9
         )
         allocation.validate()

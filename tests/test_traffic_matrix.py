@@ -149,3 +149,36 @@ def test_property_symmetry_and_totals(pairs):
     # Total equals half the sum of per-VM loads.
     per_vm = sum(tm.vm_load(u) for u in tm.vms_with_traffic)
     assert per_vm == pytest.approx(2 * tm.total_rate())
+
+
+class TestApplyDelta:
+    def test_bulk_overwrite_and_removal(self):
+        tm = TrafficMatrix()
+        tm.set_rate(1, 2, 100)
+        tm.set_rate(3, 4, 50)
+        applied = tm.apply_delta([(2, 1, 70), (3, 4, 0.0), (5, 6, 30)])
+        assert applied == 3
+        assert tm.rate(1, 2) == 70
+        assert tm.rate(3, 4) == 0.0
+        assert tm.rate(5, 6) == 30
+        assert tm.n_pairs == 2
+
+    def test_validation_runs_before_any_write(self):
+        tm = TrafficMatrix()
+        tm.set_rate(1, 2, 100)
+        with pytest.raises(ValueError):
+            tm.apply_delta([(1, 2, 5.0), (3, 3, 1.0)])
+        assert tm.rate(1, 2) == 100
+        with pytest.raises(ValueError):
+            tm.apply_delta([(1, 2, -4.0)])
+        assert tm.rate(1, 2) == 100
+
+    def test_version_bumps_once_per_batch(self):
+        tm = TrafficMatrix()
+        v0 = tm.version
+        tm.set_rate(1, 2, 100)
+        assert tm.version == v0 + 1
+        tm.apply_delta([(1, 2, 50), (2, 3, 10)])
+        assert tm.version == v0 + 2
+        tm.apply_delta([])
+        assert tm.version == v0 + 2
