@@ -78,6 +78,12 @@ def main(argv: list) -> int:
             if not is_seconds and not is_speedup:
                 continue
             reference = base.get(field)
+            if reference is None:
+                # A metric appearing for the first time (e.g. a new
+                # cached_run_s key) has no baseline to regress against —
+                # report it informationally, never as a failure.
+                print(f"bench-trend: {name}.{field}: new metric (no baseline)")
+                continue
             if not isinstance(reference, (int, float)) or reference <= 0:
                 continue
             factor = METRIC_FACTORS.get(field, REGRESSION_FACTOR)

@@ -149,6 +149,9 @@ def test_batched_rounds_at_paper_scale(emit):
         env.traffic,
         policy_by_name(config.policy, seed=config.seed),
         MigrationEngine(env.cost_model),
+        # This record tracks the round-cache-free wave engine; the cached
+        # path has its own record (paper_canonical_cached_rounds).
+        use_round_cache=False,
     )
     t0 = time.perf_counter()
     first = scheduler.run(n_iterations=1)
@@ -201,6 +204,109 @@ def test_batched_rounds_at_paper_scale(emit):
         f"{BATCHED_ROUND_BASELINE_S:.3f}s is required"
     )
     assert rest.final_cost < first.initial_cost
+
+
+#: The committed wave-batched 5-iteration wall clock (BENCH_fastcost.json
+#: `run_s` before the round cache landed) — both the cached path's
+#: no-regression floor and the denominator of its recorded headline.
+CACHED_RUN_BASELINE_S = 2.829
+
+#: Acceptance floor: with a warm round cache, a converged 5-iteration
+#: run (mostly-clean owners → sparse re-scores) must beat the same
+#: warm-state run through the uncached wave engine, measured on the same
+#: runner, by at least this factor.
+CACHED_CONVERGED_FLOOR = 1.8
+
+
+@pytest.mark.smoke
+@pytest.mark.slow
+def test_cached_rounds_at_paper_scale(emit):
+    """Dirty-owner round cache vs the uncached wave engine.
+
+    Runs the paper's 5-iteration RR convergence sequence twice per
+    variant on the 2560-host canonical tree: the cold run (every owner
+    dirty in the early rounds) and two warm follow-on runs on the
+    converged system, where the cache's cross-round decision carry
+    turns rounds into sparse re-scores.  Asserts the tentpole
+    exact-equivalence guarantee — identical migrations and final cost,
+    cold and warm — plus the converged-run speedup on the same runner
+    (machine-independent) and a no-regression floor for the cold run
+    against the recorded pre-cache 2.829 s.
+    """
+    config = ExperimentConfig.paper_canonical(policy="rr", n_iterations=5)
+
+    def measure(use_round_cache):
+        env = build_environment(config)
+        scheduler = SCOREScheduler(
+            env.allocation,
+            env.traffic,
+            policy_by_name(config.policy, seed=config.seed),
+            MigrationEngine(env.cost_model),
+            use_round_cache=use_round_cache,
+        )
+        t0 = time.perf_counter()
+        cold = scheduler.run(n_iterations=5)
+        cold_s = time.perf_counter() - t0
+        warm_s = []
+        warm = None
+        for _ in range(2):
+            t1 = time.perf_counter()
+            warm = scheduler.run(n_iterations=5)
+            warm_s.append(time.perf_counter() - t1)
+        return scheduler, cold, cold_s, warm, min(warm_s)
+
+    sched_u, cold_u, cold_u_s, warm_u, warm_u_s = measure(False)
+    sched_c, cold_c, cold_c_s, warm_c, warm_c_s = measure(True)
+
+    # Exact equivalence: the cached trajectory IS the uncached one.
+    assert cold_c.total_migrations == cold_u.total_migrations
+    assert cold_c.final_cost == cold_u.final_cost
+    assert warm_c.total_migrations == warm_u.total_migrations
+    assert warm_c.final_cost == warm_u.final_cost
+
+    cache = sched_c.fastcost.round_cache()
+    converged_speedup = warm_u_s / warm_c_s
+    record = {
+        "name": "paper_canonical_cached_rounds",
+        "topology": config.topology,
+        "n_hosts": env_hosts(sched_c),
+        "n_vms": sched_c.allocation.n_vms,
+        "iterations": 5,
+        "migrations": cold_c.total_migrations,
+        "final_cost": cold_c.final_cost,
+        "cached_run_s": round(cold_c_s, 3),
+        "uncached_run_s": round(cold_u_s, 3),
+        "cached_converged_run_s": round(warm_c_s, 3),
+        "uncached_converged_run_s": round(warm_u_s, 3),
+        "speedup_converged": round(converged_speedup, 1),
+        "speedup_vs_recorded_run": round(
+            CACHED_RUN_BASELINE_S / cold_c_s, 2
+        ),
+        "cache_hit_ratio": round(cache.hit_ratio, 3),
+    }
+    _write_report(record)
+    emit(
+        f"[paper-scale] cached rounds: cold {cold_c_s:6.2f}s "
+        f"(uncached {cold_u_s:6.2f}s, recorded "
+        f"{CACHED_RUN_BASELINE_S:.3f}s)",
+        f"[paper-scale]   converged run {warm_c_s:6.3f}s vs uncached "
+        f"{warm_u_s:6.3f}s   speedup {converged_speedup:.1f}x   "
+        f"hit rate {cache.hit_ratio:.1%}",
+    )
+
+    assert converged_speedup >= CACHED_CONVERGED_FLOOR, (
+        f"warm round cache gives only {converged_speedup:.2f}x on the "
+        f"converged run; >= {CACHED_CONVERGED_FLOOR:.1f}x is required"
+    )
+    assert cold_c_s <= CACHED_RUN_BASELINE_S, (
+        f"cached cold run {cold_c_s:.3f}s regressed past the recorded "
+        f"pre-cache {CACHED_RUN_BASELINE_S:.3f}s"
+    )
+
+
+def env_hosts(scheduler) -> int:
+    """Host count of a scheduler's bound allocation."""
+    return scheduler.allocation.cluster.n_servers
 
 
 #: Acceptance floor for the batched GA: one generation of the population-

@@ -167,6 +167,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         epochs=args.epochs,
         iterations_per_epoch=args.iterations_per_epoch,
         seed=args.seed,
+        profile=args.profile,
     )
     env = result.environment
     print(f"topology: {env.topology.describe()}  policy: {scenario.config.policy}")
@@ -190,6 +191,11 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         f"wall clock: transitions {result.total_transition_s:.3f}s, "
         f"scheduling {result.total_schedule_s:.3f}s"
     )
+    if result.profile is not None:
+        print("scheduling phases (round-cache hit rates included):")
+        print(f"  {'transition':12s} {result.total_transition_s:8.3f}s")
+        for line in result.profile.lines(result.total_schedule_s):
+            print(f"  {line}")
     return 0
 
 
@@ -254,6 +260,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--iterations-per-epoch", type=int, default=None
     )
     scenario_parser.add_argument("--seed", type=int, default=None)
+    scenario_parser.add_argument(
+        "--profile", action="store_true",
+        help="print per-phase scheduling timings (transition / score / "
+        "wave-apply / re-mask) and round-cache hit rates",
+    )
     scenario_parser.set_defaults(func=_cmd_scenario)
 
     info_parser = sub.add_parser("info", help="version and paper-scale info")

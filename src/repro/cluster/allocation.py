@@ -264,18 +264,24 @@ class Allocation:
         planner (:func:`repro.core.migration.plan_wave`) that produces
         these batches.
         """
+        host_of = self._host_of
+        vms = self._vms
+        vms_on = self._vms_on
+        used_ram = self._used_ram
+        used_cpu = self._used_cpu
+        server = self._cluster.server
         moves = [
             (vm_id, target)
             for vm_id, target in moves
-            if self._host_of[vm_id] != target
+            if host_of[vm_id] != target
         ]
         for vm_id, target in moves:
-            vm = self._vms[vm_id]
-            cap = self._cluster.server(target).capacity
+            vm = vms[vm_id]
+            cap = server(target).capacity
             if (
-                cap.max_vms - len(self._vms_on[target]) < 1
-                or cap.ram_mb - self._used_ram[target] < vm.ram_mb
-                or cap.cpu - self._used_cpu[target] < vm.cpu
+                cap.max_vms - len(vms_on[target]) < 1
+                or cap.ram_mb - used_ram[target] < vm.ram_mb
+                or cap.cpu - used_cpu[target] < vm.cpu
             ):
                 raise CapacityError(
                     f"wave rejected: VM {vm_id} does not fit host {target}: "
@@ -284,15 +290,16 @@ class Allocation:
                     f"cpu={self.free_cpu(target)}"
                 )
         for vm_id, target in moves:
-            vm = self._vms[vm_id]
-            current = self._host_of[vm_id]
-            self._vms_on[current].discard(vm_id)
-            self._used_ram[current] -= vm.ram_mb
-            self._used_cpu[current] -= vm.cpu
-            self._host_of[vm_id] = target
-            self._vms_on[target].add(vm_id)
-            self._used_ram[target] += vm.ram_mb
-            self._used_cpu[target] += vm.cpu
+            vm = vms[vm_id]
+            ram, cpu = vm.ram_mb, vm.cpu
+            current = host_of[vm_id]
+            vms_on[current].discard(vm_id)
+            used_ram[current] -= ram
+            used_cpu[current] -= cpu
+            host_of[vm_id] = target
+            vms_on[target].add(vm_id)
+            used_ram[target] += ram
+            used_cpu[target] += cpu
         if moves:
             self._version += 1
 

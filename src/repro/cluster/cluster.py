@@ -58,7 +58,9 @@ class Cluster:
         The single source the vectorized feasibility checks (fast-cost
         engine, ``place_random``) build their mirrors from, so a new
         capacity dimension only needs wiring here.  Arrays are cached and
-        read-only; capacities are fixed after construction.
+        read-only for callers; :meth:`set_host_capacity` is the one
+        writer, patching them in place so every holder of a reference
+        (live views by design) sees a resize immediately.
         """
         if not hasattr(self, "_capacity_arrays"):
             n = len(self._servers)
@@ -78,6 +80,31 @@ class Cluster:
                 array.setflags(write=False)
             self._capacity_arrays = (slots, ram, cpu, nic)
         return self._capacity_arrays
+
+    def set_host_capacity(self, host: int, capacity: ServerCapacity) -> None:
+        """Resize one server in place and patch the cached capacity arrays.
+
+        The ROADMAP capacity-gap fix: per-host capacity changes (server
+        resize, heterogeneous upgrades, maintenance offlining via
+        ``max_vms=0``) no longer require rebuilding every consumer —
+        the cached arrays are shared views, so the fast-cost engine's
+        feasibility mirrors see the change without a rebuild.  The server
+        itself validates that current usage still fits.
+        """
+        if not 0 <= host < len(self._servers):
+            raise ValueError(f"host index {host} out of range")
+        self._servers[host].set_capacity(capacity)
+        if hasattr(self, "_capacity_arrays"):
+            slots, ram, cpu, nic = self._capacity_arrays
+            for array, value in (
+                (slots, capacity.max_vms),
+                (ram, capacity.ram_mb),
+                (cpu, capacity.cpu),
+                (nic, capacity.nic_bps),
+            ):
+                array.setflags(write=True)
+                array[host] = value
+                array.setflags(write=False)
 
     def servers(self) -> Iterator[Server]:
         """Iterate over all servers in host order."""

@@ -36,8 +36,10 @@ class ServerCapacity:
     nic_bps: float = 1e9
 
     def __post_init__(self) -> None:
-        if self.max_vms <= 0:
-            raise ValueError(f"max_vms must be positive, got {self.max_vms}")
+        # 0 slots is legal: a drained host held offline for maintenance
+        # (no VM may land on it) that still exists in the topology.
+        if self.max_vms < 0:
+            raise ValueError(f"max_vms must be >= 0, got {self.max_vms}")
         if self.ram_mb <= 0:
             raise ValueError(f"ram_mb must be positive, got {self.ram_mb}")
         if self.cpu <= 0:
@@ -67,6 +69,24 @@ class Server:
     def capacity(self) -> ServerCapacity:
         """Static capacity of this server."""
         return self._capacity
+
+    def set_capacity(self, capacity: ServerCapacity) -> None:
+        """Resize this server in place (maintenance, hardware upgrade).
+
+        The new capacity must cover whatever the server currently runs;
+        shrinking below usage would corrupt the admission accounting.
+        """
+        if (
+            len(self._vms) > capacity.max_vms
+            or self._used_ram > capacity.ram_mb
+            or self._used_cpu > capacity.cpu
+        ):
+            raise ValueError(
+                f"host {self._host} usage ({len(self._vms)} VMs, "
+                f"{self._used_ram}MiB, {self._used_cpu} cores) exceeds the "
+                f"requested capacity"
+            )
+        self._capacity = capacity
 
     @property
     def vm_ids(self) -> FrozenSet[int]:

@@ -26,7 +26,7 @@ two agree to within 1e-9 on randomized scenarios.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -514,6 +514,36 @@ def _repair_block(
 _CANDIDATE_CHUNK_ELEMS = 8_000_000
 
 
+class TouchedSet(NamedTuple):
+    """Compact dependency footprint of one engine state mutation.
+
+    Returned by the engine's mutating batch ops and consumed by the
+    persistent round cache (:mod:`repro.core.roundcache`):
+
+    ``hosts``
+        Hosts whose free slots / RAM / CPU / egress changed — candidate
+        *feasibility* on these hosts must be re-probed, but scored Lemma 3
+        rows stay valid (capacity never enters a delta).
+    ``owners``
+        Dense VM indices whose scored candidate rows went stale: the VMs
+        that moved (source + probing order change), every communication
+        peer of a mover (their Lemma 3 terms reference the mover's
+        placement), and both endpoints of every λ change.
+    ``structural``
+        The dense VM index itself was remapped (arrivals/departures);
+        owner-keyed caches must flush.
+    """
+
+    hosts: np.ndarray
+    owners: np.ndarray
+    structural: bool = False
+
+    @classmethod
+    def empty(cls, structural: bool = False) -> "TouchedSet":
+        empty = np.empty(0, dtype=np.int64)
+        return cls(hosts=empty, owners=empty.copy(), structural=structural)
+
+
 def owner_host_rate_table(
     owners: np.ndarray, hosts: np.ndarray, rates: np.ndarray, n_hosts: int
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -698,6 +728,8 @@ class FastCostEngine:
         self._slot_cap, self._ram_cap, self._cpu_cap, self._nic_cap = (
             allocation.cluster.capacity_arrays()
         )
+        # Persistent per-owner round-score cache (lazy; see round_cache()).
+        self._round_cache = None
         self.rebuild()
 
     # -- binding -----------------------------------------------------------
@@ -766,6 +798,62 @@ class FastCostEngine:
         self._index_pairs()
         self._recompute_cost_caches()
         self._mark_synced()
+        if self._round_cache is not None:
+            self._round_cache.flush()
+
+    # -- persistent round-score cache ----------------------------------------
+
+    #: Sentinel distinguishing "no cap requested" from "keep the current
+    #: cache whatever its cap" in :meth:`round_cache`.
+    _CACHE_CAP_UNSET = object()
+
+    def round_cache(self, max_candidates=_CACHE_CAP_UNSET):
+        """The engine's persistent per-owner round-score cache.
+
+        Created on first use for the given candidate cap and kept alive
+        across rounds, runs and epochs; every mutation that flows through
+        the engine's update path invalidates exactly the owners whose
+        dependency footprint it touched (see
+        :class:`repro.core.roundcache.RoundScoreCache`).  Requesting a
+        different ``max_candidates`` replaces the cache (candidate sets
+        depend on the cap); omit the argument to read the current cache
+        without risking that replacement (introspection, stats).
+        """
+        from repro.core.roundcache import RoundScoreCache
+
+        if max_candidates is FastCostEngine._CACHE_CAP_UNSET:
+            if self._round_cache is None:
+                self._round_cache = RoundScoreCache(self, None)
+            return self._round_cache
+        if (
+            self._round_cache is None
+            or self._round_cache.max_candidates != max_candidates
+        ):
+            self._round_cache = RoundScoreCache(self, max_candidates)
+        return self._round_cache
+
+    def _invalidate_owners(self, dense_owners: np.ndarray) -> None:
+        if self._round_cache is not None:
+            self._round_cache.invalidate_owners(dense_owners)
+
+    def _flush_round_cache(self) -> None:
+        if self._round_cache is not None:
+            self._round_cache.flush()
+
+    def _movers_footprint(self, movers: np.ndarray) -> np.ndarray:
+        """Dense owners whose scored rows a batch of moves makes stale:
+        the movers themselves plus every communication peer of a mover."""
+        snap = self._snap
+        counts = (snap.ptr[movers + 1] - snap.ptr[movers]).astype(np.int64)
+        ptr = np.zeros(len(movers) + 1, dtype=np.int64)
+        np.cumsum(counts, out=ptr[1:])
+        flat = np.repeat(snap.ptr[movers] - ptr[:-1], counts) + np.arange(
+            int(ptr[-1])
+        )
+        hit = np.zeros(snap.n_vms, dtype=bool)
+        hit[movers] = True
+        hit[snap.peer[flat]] = True
+        return np.nonzero(hit)[0]
 
     def _sync_allocation_mirrors(self) -> None:
         """Re-extract the VM → host map and capacity usage mirrors."""
@@ -954,6 +1042,11 @@ class FastCostEngine:
                 pair_v = np.concatenate([pair_v, hi[additions]])
                 pair_rate = np.concatenate([pair_rate, rates[additions]])
             self._set_pairs(pair_u, pair_v, pair_rate)
+        # Only the endpoints' scored rows reference the changed rates (an
+        # owner's Lemma 3 terms involve its own incident edges alone);
+        # other owners' CSR slices keep their content even when a
+        # structural delta rebuilds the arrays.
+        self._invalidate_owners(np.unique(np.concatenate([lo, hi])))
         self._advance_sync(traffic=True)
         return n_applied
 
@@ -1050,7 +1143,7 @@ class FastCostEngine:
         self._index_pairs()
         self._recompute_cost_caches()
 
-    def add_vms(self, vms: Sequence) -> None:
+    def add_vms(self, vms: Sequence) -> TouchedSet:
         """Mirror one batch of VM arrivals already applied to the allocation.
 
         Call :meth:`Allocation.add_vms` first (the allocation enforces
@@ -1061,7 +1154,7 @@ class FastCostEngine:
         """
         vms = list(vms)
         if not vms:
-            return
+            return TouchedSet.empty()
         snap = self._snap
         add_ids = np.array([vm.vm_id for vm in vms], dtype=np.int64)
         order = np.argsort(add_ids, kind="stable")
@@ -1113,8 +1206,11 @@ class FastCostEngine:
         )
         self._index_pairs()
         self._advance_sync(allocation=True)
+        # Arrivals remap the dense VM index; owner-keyed caches flush.
+        self._flush_round_cache()
+        return TouchedSet.empty(structural=True)
 
-    def remove_vms(self, vm_ids: Sequence[int]) -> None:
+    def remove_vms(self, vm_ids: Sequence[int]) -> TouchedSet:
         """Mirror one batch of VM departures already applied to the allocation.
 
         Drops the VMs from the dense index, removes every pair touching
@@ -1124,7 +1220,7 @@ class FastCostEngine:
         """
         ids = np.unique(np.asarray(list(vm_ids), dtype=np.int64))
         if ids.size == 0:
-            return
+            return TouchedSet.empty()
         snap = self._snap
         dense = self.dense_indices(ids.tolist())  # KeyError on unknowns
         old_n = snap.n_vms
@@ -1157,6 +1253,9 @@ class FastCostEngine:
         )
         self._set_pairs(pair_u, pair_v, pair_rate)
         self._advance_sync(allocation=True)
+        # Departures remap the dense VM index; owner-keyed caches flush.
+        self._flush_round_cache()
+        return TouchedSet.empty(structural=True)
 
     # -- CostModel-compatible queries --------------------------------------
 
@@ -1359,11 +1458,30 @@ class FastCostEngine:
     # -- wave-batched round API ---------------------------------------------
 
     def dense_indices(self, vm_ids: Sequence[int]) -> np.ndarray:
-        """Dense snapshot indices of the given VM ids (KeyError on misses)."""
-        index = self._snap.vm_index
-        return np.fromiter(
-            (index[int(v)] for v in vm_ids), dtype=np.int64, count=len(vm_ids)
-        )
+        """Dense snapshot indices of the given VM ids (KeyError on misses).
+
+        Bulk queries run as one binary search over the sorted id vector;
+        small ones walk the dict index.
+        """
+        if len(vm_ids) < 64:
+            index = self._snap.vm_index
+            return np.fromiter(
+                (index[int(v)] for v in vm_ids),
+                dtype=np.int64,
+                count=len(vm_ids),
+            )
+        ids = np.asarray(vm_ids, dtype=np.int64)
+        table = self._snap.vm_ids
+        if len(table) == 0:
+            raise KeyError("the engine's snapshot holds no VMs")
+        pos = np.searchsorted(table, ids).clip(max=len(table) - 1)
+        bad = table[pos] != ids
+        if np.any(bad):
+            missing = int(ids[np.nonzero(bad)[0][0]])
+            raise KeyError(
+                f"VM {missing} is not in the engine's snapshot; call rebuild()"
+            )
+        return pos
 
     def highest_levels(self) -> np.ndarray:
         """Per-dense-VM highest communication level, one vectorized pass.
@@ -1472,8 +1590,9 @@ class FastCostEngine:
             source[owner_e], peer_host, self._rack_of, self._pod_of
         )
         # §V-B5 peer ranking: level desc, rate desc, VM id asc (CSR slices
-        # are ascending by peer id, and lexsort is stable).
-        order = np.lexsort((-rate, -before, owner_e))
+        # are ascending by peer id, and lexsort is stable).  (owner, level)
+        # pack into one integer key, halving the lexsort passes.
+        order = np.lexsort((-rate, owner_e * 4 + (3 - before)))
         owner_e = owner_e[order]
         peer_host = peer_host[order]
         rate = rate[order]
@@ -1485,58 +1604,73 @@ class FastCostEngine:
             owner_e, weights=rate * self._path_weight[before], minlength=n
         )
 
-        # Candidate slots with duplicates: each ranked peer contributes its
-        # own server then its whole (contiguous) rack.  The composite
-        # (owner, host, rank) sort key is built directly by broadcasting —
-        # the slot grid itself is never materialized.
+        # Candidate *blocks*: each ranked peer contributes its own server
+        # then its whole (contiguous) rack, so §V-B5's per-host dedup
+        # collapses to rack granularity — a later peer in an already-
+        # probed rack adds nothing (its server already sits inside the
+        # earlier block).  One block per (owner, earliest-ranked peer
+        # rack) is enumerated and rows are written directly in probing
+        # order: dedup sorts run over the ~|E| edges, never over the
+        # ~|E|·rack row grid.
         per = self._hosts_per_rack
-        width = per + 1
-        rank_e = np.arange(total_e) - cum[owner_e]
-        rank_span = int(deg.max()) * width
-        owner_base = owner_e * (n_hosts * rank_span) + rank_e * width
-        rack_base = self._rack_of[peer_host] * per
-        key = np.empty((total_e, width), dtype=np.int64)
-        key[:, 0] = owner_base + peer_host * rank_span
-        col = np.arange(per, dtype=np.int64)
-        key[:, 1:] = (owner_base + rack_base * rank_span)[:, None] + (
-            col * rank_span + col + 1
-        )
-        # Drop candidates equal to the owner's source host: column 0 when
-        # the peer is co-located, the rack column when the source sits in
-        # the peer's rack.
-        keep = np.ones((total_e, width), dtype=bool)
-        src_e = source[owner_e]
-        keep[:, 0] = peer_host != src_e
-        src_col = src_e - rack_base
-        in_rack = np.nonzero((src_col >= 0) & (src_col < per))[0]
-        keep[in_rack, src_col[in_rack] + 1] = False
-        # Dedup per (owner, host) keeping the earliest probing rank: one
-        # composite-key sort, then run starts.
-        key = key.ravel()[keep.ravel()]
-        key.sort(kind="stable")
-        group = key // rank_span
-        first = np.ones(len(key), dtype=bool)
-        first[1:] = group[1:] != group[:-1]
-        kept = key[first]
-        # Re-sort candidates into per-owner probing order (and decode).
-        owner_c = kept // (rank_span * n_hosts)
-        rem = kept - owner_c * (rank_span * n_hosts)
-        host_c = rem // rank_span
-        rank_c = rem % rank_span
-        key2 = (owner_c * rank_span + rank_c) * n_hosts + host_c
-        key2.sort(kind="stable")
-        host_c = (key2 % n_hosts).astype(np.int32)
-        owner_c = key2 // (rank_span * n_hosts)
-        if max_candidates:
-            counts = np.bincount(owner_c, minlength=n)
-            ptr_all = np.zeros(n + 1, dtype=np.int64)
-            np.cumsum(counts, out=ptr_all[1:])
-            position = np.arange(len(owner_c)) - ptr_all[owner_c]
-            trim = position < max_candidates
-            owner_c, host_c = owner_c[trim], host_c[trim]
+        rack_e = self._rack_of[peer_host]
+        n_racks = int(self._rack_of.max()) + 1
+        n_pods = int(self._pod_of.max()) + 1
+        key = owner_e * np.int64(n_racks) + rack_e
+        korder = np.argsort(key, kind="stable")
+        ks = key[korder]
+        kfirst = np.ones(len(ks), dtype=bool)
+        kfirst[1:] = ks[1:] != ks[:-1]
+        lead_key = korder[kfirst]  # leader edge per block, key order
+        bperm = np.argsort(lead_key)  # key order -> probing order
+        leaders = lead_key[bperm]
+        m = len(leaders)
+        inv_b = np.empty(m, dtype=np.int64)
+        inv_b[bperm] = np.arange(m, dtype=np.int64)
+        block_key_of_edge = np.empty(total_e, dtype=np.int64)
+        block_key_of_edge[korder] = np.cumsum(kfirst) - 1
+        block_of_edge = inv_b[block_key_of_edge]
+
+        b_owner = owner_e[leaders]
+        b_phost = peer_host[leaders]
+        b_rack_base = rack_e[leaders] * per
+        b_src = source[b_owner]
+        src_in_rack = (b_src >= b_rack_base) & (b_src < b_rack_base + per)
+        has_front = b_phost != b_src
+        # Block layout: the peer's server first, then its rack ascending —
+        # minus the peer's own column (listed up front) and the owner's
+        # source host.
+        grid = np.empty((m, per + 1), dtype=np.int64)
+        grid[:, 0] = b_phost
+        grid[:, 1:] = b_rack_base[:, None] + np.arange(per, dtype=np.int64)
+        keep = np.ones((m, per + 1), dtype=bool)
+        keep[:, 0] = has_front
+        rows_m = np.arange(m)
+        keep[rows_m, b_phost - b_rack_base + 1] = False
+        sir = np.nonzero(src_in_rack & has_front)[0]
+        keep[sir, b_src[sir] - b_rack_base[sir] + 1] = False
+        block_len = keep.sum(axis=1).astype(np.int64)
+        rows_flat = np.nonzero(keep.ravel())[0]
+        host_c = grid.ravel()[rows_flat].astype(np.int32)
+        block_of_row = rows_flat // (per + 1)
+        owner_c = b_owner[block_of_row]
+
+        # Untrimmed segment offsets (the onto-rate fix-ups below need each
+        # block's row position inside its owner's segment).
         counts = np.bincount(owner_c, minlength=n)
         ptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(counts, out=ptr[1:])
+        block_start = np.cumsum(block_len) - block_len
+        block_pos_in_seg = block_start - ptr[b_owner]
+        if max_candidates:
+            position = np.arange(len(owner_c)) - ptr[owner_c]
+            trim = position < max_candidates
+            owner_c = owner_c[trim]
+            host_c = host_c[trim]
+            block_of_row = block_of_row[trim]
+            counts = np.bincount(owner_c, minlength=n)
+            ptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=ptr[1:])
         if len(owner_c) == 0:
             return empty
 
@@ -1545,22 +1679,17 @@ class FastCostEngine:
         #   Σ_p λ_p·w[l(x, p)] = w3·R_total + (w2−w3)·R_pod(pod_x)
         #                      + (w1−w2)·R_rack(rack_x) + (w0−w1)·R_host(x),
         # where R_* are the owner's peer-rate aggregates per pod/rack/host.
-        # Owners are processed in chunks against dense (chunk × groups)
-        # scatter maps, so each candidate row costs O(1) gathers.
+        # Every host of a block shares its pod and rack, so the first
+        # three terms are computed once per *block* (chunked dense scatter
+        # maps bound memory) and broadcast to rows; the R_host term is
+        # zero except on peer-hosting servers, patched per (owner, peer
+        # host) below with the identical left-to-right float chain.
         n_pairs = len(owner_c)
-        delta = np.empty(n_pairs)
         pw = self._path_weight
-        n_racks = int(self._rack_of.max()) + 1
-        n_pods = int(self._pod_of.max()) + 1
         w3 = pw[3] if len(pw) > 3 else pw[-1]
         w2d, w1d, w0d = pw[2] - w3, pw[1] - pw[2], pw[0] - pw[1]
-        peer_rack = self._rack_of[peer_host]
         peer_pod = self._pod_of[peer_host]
-
-        hkeys, hsums = owner_host_rate_table(owner_e, peer_host, rate, n_hosts)
-        onto = owner_host_rate_lookup(hkeys, hsums, owner_c, host_c, n_hosts)
-
-        # Rack/pod aggregates via chunked dense maps (small group spaces).
+        base = np.empty(m)
         chunk = max(1, _CANDIDATE_CHUNK_ELEMS // max(1, n_racks))
         for o_lo in range(0, n, chunk):
             o_hi = min(n, o_lo + chunk)
@@ -1569,7 +1698,7 @@ class FastCostEngine:
             local_owner = owner_e[e_lo:e_hi] - o_lo
             e_rate = rate[e_lo:e_hi]
             r_rack = np.bincount(
-                local_owner * n_racks + peer_rack[e_lo:e_hi],
+                local_owner * n_racks + rack_e[e_lo:e_hi],
                 weights=e_rate,
                 minlength=width * n_racks,
             )
@@ -1578,16 +1707,56 @@ class FastCostEngine:
                 weights=e_rate,
                 minlength=width * n_pods,
             )
-            p_lo, p_hi = ptr[o_lo], ptr[o_hi]
-            row_owner = owner_c[p_lo:p_hi] - o_lo
-            row_host = host_c[p_lo:p_hi]
-            after_sum = (
-                w3 * total_rate[owner_c[p_lo:p_hi]]
-                + w2d * r_pod[row_owner * n_pods + self._pod_of[row_host]]
-                + w1d * r_rack[row_owner * n_racks + self._rack_of[row_host]]
-                + w0d * onto[p_lo:p_hi]
+            b_lo, b_hi = np.searchsorted(b_owner, [o_lo, o_hi])
+            bo = b_owner[b_lo:b_hi]
+            lo_local = bo - o_lo
+            b_rack = rack_e[leaders[b_lo:b_hi]]
+            b_pod = self._pod_of[b_rack_base[b_lo:b_hi]]
+            base[b_lo:b_hi] = (
+                w3 * total_rate[bo]
+                + w2d * r_pod[lo_local * n_pods + b_pod]
+                + w1d * r_rack[lo_local * n_racks + b_rack]
             )
-            delta[p_lo:p_hi] = local_cost[owner_c[p_lo:p_hi]] - after_sum
+        delta = local_cost[owner_c] - base[block_of_row]
+        onto = np.zeros(n_pairs)
+
+        # (owner, peer host) fix-ups: locate each peer-hosting row inside
+        # its block arithmetically, sum co-hosted peers' rates with the
+        # same sorted-key reduction as before, and rewrite those rows with
+        # the full four-term chain so values stay bit-compatible with the
+        # row-expanded formula.
+        hkey = owner_e * np.int64(n_hosts) + peer_host
+        horder = np.argsort(hkey, kind="stable")
+        hk = hkey[horder]
+        hfirst = np.ones(len(hk), dtype=bool)
+        hfirst[1:] = hk[1:] != hk[:-1]
+        hsums = np.add.reduceat(rate[horder], np.flatnonzero(hfirst))
+        rep = horder[hfirst]  # earliest-rank edge per (owner, host)
+        rb = block_of_edge[rep]
+        ph = peer_host[rep]
+        base_rack = b_rack_base[rb]
+        bph = b_phost[rb]
+        bsrc = b_src[rb]
+        hf = has_front[rb]
+        is_front = ph == bph
+        pos = (
+            hf.astype(np.int64)
+            + (ph - base_rack)
+            - (bph < ph)
+            - (src_in_rack[rb] & (bsrc < ph) & (bsrc != bph))
+        )
+        pos[is_front] = 0
+        valid = ph != bsrc  # rows on the owner's source host don't exist
+        row_pos = block_pos_in_seg[rb] + pos
+        if max_candidates:
+            valid &= row_pos < max_candidates
+        target_rows = ptr[owner_e[rep]] + row_pos
+        target_rows = target_rows[valid]
+        onto_v = hsums[valid]
+        onto[target_rows] = onto_v
+        delta[target_rows] = local_cost[owner_e[rep][valid]] - (
+            base[rb[valid]] + w0d * onto_v
+        )
         return CandidateBatch(
             vms=vms,
             source=source,
@@ -1634,6 +1803,129 @@ class FastCostEngine:
             ) - batch.onto_rate
             ok &= load_after <= budget
         return ok
+
+    def uniform_host_ok(
+        self, hosts: Optional[np.ndarray] = None
+    ) -> Optional[np.ndarray]:
+        """Per-host capacity feasibility when every VM is identical.
+
+        With a uniform VM population, slot/RAM/CPU feasibility of *any*
+        move collapses to one boolean per host; the cached round loop
+        maintains this vector incrementally (only a wave's source/target
+        hosts can flip) instead of re-masking every candidate row per
+        wave.  Returns ``None`` when the population is not uniform (or
+        empty) — callers must then fall back to per-row probing.  Pass
+        ``hosts`` to evaluate a subset only.
+        """
+        if not self._uniform_vm:
+            return None
+        if hosts is None:
+            slot_cap, ram_cap = self._slot_cap, self._ram_cap
+            cpu_cap = self._cpu_cap
+            slot_used, ram_used, cpu_used = (
+                self._slot_used,
+                self._ram_used,
+                self._cpu_used,
+            )
+        else:
+            hosts = np.asarray(hosts, dtype=np.int64)
+            slot_cap, ram_cap = self._slot_cap[hosts], self._ram_cap[hosts]
+            cpu_cap = self._cpu_cap[hosts]
+            slot_used, ram_used, cpu_used = (
+                self._slot_used[hosts],
+                self._ram_used[hosts],
+                self._cpu_used[hosts],
+            )
+        return (
+            (slot_cap - slot_used >= 1)
+            & (ram_cap - ram_used >= self._vm_ram[0])
+            & (cpu_cap - cpu_used >= self._vm_cpu[0])
+        )
+
+    def candidate_feasible_rows(
+        self,
+        batch: CandidateBatch,
+        rows: np.ndarray,
+        row_owner: np.ndarray,
+        bandwidth_threshold: Optional[float] = None,
+    ) -> np.ndarray:
+        """:meth:`candidate_feasible` restricted to a row subset.
+
+        ``row_owner`` holds each row's owner position in the batch (the
+        callers' segment expansions carry it along).  Exactly the same
+        float expressions as the full mask, so a partial re-probe agrees
+        with a full one row for row.
+        """
+        hosts = batch.host[rows]
+        if self._uniform_vm:
+            ok = (
+                (self._slot_cap[hosts] - self._slot_used[hosts] >= 1)
+                & (self._ram_cap[hosts] - self._ram_used[hosts] >= self._vm_ram[0])
+                & (self._cpu_cap[hosts] - self._cpu_used[hosts] >= self._vm_cpu[0])
+            )
+        else:
+            dense = batch.vms[row_owner]
+            ok = (
+                (self._slot_cap[hosts] - self._slot_used[hosts] >= 1)
+                & (self._ram_cap[hosts] - self._ram_used[hosts] >= self._vm_ram[dense])
+                & (self._cpu_cap[hosts] - self._cpu_used[hosts] >= self._vm_cpu[dense])
+            )
+        if bandwidth_threshold is not None:
+            budget = bandwidth_threshold * self._nic_cap[hosts]
+            onto = batch.onto_rate[rows]
+            load_after = (
+                self._egress[hosts]
+                + (batch.total_rate[row_owner] - onto)
+                - onto
+            )
+            ok &= load_after <= budget
+        return ok
+
+    def set_host_capacity(
+        self,
+        host: int,
+        max_vms: Optional[int] = None,
+        nic_bps: Optional[float] = None,
+        ram_mb: Optional[int] = None,
+        cpu: Optional[float] = None,
+    ) -> None:
+        """Resize one host's capacity in place — no engine rebuild.
+
+        Patches the cluster's servers and shared capacity arrays (the
+        engine's ``_slot_cap``/``_nic_cap`` mirrors alias them, so every
+        feasibility probe sees the new values immediately); parameters
+        left ``None`` keep their current value.  Rejects a resize below
+        the host's *current* usage — drain the host first
+        (:meth:`SCOREScheduler.drain_hosts`).  Scored Lemma 3 rows never
+        reference capacity, so the round cache stays valid; feasibility
+        is re-probed from the patched mirrors at the next round.
+        """
+        host = int(host)
+        current = self._allocation.cluster.server(host).capacity
+        new_slots = current.max_vms if max_vms is None else int(max_vms)
+        new_nic = current.nic_bps if nic_bps is None else float(nic_bps)
+        new_ram = current.ram_mb if ram_mb is None else int(ram_mb)
+        new_cpu = current.cpu if cpu is None else float(cpu)
+        if new_slots < int(self._slot_used[host]):
+            raise ValueError(
+                f"host {host} runs {int(self._slot_used[host])} VMs; "
+                f"cannot shrink to {new_slots} slots (drain it first)"
+            )
+        if new_ram < int(self._ram_used[host]) or new_cpu < float(
+            self._cpu_used[host]
+        ):
+            raise ValueError(
+                f"host {host} usage exceeds the requested RAM/CPU capacity "
+                f"(drain it first)"
+            )
+        from repro.cluster.server import ServerCapacity
+
+        self._allocation.cluster.set_host_capacity(
+            host,
+            ServerCapacity(
+                max_vms=new_slots, ram_mb=new_ram, cpu=new_cpu, nic_bps=new_nic
+            ),
+        )
 
     def best_candidates(
         self,
@@ -1725,16 +2017,19 @@ class FastCostEngine:
 
     def apply_moves(
         self, dense_vms: np.ndarray, targets: np.ndarray
-    ) -> np.ndarray:
+    ) -> Tuple[np.ndarray, TouchedSet]:
         """Batched cache update for one interference-free wave of moves.
 
         Requires the wave contract of :func:`repro.core.migration.plan_wave`
         — pairwise-disjoint source/target hosts and no mover being another
         mover's communication peer — under which every move's Lemma 3
         terms are independent and the wave equals applying the moves one
-        by one in any order.  Returns the per-move applied deltas.  The
-        bound allocation must be updated separately (callers use
-        ``Allocation.migrate_many``).
+        by one in any order.  Returns ``(deltas, touched)``: the per-move
+        applied deltas plus the wave's :class:`TouchedSet` (hosts whose
+        slots/egress changed, owners whose scored rows went stale); the
+        engine's round cache is invalidated with the same set before
+        returning.  The bound allocation must be updated separately
+        (callers use ``Allocation.migrate_many``).
         """
         snap = self._snap
         movers = np.asarray(dense_vms, dtype=np.int64)
@@ -1789,10 +2084,18 @@ class FastCostEngine:
         self._ram_used[targets] += self._vm_ram[movers]
         self._cpu_used[sources] -= self._vm_cpu[movers]
         self._cpu_used[targets] += self._vm_cpu[movers]
+        host_hit = np.zeros(len(self._slot_cap), dtype=bool)
+        host_hit[sources] = True
+        host_hit[targets] = True
+        touched = TouchedSet(
+            hosts=np.nonzero(host_hit)[0],
+            owners=self._movers_footprint(movers),
+        )
         if n_moves:
+            self._invalidate_owners(touched.owners)
             # Paired with the caller's single Allocation.migrate_many bump.
             self._advance_sync(allocation=True)
-        return deltas
+        return deltas, touched
 
     def apply_migration(self, vm_u: int, target_host: int) -> float:
         """Update every cache for ``vm_u`` moving to ``target_host``.
@@ -1850,6 +2153,9 @@ class FastCostEngine:
         self._ram_used[target] += self._vm_ram[dense]
         self._cpu_used[source] -= self._vm_cpu[dense]
         self._cpu_used[target] += self._vm_cpu[dense]
+        self._invalidate_owners(
+            self._movers_footprint(np.array([dense], dtype=np.int64))
+        )
         # Paired with the caller's single Allocation.migrate bump.
         self._advance_sync(allocation=True)
         return delta

@@ -14,8 +14,7 @@ When a VM holds the token, its hypervisor:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -122,13 +121,16 @@ def plan_wave(
     return accepted
 
 
-@dataclass(frozen=True)
-class MigrationDecision:
+class MigrationDecision(NamedTuple):
     """Outcome of one token-hold decision.
 
     ``delta`` is the network-wide cost reduction of the chosen (or best
     rejected) move; ``migrated`` records whether the move was performed;
-    ``reason`` explains why not, when it wasn't.
+    ``reason`` explains why not, when it wasn't.  A ``NamedTuple`` rather
+    than a dataclass: token rounds mint one decision per hold (tens of
+    thousands per paper-scale iteration), and tuple construction is ~2.5×
+    cheaper than a frozen dataclass while staying immutable and
+    field-compatible.
     """
 
     vm_id: int

@@ -1,0 +1,337 @@
+"""Persistent per-owner round-score cache (dirty-owner invalidation).
+
+S-CORE's token protocol is local by design: a hold's decision depends
+only on the holding VM's peers, its source host and its candidate
+targets (Algorithm 1 / Lemma 3).  The wave-batched round engine
+(:mod:`repro.core.rounds`) therefore does not need to re-score every
+owner every round — a scored candidate row stays exact until something
+in its *dependency footprint* changes:
+
+* the owner itself migrates (its source host and probing order change),
+* one of its communication peers migrates (every Lemma 3 term references
+  peer placement, and the candidate set is built from peer racks),
+* a λ on one of its incident pairs changes (rates weight every term),
+* the dense VM index is remapped by churn (arrivals/departures).
+
+Host-side state — free slots, RAM, CPU, egress — is deliberately *not*
+part of the scored footprint: capacity never enters a Lemma 3 delta, and
+feasibility is re-probed from the engine's live mirrors at every use.
+
+:class:`RoundScoreCache` keeps one scored candidate CSR over the whole
+VM population, owned by the :class:`~repro.core.fastcost.FastCostEngine`
+and invalidated through the engine's mutation paths
+(``apply_moves``/``apply_migration`` via each move's
+:class:`~repro.core.fastcost.TouchedSet`, ``apply_traffic_delta`` for λ
+changes, ``add_vms``/``remove_vms`` flush on dense-index remaps).  At
+every round start :meth:`refresh` re-scores *only the dirty owners* —
+one ``candidate_batch`` call over the stale subset — and splices the
+fresh segments into the cached CSR.  Because a batched score is
+computed per owner from that owner's own edges alone, the spliced result
+is bit-for-bit the batch a full re-score would produce, which is what
+lets the cached round trajectory equal the uncached one exactly
+(``tests/test_round_cache.py`` pins this, and ``docs/engine.md``
+documents the invalidation rules).
+
+The cache survives across rounds, runs and epochs: late convergence
+iterations (few migrations, mostly-clean owners) and steady-state
+scenario epochs degrade into near-no-op sparse re-scores.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.fastcost import CandidateBatch, FastCostEngine, TouchedSet
+
+
+def segment_rows(ptr: np.ndarray, owners: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """(flat row indices, segment ptr) of the given owners' CSR segments.
+
+    The standard expansion: ``rows`` walks each owner's ``ptr[i]:ptr[i+1]``
+    slice in order, ``seg_ptr`` delimits them in the output.
+    """
+    owners = np.asarray(owners, dtype=np.int64)
+    counts = (ptr[owners + 1] - ptr[owners]).astype(np.int64)
+    seg_ptr = np.zeros(len(owners) + 1, dtype=np.int64)
+    np.cumsum(counts, out=seg_ptr[1:])
+    rows = np.repeat(ptr[owners] - seg_ptr[:-1], counts) + np.arange(
+        int(seg_ptr[-1])
+    )
+    return rows, seg_ptr
+
+
+class DecisionState:
+    """Per-owner decisions carried *across* rounds and epochs.
+
+    The cached wave loop maintains, for every owner: its chosen row and
+    best gain, the live exact-tie pool, the shadow index of blocked rows
+    that could matter if their host frees, and the per-host feasibility
+    vector.  ``stale_decision`` is the owner-granular invalidation mark:
+    it is set exactly when something that could change the owner's
+    carried decision happened while the owner was not being maintained —
+    a tie row's host filled after the owner settled, or a host holding a
+    qualifying shadow row freed.  The next round start re-evaluates
+    marked and re-scored owners and keeps everything else, which turns a
+    mostly-converged round into a sparse re-score instead of a full
+    O(rows) evaluation.
+    """
+
+    __slots__ = (
+        "choice",
+        "best",
+        "pool_rows",
+        "pool_owner",
+        "pool_hosts",
+        "pool_hkeys",
+        "shadow",
+        "shadow_hosts",
+        "in_shadow",
+        "host_ok",
+        "stale_decision",
+        "row_owner",
+        "owner_pods",
+    )
+
+    def __init__(self, n: int, n_hosts: int) -> None:
+        self.choice = np.full(n, -1, dtype=np.int64)
+        self.best = np.full(n, -np.inf)
+        self.pool_rows = np.empty(0, dtype=np.int64)
+        self.pool_owner = np.empty(0, dtype=np.int64)
+        #: Host of each pool row at insertion time (survives in-place
+        #: re-scores, so deletions can always reconstruct their keys).
+        self.pool_hosts = np.empty(0, dtype=np.int64)
+        #: The host-keyed pool order (``host << 40 | row``), or None when
+        #: a splice renumbered rows and the index must be rebuilt.
+        self.pool_hkeys: Optional[np.ndarray] = None
+        self.shadow = np.empty(0, dtype=np.int64)
+        self.shadow_hosts = np.empty(0, dtype=np.int64)
+        self.in_shadow: Optional[np.ndarray] = None
+        self.host_ok: Optional[np.ndarray] = None
+        self.stale_decision = np.zeros(n, dtype=bool)
+        self.row_owner: Optional[np.ndarray] = None
+        self.owner_pods: Optional[np.ndarray] = None
+
+    def remap_rows(
+        self,
+        old_ptr: np.ndarray,
+        new_ptr: np.ndarray,
+        dirty_mask: np.ndarray,
+        n_pairs: int,
+    ) -> None:
+        """Re-key the carried row ids after a refresh splice.
+
+        Clean owners keep their within-segment offsets, so their rows
+        shift by the per-owner segment displacement; dirty owners' rows
+        are dropped (they are re-evaluated from the fresh scores).
+        """
+        shift = new_ptr[:-1] - old_ptr[:-1]
+        keep = ~dirty_mask[self.pool_owner]
+        self.pool_rows = self.pool_rows[keep] + shift[self.pool_owner[keep]]
+        self.pool_hosts = self.pool_hosts[keep]
+        self.pool_owner = self.pool_owner[keep]
+        self.pool_hkeys = None  # rows renumbered; rebuilt on demand
+        if self.shadow.size:
+            shadow_owner = (
+                np.searchsorted(old_ptr, self.shadow, side="right") - 1
+            )
+            keep = ~dirty_mask[shadow_owner]
+            self.shadow = self.shadow[keep] + shift[shadow_owner[keep]]
+            self.shadow_hosts = self.shadow_hosts[keep]
+        self.in_shadow = np.zeros(n_pairs, dtype=bool)
+        self.in_shadow[self.shadow] = True
+        self.row_owner = None  # rebuilt from the new CSR on demand
+
+
+class RoundScoreCache:
+    """One scored candidate CSR over the full population, owner-invalidated.
+
+    Owned by a :class:`FastCostEngine` (``engine.round_cache()``); the
+    engine's mutating ops call :meth:`invalidate_owners`/:meth:`flush`,
+    and the cached round loop calls :meth:`refresh` once per round.
+    ``decision_state`` additionally carries the loop's per-owner
+    decisions across rounds (see :class:`DecisionState`).
+    """
+
+    def __init__(
+        self, engine: FastCostEngine, max_candidates: Optional[int]
+    ) -> None:
+        self._engine = engine
+        self.max_candidates = max_candidates
+        self._valid: Optional[np.ndarray] = None
+        # Scored CSR over the dense VM index (owner i == dense VM i).
+        self._ptr: Optional[np.ndarray] = None
+        self._host: Optional[np.ndarray] = None
+        self._delta: Optional[np.ndarray] = None
+        self._onto: Optional[np.ndarray] = None
+        self._source: Optional[np.ndarray] = None
+        self._degree: Optional[np.ndarray] = None
+        self._total_rate: Optional[np.ndarray] = None
+        #: Cross-round decision carry (None until the cached loop builds
+        #: it, and whenever a full re-score drops it).
+        self.decision_state: Optional[DecisionState] = None
+        # Hit-rate accounting (read by --profile and the bench suite).
+        self.refreshes = 0
+        self.owners_seen = 0
+        self.owners_rescored = 0
+
+    # -- invalidation --------------------------------------------------------
+
+    def flush(self) -> None:
+        """Drop everything (dense-index remap, rebuild, rebinding)."""
+        self._valid = None
+        self.decision_state = None
+
+    def invalidate_owners(self, dense_owners: np.ndarray) -> None:
+        """Mark the given owners' scored rows stale."""
+        if self._valid is not None:
+            self._valid[dense_owners] = False
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of owner evaluations answered from cache so far."""
+        if self.owners_seen == 0:
+            return 0.0
+        return 1.0 - self.owners_rescored / self.owners_seen
+
+    # -- refresh -------------------------------------------------------------
+
+    def refresh(self) -> Tuple[CandidateBatch, np.ndarray]:
+        """Re-score the dirty owners and return the full-population batch.
+
+        Returns ``(batch, dirty)``: the batch's arrays are the cache's
+        own (zero copy), with ``vms[i] == i`` over the dense index, and
+        ``dirty`` the owners that were re-scored (the loop re-evaluates
+        exactly those).  A carried :class:`DecisionState` is row-remapped
+        across a splice and dropped on a full re-score.  The round
+        engine may correct rows of owners whose peers move mid-round in
+        place: those owners are invalidated by the very ``apply_moves``
+        that moved the peers, so a mutated row is always re-scored
+        before its next round.
+        """
+        engine = self._engine
+        n = engine.snapshot.n_vms
+        self.refreshes += 1
+        self.owners_seen += n
+        if self._valid is None or len(self._valid) != n:
+            self._adopt(
+                engine.candidate_batch(
+                    np.arange(n, dtype=np.int64), self.max_candidates
+                )
+            )
+            self.decision_state = None
+            self.owners_rescored += n
+            return self._as_batch(), np.arange(n, dtype=np.int64)
+        dirty = np.nonzero(~self._valid)[0]
+        if dirty.size:
+            fresh = engine.candidate_batch(dirty, self.max_candidates)
+            if dirty.size == n:
+                self._adopt(fresh)
+                self.decision_state = None
+            else:
+                new_counts = fresh.ptr[1:] - fresh.ptr[:-1]
+                old_counts = self._ptr[dirty + 1] - self._ptr[dirty]
+                state = self.decision_state
+                if np.array_equal(new_counts, old_counts):
+                    # Candidate-set sizes unchanged (rate-only deltas,
+                    # rack-local moves): scatter the fresh scores into
+                    # the existing segments — no row renumbering, so
+                    # carried row ids stay valid as-is.
+                    rows, _ = segment_rows(self._ptr, dirty)
+                    self._host[rows] = fresh.host
+                    self._delta[rows] = fresh.delta
+                    self._onto[rows] = fresh.onto_rate
+                    self._source[dirty] = fresh.source
+                    self._degree[dirty] = fresh.degree
+                    self._total_rate[dirty] = fresh.total_rate
+                else:
+                    old_ptr = self._ptr
+                    self._splice(dirty, fresh)
+                    if state is not None:
+                        dirty_mask = np.zeros(n, dtype=bool)
+                        dirty_mask[dirty] = True
+                        state.remap_rows(
+                            old_ptr, self._ptr, dirty_mask, len(self._host)
+                        )
+                if state is not None and state.owner_pods is not None:
+                    if fresh.n_pairs:
+                        n_pods = state.owner_pods.shape[1]
+                        hits = np.bincount(
+                            fresh.owner * n_pods
+                            + engine._pod_of[fresh.host],
+                            minlength=len(dirty) * n_pods,
+                        ).reshape(len(dirty), n_pods)
+                        state.owner_pods[dirty] = hits > 0
+                    else:
+                        state.owner_pods[dirty] = False
+            self._valid[dirty] = True
+            self.owners_rescored += int(dirty.size)
+        return self._as_batch(), dirty
+
+    # -- internals -----------------------------------------------------------
+
+    def _as_batch(self) -> CandidateBatch:
+        n = len(self._degree)
+        return CandidateBatch(
+            vms=np.arange(n, dtype=np.int64),
+            source=self._source,
+            degree=self._degree,
+            total_rate=self._total_rate,
+            ptr=self._ptr,
+            owner=None,
+            host=self._host,
+            delta=self._delta,
+            onto_rate=self._onto,
+        )
+
+    def _adopt(self, batch: CandidateBatch) -> None:
+        """Install a full-population batch wholesale."""
+        n = batch.n_owners
+        self._ptr = batch.ptr
+        self._host = batch.host
+        self._delta = batch.delta
+        self._onto = batch.onto_rate
+        self._source = batch.source
+        self._degree = batch.degree
+        self._total_rate = batch.total_rate
+        self._valid = np.ones(n, dtype=bool)
+
+    def _splice(self, dirty: np.ndarray, fresh: CandidateBatch) -> None:
+        """Replace the dirty owners' segments with freshly scored ones.
+
+        One gather per retained array: clean segments copy over from the
+        old CSR, dirty segments from the fresh batch — per-owner scoring
+        is deterministic and self-contained, so the spliced CSR is
+        bit-identical to a full re-score.
+        """
+        old_ptr = self._ptr
+        counts = (old_ptr[1:] - old_ptr[:-1]).astype(np.int64)
+        counts[dirty] = fresh.ptr[1:] - fresh.ptr[:-1]
+        n = len(counts)
+        new_ptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=new_ptr[1:])
+        total = int(new_ptr[-1])
+        host = np.empty(total, dtype=self._host.dtype)
+        delta = np.empty(total)
+        onto = np.empty(total)
+
+        clean = np.nonzero(self._valid)[0]
+        src_rows, _ = segment_rows(old_ptr, clean)
+        dst_rows, _ = segment_rows(new_ptr, clean)
+        host[dst_rows] = self._host[src_rows]
+        delta[dst_rows] = self._delta[src_rows]
+        onto[dst_rows] = self._onto[src_rows]
+
+        fresh_dst, _ = segment_rows(new_ptr, dirty)
+        host[fresh_dst] = fresh.host
+        delta[fresh_dst] = fresh.delta
+        onto[fresh_dst] = fresh.onto_rate
+
+        self._ptr = new_ptr
+        self._host = host
+        self._delta = delta
+        self._onto = onto
+        self._source[dirty] = fresh.source
+        self._degree[dirty] = fresh.degree
+        self._total_rate[dirty] = fresh.total_rate

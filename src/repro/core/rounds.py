@@ -39,27 +39,110 @@ accounted migrations as the sequential loop: when no decision interacts
 with another the outcomes are identical, and when they do interact the
 round still only applies exact positive deltas (``tests/test_wave_rounds``
 pins both properties, plus the interference rule itself on live waves).
+
+**Incremental round cache.**  With ``use_cache=True`` the engine runs the
+same protocol against the :class:`~repro.core.roundcache.RoundScoreCache`
+instead of a per-round throwaway batch: scored candidate rows persist
+across waves, rounds and epochs, and each wave re-evaluates only the
+owners inside its dependency footprint — owners with a moved peer (their
+Lemma 3 terms changed) and owners holding a candidate in a rack whose
+capacity state *flipped* (a filled pick, a freed strictly-better host).
+Everything else keeps its cached decision untouched, which is exactly
+what a full re-evaluation would recompute, so the cached trajectory is
+bit-for-bit the uncached one (``tests/test_round_cache.py`` pins the
+equivalence; the uncached loop survives as the reference path).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.cluster.allocation import Allocation, CapacityError
 from repro.core.fastcost import CandidateBatch, FastCostEngine, pair_levels
 from repro.core.migration import MigrationDecision, MigrationEngine
+from repro.core.roundcache import segment_rows
 from repro.traffic.matrix import TrafficMatrix
+
+
+#: Reason strings indexed by the round engine's per-hold reason codes.
+_REASONS = ("no_peers", "no_feasible_target", "no_gain", "migrated")
+
+
+class DecisionColumns:
+    """Lazily materialized per-hold decision record (column arrays).
+
+    Token rounds mint one decision per hold — tens of thousands per
+    paper-scale iteration — so the hot loop writes flat columns and the
+    :class:`~repro.core.migration.MigrationDecision` tuples are built
+    only when someone actually reads them (reports, tests, analyses).
+    Behaves as an immutable sequence; ``overlay`` carries the rare
+    decisions produced by the sequential fallback path verbatim.
+    """
+
+    __slots__ = ("vm", "source", "target", "delta", "reason", "overlay",
+                 "_materialized")
+
+    def __init__(self, n: int) -> None:
+        self.vm = np.zeros(n, dtype=np.int64)
+        self.source = np.zeros(n, dtype=np.int64)
+        self.target = np.full(n, -1, dtype=np.int64)
+        self.delta = np.zeros(n)
+        self.reason = np.full(n, -1, dtype=np.int8)
+        self.overlay: dict = {}
+        self._materialized: Optional[List[MigrationDecision]] = None
+
+    @property
+    def complete(self) -> bool:
+        """Whether every hold has been decided."""
+        return bool((self.reason >= 0).all())
+
+    def _materialize(self) -> List[MigrationDecision]:
+        if self._materialized is None:
+            out = [
+                MigrationDecision(
+                    vm, src, tgt if code == 3 else None, delta, code == 3,
+                    _REASONS[code],
+                )
+                for vm, src, tgt, delta, code in zip(
+                    self.vm.tolist(),
+                    self.source.tolist(),
+                    self.target.tolist(),
+                    self.delta.tolist(),
+                    self.reason.tolist(),
+                )
+            ]
+            for pos, decision in self.overlay.items():
+                out[pos] = decision
+            self._materialized = out
+        return self._materialized
+
+    def __len__(self) -> int:
+        return len(self.vm)
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+    def __getitem__(self, index):
+        return self._materialize()[index]
+
+    def migrated_count(self) -> int:
+        """Number of migrated holds, without materializing."""
+        return int((self.reason == 3).sum())
 
 
 @dataclass
 class RoundResult:
     """Outcome of one wave-batched token round."""
 
-    #: Final per-hold decisions, aligned with the round's visit order.
-    decisions: List[MigrationDecision] = field(default_factory=list)
+    #: Final per-hold decisions, aligned with the round's visit order —
+    #: an array-backed lazy sequence (see :class:`DecisionColumns`).
+    decisions: DecisionColumns = field(
+        default_factory=lambda: DecisionColumns(0)
+    )
     #: Per-hold migrated flags / applied deltas, aligned with the order —
     #: the array form the scheduler builds its time series from.
     hold_migrated: np.ndarray = field(default_factory=lambda: np.empty(0, bool))
@@ -74,6 +157,14 @@ class RoundResult:
     #: raw material of the wave-disjointness property test.  Populated only
     #: when the engine was built with ``record_waves=True``.
     wave_moves: List[List[Tuple[int, int, int]]] = field(default_factory=list)
+
+    @classmethod
+    def for_round(cls, n: int) -> "RoundResult":
+        return cls(
+            decisions=DecisionColumns(n),
+            hold_migrated=np.zeros(n, dtype=bool),
+            hold_delta=np.zeros(n),
+        )
 
     @property
     def interference_free(self) -> bool:
@@ -98,12 +189,22 @@ class BatchedRoundEngine:
         fast: FastCostEngine,
         record_waves: bool = False,
         wave_callback=None,
+        use_cache: bool = False,
+        profile=None,
     ) -> None:
         """``wave_callback``, when given, is invoked after every wave with
         the list of VM ids whose holds settled in it (movers and
         non-movers alike; every VM of the round is reported exactly once
         across the round's waves).  The scheduler wires it to the
-        policy's mid-round token refresh (``TokenPolicy.wave_refresh``)."""
+        policy's mid-round token refresh (``TokenPolicy.wave_refresh``).
+
+        ``use_cache`` routes full-population rounds through the engine's
+        persistent :class:`~repro.core.roundcache.RoundScoreCache`
+        (dirty-owner re-scoring within and across rounds; exact same
+        trajectory).  ``profile``, when given, is a
+        :class:`repro.util.profiling.PhaseTimings` accumulating per-phase
+        wall clock (score / re-mask / plan / wave-apply / adjust /
+        settle)."""
         if not fast.is_bound_to(allocation, traffic):
             raise ValueError(
                 "fast engine is not bound to the scheduler's allocation/traffic"
@@ -114,47 +215,82 @@ class BatchedRoundEngine:
         self._fast = fast
         self._record_waves = record_waves
         self._wave_callback = wave_callback
+        self._use_cache = use_cache
+        self._profile = profile
+
+    # -- profiling hooks -----------------------------------------------------
+
+    def _tick(self) -> float:
+        return time.perf_counter() if self._profile is not None else 0.0
+
+    def _lap(self, phase: str, t0: float) -> None:
+        if self._profile is not None:
+            self._profile.add(phase, time.perf_counter() - t0)
 
     def run_round(self, order: Sequence[int]) -> RoundResult:
-        """Run one full token round over ``order`` (a visit-order snapshot)."""
+        """Run one full token round over ``order`` (a visit-order snapshot).
+
+        Dispatches to the cached loop when enabled and ``order`` covers
+        the engine's whole population (the round cache is keyed by the
+        dense VM index); partial orders always take the uncached path.
+        """
+        if self._use_cache:
+            n = self._fast.snapshot.n_vms
+            if len(order) == n:
+                dense_order = self._fast.dense_indices(order)
+                if bool(np.bincount(dense_order, minlength=n).all()):
+                    return self._run_round_cached(order, dense_order)
+        return self._run_round_uncached(order)
+
+    def _run_round_uncached(self, order: Sequence[int]) -> RoundResult:
+        """The reference wave loop: full re-mask of every pending owner
+        per wave, round-local candidate batch.  Pinned against the cached
+        loop by ``tests/test_round_cache.py``."""
         fast = self._fast
         engine = self._engine
         n = len(order)
-        result = RoundResult(
-            decisions=[None] * n,  # type: ignore[list-item]
-            hold_migrated=np.zeros(n, dtype=bool),
-            hold_delta=np.zeros(n),
-        )
+        result = RoundResult.for_round(n)
+        t0 = self._tick()
         batch = fast.candidate_batch(
             fast.dense_indices(order), engine.max_candidates
         )
+        self._lap("score", t0)
         positions = np.arange(n, dtype=np.int64)
         cm = engine.migration_cost
         threshold = engine.bandwidth_threshold
         n_hosts = self._allocation.cluster.n_servers
 
         while positions.size:
+            t0 = self._tick()
             feasible = fast.candidate_feasible(batch, threshold)
             choice, best, _, ties = fast.best_candidates(
                 batch, feasible, return_ties=True
             )
+            self._lap("re-mask", t0)
             beneficial = (choice >= 0) & (best > 0) & (best > cm)
-            settled_ids = self._settle_non_movers(
-                result, batch, positions, choice, best, beneficial
+            t0 = self._tick()
+            settled_ids = self._settle_owners(
+                result, batch, np.nonzero(~beneficial)[0], positions, choice,
+                best,
             )
+            self._lap("settle", t0)
             prop = np.nonzero(beneficial)[0]
             if prop.size == 0:
                 if self._wave_callback is not None and settled_ids:
                     self._wave_callback(settled_ids)
                 break
             result.waves += 1
+            t0 = self._tick()
             accepted, target = self._plan_wave(
                 batch, best, prop, ties, n_hosts
             )
+            self._lap("plan", t0)
+            t0 = self._tick()
             moved, old_hosts, new_hosts = self._apply_wave(
                 result, positions, batch, prop[accepted], target[accepted],
                 settled_ids,
             )
+            self._lap("wave-apply", t0)
             if self._wave_callback is not None and settled_ids:
                 # Fired after the wave landed, so refreshes see the
                 # post-wave placement (the freshest state this round).
@@ -166,12 +302,807 @@ class BatchedRoundEngine:
             keep = batch.select(deferred, with_onto=threshold is not None)
             keep_positions = positions[deferred]
             if moved.size:
-                self._adjust_stale(keep, moved, old_hosts, new_hosts)
+                t0 = self._tick()
+                self._adjust_stale(
+                    keep,
+                    np.arange(keep.n_owners, dtype=np.int64),
+                    moved,
+                    old_hosts,
+                    new_hosts,
+                )
+                self._lap("adjust", t0)
             batch = keep
             positions = keep_positions
 
-        assert all(d is not None for d in result.decisions)
+        assert result.decisions.complete
         return result
+
+    # -- cached round loop ---------------------------------------------------
+
+    #: Bit position of the host field in pool-by-host keys (rows < 2^40).
+    _HOST_SHIFT = 40
+
+    def _run_round_cached(
+        self, order: Sequence[int], dense_order: np.ndarray
+    ) -> RoundResult:
+        """One token round against the persistent round-score cache.
+
+        Owners are indexed by *dense VM* (the cache's key space), with
+        ``pos_of`` mapping them back to visit positions; every per-owner
+        sequence handed to the planner or the report is sorted by visit
+        position first, so decisions, waves and applied moves come out in
+        exactly the uncached loop's order.
+
+        Tie rows live in two tiers.  The round-local *active* set holds
+        the ties of currently-beneficial owners — the only rows the wave
+        planner can use — and is small (proposals shrink wave over
+        wave), so per-wave maintenance is O(touched).  Everything else
+        sits in the cache's persistent pool plus the shadow index, which
+        are only *read* mid-round (host-keyed slices marking settled
+        owners stale) and batch-updated once per round, so a
+        mostly-converged round costs a sparse re-score, not a full
+        O(rows) evaluation.
+        """
+        fast = self._fast
+        engine = self._engine
+        n = len(order)
+        result = RoundResult.for_round(n)
+        t0 = self._tick()
+        cache = fast.round_cache(engine.max_candidates)
+        batch, dirty = cache.refresh()
+        self._lap("score", t0)
+        if self._profile is not None:
+            self._profile.bump("owners", n)
+            self._profile.bump("owners_rescored", int(dirty.size))
+        pos_of = np.empty(n, dtype=np.int64)
+        pos_of[dense_order] = np.arange(n, dtype=np.int64)
+        cm = engine.migration_cost
+        threshold = engine.bandwidth_threshold
+        n_hosts = self._allocation.cluster.n_servers
+        ptr = batch.ptr
+        pod_of_host = fast._pod_of
+
+        # Incremental feasibility (and therefore decision persistence)
+        # needs per-host state: a uniform population and no §V-C budget.
+        # Otherwise every wave re-evaluates all pending owners — the
+        # uncached cost profile, same semantics.
+        t0 = self._tick()
+        host_ok = fast.uniform_host_ok() if threshold is None else None
+        state = cache.decision_state if host_ok is not None else None
+        if state is not None:
+            # Mostly-dirty rounds (early convergence, big drift bursts):
+            # one vectorized full evaluation beats piecewise catch-up.
+            state.stale_decision[dirty] = True
+            if int(state.stale_decision.sum()) * 4 > n:
+                state = None
+                cache.decision_state = None
+        shadow = np.empty(0, dtype=np.int64)
+        shadow_hosts = np.empty(0, dtype=np.int64)
+        in_shadow = None
+        owner_pods = None
+        empty64 = np.empty(0, dtype=np.int64)
+        act_rows = empty64
+        act_owner = empty64.copy()
+        retired: List[np.ndarray] = []
+        # Round-local shadow additions (bitmap-gated, so duplicates are
+        # impossible); merged into the host-sorted index once at round
+        # end instead of re-building it every wave.
+        shadow_side: List[np.ndarray] = []
+        if state is not None:
+            # Carried decisions: re-evaluate only the re-scored owners
+            # plus those whose ``stale_decision`` mark was set while they
+            # were unmaintained (a tie host filled, a qualifying blocked
+            # host freed) — including, below, flips that happened
+            # *between* runs; everything else keeps its (choice, best,
+            # ties, shadow) verbatim — a fresh evaluation would
+            # reproduce it.
+            choice, best = state.choice, state.best
+            if state.row_owner is None:
+                state.row_owner = np.repeat(
+                    np.arange(n, dtype=np.int64), ptr[1:] - ptr[:-1]
+                )
+            row_owner_arr = state.row_owner
+            owner_pods = state.owner_pods
+            pool_rows = state.pool_rows
+            pool_owner = state.pool_owner
+            pool_hosts = state.pool_hosts
+            hpool = state.pool_hkeys
+            if hpool is None:
+                pool_hosts = batch.host[pool_rows].astype(np.int64)
+                hpool = np.sort((pool_hosts << self._HOST_SHIFT) | pool_rows)
+            shadow = state.shadow
+            shadow_hosts = state.shadow_hosts
+            in_shadow = state.in_shadow
+            need = state.stale_decision
+            need[dirty] = True
+            flips = np.nonzero(host_ok != state.host_ok)[0]
+            if flips.size:
+                # Out-of-round capacity changes (drains, resizes, runs
+                # through other engine paths).  Filled hosts unseat the
+                # pooled ties sitting on them; freed hosts route through
+                # the shadow index, exactly like a mid-round wave.
+                filled = flips[~host_ok[flips]]
+                if filled.size:
+                    _, rows = self._host_pool_rows(hpool, filled)
+                    if rows.size:
+                        need[row_owner_arr[rows]] = True
+                freed = flips[host_ok[flips]]
+                if freed.size and shadow.size:
+                    _, cand = self._shadow_rows(shadow, shadow_hosts, freed)
+                    if cand.size:
+                        c_owner = row_owner_arr[cand]
+                        hit = batch.delta[cand] >= best[c_owner]
+                        need[c_owner[hit]] = True
+            state.host_ok = host_ok
+            sub = np.nonzero(need)[0]
+            if sub.size:
+                pos, rows = self._owner_pool_rows(pool_rows, ptr, sub)
+                if rows.size:
+                    pool_rows, pool_owner, pool_hosts, hpool = (
+                        self._pool_delete(
+                            pool_rows, pool_owner, pool_hosts, hpool,
+                            rows, row_pos=pos,
+                        )
+                    )
+                if shadow.size:
+                    # Re-evaluated owners rebuild their blocked rows
+                    # against their fresh best; drop the stale entries so
+                    # the shadow never accumulates garbage across rounds.
+                    sh_keep = ~need[row_owner_arr[shadow]]
+                    in_shadow[shadow[~sh_keep]] = False
+                    shadow = shadow[sh_keep]
+                    shadow_hosts = shadow_hosts[sh_keep]
+                new_rows, new_owner, new_blocked = self._rescore_owners(
+                    batch, sub, host_ok, threshold, choice, best,
+                    with_blocked=True,
+                )
+                shadow, shadow_hosts = self._shadow_insert(
+                    shadow, shadow_hosts, in_shadow, new_blocked, batch
+                )
+            else:
+                new_rows = empty64
+                new_owner = empty64.copy()
+            need[:] = False
+            # Activate the beneficial owners' ties: fresh ones routed by
+            # their owner's verdict, carried ones extracted from the
+            # persistent pool (and re-inserted when the round retires
+            # them again).
+            beneficial0 = (choice >= 0) & (best > 0) & (best > cm)
+            if new_rows.size:
+                act_mask = beneficial0[new_owner]
+                act_rows = new_rows[act_mask]
+                act_owner = new_owner[act_mask]
+                if not bool(act_mask.all()):
+                    retired.append(new_rows[~act_mask])
+            ben = np.nonzero(beneficial0)[0]
+            if sub.size:
+                fresh_mask = np.zeros(n, dtype=bool)
+                fresh_mask[sub] = True
+                ben = ben[~fresh_mask[ben]]
+            if ben.size:
+                pos, rows = self._owner_pool_rows(pool_rows, ptr, ben)
+                if rows.size:
+                    act_rows, act_owner = self._active_merge(
+                        act_rows, act_owner, rows, pool_owner[pos]
+                    )
+                    pool_rows, pool_owner, pool_hosts, hpool = (
+                        self._pool_delete(
+                            pool_rows, pool_owner, pool_hosts, hpool,
+                            rows, row_pos=pos,
+                        )
+                    )
+        else:
+            # Round-start evaluation of every owner — the one full pass;
+            # the values (and the exact-tie row pool) are then maintained
+            # incrementally wave over wave and, in the uniform case,
+            # carried into the next round.
+            feasible = fast.candidate_feasible(batch, threshold)
+            choice, best, _, tie_rows = fast.best_candidates(
+                batch, feasible, return_ties=True
+            )
+            # Row → owner map (one pass; the freed-host scan and tie-pool
+            # bookkeeping gather from it instead of bisecting).
+            row_owner_arr = np.repeat(
+                np.arange(n, dtype=np.int64), ptr[1:] - ptr[:-1]
+            )
+            tie_owner = row_owner_arr[tie_rows]
+            pool_rows = tie_rows
+            pool_owner = tie_owner
+            pool_hosts = batch.host[tie_rows].astype(np.int64)
+            hpool = empty64
+            if host_ok is not None:
+                # Split: beneficial owners' ties go live; the rest are
+                # only needed when decisions carry across rounds.
+                beneficial0 = (choice >= 0) & (best > 0) & (best > cm)
+                act_mask = beneficial0[tie_owner]
+                act_rows = tie_rows[act_mask]
+                act_owner = tie_owner[act_mask]
+                # (owner × pod) candidate incidence, pruning stale-delta
+                # corrections to incidences that can touch a candidate.
+                n_pods = int(pod_of_host.max()) + 1
+                owner_pods = (
+                    np.bincount(
+                        row_owner_arr * n_pods + pod_of_host[batch.host],
+                        minlength=n * n_pods,
+                    ).reshape(n, n_pods)
+                    > 0
+                )
+                # Shadow index: infeasible rows whose delta already
+                # reaches their owner's best.  Only these can change a
+                # decision when their host frees up, so the freed-host
+                # scan touches them alone.  Host-sorted for sliced
+                # lookup; later qualifiers merge in by sorted insertion,
+                # gated by an O(1) membership bitmap.
+                blocked = np.nonzero(
+                    ~feasible & (batch.delta >= best[row_owner_arr])
+                )[0]
+                by_host = np.argsort(batch.host[blocked])
+                shadow = blocked[by_host]
+                shadow_hosts = batch.host[shadow].astype(np.int64)
+                in_shadow = np.zeros(batch.n_pairs, dtype=bool)
+                in_shadow[shadow] = True
+                if int(dirty.size) * 4 <= n:
+                    # Mostly-clean round: worth carrying decisions into
+                    # the next one.  (Heavy rounds skip the pool build —
+                    # the next round would mass-invalidate it anyway.)
+                    from repro.core.roundcache import DecisionState
+
+                    pool_rows = tie_rows[~act_mask]
+                    pool_owner = tie_owner[~act_mask]
+                    pool_hosts = pool_hosts[~act_mask]
+                    hpool = np.sort(
+                        (pool_hosts << self._HOST_SHIFT) | pool_rows
+                    )
+                    state = DecisionState(n, n_hosts)
+                    state.choice = choice
+                    state.best = best
+                    state.host_ok = host_ok
+                    state.row_owner = row_owner_arr
+                    state.owner_pods = owner_pods
+            else:
+                act_rows = tie_rows
+                act_owner = tie_owner
+            del feasible
+        self._lap("re-mask", t0)
+        pending = np.ones(n, dtype=bool)
+
+        while True:
+            beneficial = pending & (choice >= 0) & (best > 0) & (best > cm)
+            to_settle = np.nonzero(pending & ~beneficial)[0]
+            t0 = self._tick()
+            if to_settle.size:
+                to_settle = to_settle[
+                    np.argsort(pos_of[to_settle], kind="stable")
+                ]
+                pending[to_settle] = False
+                if state is not None:
+                    act_rows, act_owner = self._active_retire(
+                        act_rows, act_owner, ptr, to_settle, retired
+                    )
+            settled_ids = self._settle_owners(
+                result, batch, to_settle, pos_of, choice, best
+            )
+            self._lap("settle", t0)
+            prop = np.nonzero(beneficial)[0]
+            if prop.size == 0:
+                if self._wave_callback is not None and settled_ids:
+                    self._wave_callback(settled_ids)
+                break
+            prop = prop[np.argsort(pos_of[prop], kind="stable")]
+            result.waves += 1
+            t0 = self._tick()
+            accepted, target = self._plan_wave(
+                batch, best, prop, act_rows, n_hosts, tie_owner=act_owner
+            )
+            self._lap("plan", t0)
+            t0 = self._tick()
+            moved, old_hosts, new_hosts = self._apply_wave(
+                result, pos_of, batch, prop[accepted], target[accepted],
+                settled_ids,
+            )
+            self._lap("wave-apply", t0)
+            if self._wave_callback is not None and settled_ids:
+                self._wave_callback(settled_ids)
+            wave_owners = prop[accepted]
+            pending[wave_owners] = False
+            if state is not None and wave_owners.size:
+                act_rows, act_owner = self._active_retire(
+                    act_rows, act_owner, ptr, np.sort(wave_owners), retired
+                )
+            deferred = prop[~accepted]
+            if deferred.size == 0:
+                break
+            result.deferrals += int(deferred.size)
+            if moved.size:
+                t0 = self._tick()
+                stale = self._adjust_stale(
+                    batch, deferred, moved, old_hosts, new_hosts,
+                    owner_pods=owner_pods,
+                )
+                self._lap("adjust", t0)
+                t0 = self._tick()
+                if host_ok is None:
+                    # Per-row feasibility (mixed VM sizes or a §V-C
+                    # budget): every pending owner re-probes — the
+                    # uncached loop's cost profile, same semantics.
+                    cache.decision_state = None
+                    sub = np.nonzero(pending)[0]
+                    act_rows, act_owner = self._rescore_owners(
+                        batch, sub, None, threshold, choice, best
+                    )
+                    self._lap("re-mask", t0)
+                    continue
+                # Surgical invalidation: exactly the owners inside this
+                # wave's dependency footprint.
+                host_hit = np.zeros(n_hosts, dtype=bool)
+                host_hit[old_hosts] = True
+                host_hit[new_hosts] = True
+                touched = np.nonzero(host_hit)[0]
+                now_ok = fast.uniform_host_ok(touched)
+                flipped = now_ok != host_ok[touched]
+                freed = touched[flipped & now_ok]
+                filled = touched[flipped & ~now_ok]
+                host_ok[touched] = now_ok
+                dropped_owner = empty64
+                shadow_new = []
+                affected = []
+                if filled.size:
+                    # Filled picks.  Active ties drop out (a pending
+                    # owner losing its whole tie set re-probes; the
+                    # dropped row enters the shadow — it may return if
+                    # the host frees again).  Pooled ties of unmaintained
+                    # owners only *mark* them for lazy round-start
+                    # catch-up; the pool itself is not touched mid-round.
+                    filled_flag = np.zeros(n_hosts, dtype=bool)
+                    filled_flag[filled] = True
+                    hit = filled_flag[batch.host[act_rows]]
+                    if bool(hit.any()):
+                        dropped_owner = act_owner[hit]
+                        shadow_new.append(act_rows[hit])
+                        affected.append(dropped_owner)
+                        act_rows = act_rows[~hit]
+                        act_owner = act_owner[~hit]
+                    if hpool.size:
+                        _, prows = self._host_pool_rows(hpool, filled)
+                        if prows.size:
+                            state.stale_decision[row_owner_arr[prows]] = True
+                rescore = np.zeros(n, dtype=bool)
+                rescore[stale] = True
+                if dropped_owner.size:
+                    _, has_rows = self._first_pool_rows(
+                        act_rows, ptr, dropped_owner
+                    )
+                    rescore[dropped_owner[~has_rows]] = True
+                rescore &= pending
+                sub = np.nonzero(rescore)[0]
+                added = []
+                if sub.size:
+                    pos, _ = self._owner_pool_rows(act_rows, ptr, sub)
+                    if pos.size:
+                        keep = np.ones(len(act_rows), dtype=bool)
+                        keep[pos] = False
+                        act_rows = act_rows[keep]
+                        act_owner = act_owner[keep]
+                    new_rows, new_owner, new_blocked = self._rescore_owners(
+                        batch, sub, host_ok, threshold, choice, best,
+                        with_blocked=True,
+                    )
+                    added.append((new_rows, new_owner))
+                    if new_blocked.size:
+                        shadow_new.append(new_blocked)
+                if freed.size and (shadow.size or shadow_side):
+                    # Freed strictly-better (or tying) hosts, via the
+                    # shadow index (plus this round's gated side buffer).
+                    # Settled owners with a qualifying blocked row are
+                    # marked for lazy round-start catch-up; pending ones
+                    # update right here.
+                    cand_pos, cand = self._shadow_rows(
+                        shadow, shadow_hosts, freed
+                    )
+                    if shadow_side:
+                        freed_flag = np.zeros(n_hosts, dtype=bool)
+                        freed_flag[freed] = True
+                        side = np.concatenate(shadow_side)
+                        side_hit = side[freed_flag[batch.host[side]]]
+                        # The side buffer is append-only: a promoted row
+                        # leaves only by its membership bit, and can be
+                        # re-appended after a later fill.  Gate + dedup,
+                        # or a twice-freed host would hand the same row
+                        # to the pool twice and desync the host index.
+                        side_hit = np.unique(side_hit[in_shadow[side_hit]])
+                        if side_hit.size:
+                            cand = np.concatenate([cand, side_hit])
+                    c_owner = row_owner_arr[cand]
+                    if state is not None:
+                        settled_hit = ~pending[c_owner] & (
+                            batch.delta[cand] >= best[c_owner]
+                        )
+                        state.stale_decision[c_owner[settled_hit]] = True
+                    eligible = pending & ~rescore
+                    fr_rows, fr_owner, improved = self._freed_rows_update(
+                        batch, cand, row_owner_arr, eligible, best
+                    )
+                    if improved.size:
+                        pos, _ = self._owner_pool_rows(
+                            act_rows, ptr, improved
+                        )
+                        if pos.size:
+                            keep = np.ones(len(act_rows), dtype=bool)
+                            keep[pos] = False
+                            act_rows = act_rows[keep]
+                            act_owner = act_owner[keep]
+                    if fr_rows.size:
+                        added.append((fr_rows, fr_owner))
+                        affected.append(fr_owner)
+                        # Promoted rows leave the shadow: a live tie must
+                        # never double as a blocked entry, or a later
+                        # freed slice would re-add it.  Rows from the
+                        # main index delete in place; side-buffer rows
+                        # only clear their membership bit (the round-end
+                        # merge re-checks it).
+                        in_main = np.zeros(len(cand), dtype=bool)
+                        in_main[: len(cand_pos)] = True
+                        at = np.searchsorted(fr_rows, cand).clip(
+                            max=len(fr_rows) - 1
+                        )
+                        taken = fr_rows[at] == cand
+                        in_shadow[cand[taken]] = False
+                        tm = taken & in_main
+                        if tm.any():
+                            shadow = np.delete(shadow, cand_pos[tm[: len(cand_pos)]])
+                            shadow_hosts = np.delete(
+                                shadow_hosts, cand_pos[tm[: len(cand_pos)]]
+                            )
+                if shadow_new:
+                    ins = np.unique(np.concatenate(shadow_new))
+                    ins = ins[~in_shadow[ins]]
+                    if ins.size:
+                        in_shadow[ins] = True
+                        shadow_side.append(ins)
+                if added:
+                    new_rows = np.concatenate([a[0] for a in added])
+                    new_owner = np.concatenate([a[1] for a in added])
+                    if len(added) > 1:
+                        merge = np.argsort(new_rows, kind="stable")
+                        new_rows = new_rows[merge]
+                        new_owner = new_owner[merge]
+                    act_rows, act_owner = self._active_merge(
+                        act_rows, act_owner, new_rows, new_owner
+                    )
+                if affected:
+                    # Choice = first (probing-order) live tie; recompute
+                    # for owners whose tie set changed — identical to a
+                    # recompute for everyone else.  Owners left without
+                    # ties were either rescued above (pending) or marked
+                    # stale (settled); their choice is not read before
+                    # it is rebuilt.
+                    aff_hit = np.zeros(n, dtype=bool)
+                    aff_hit[np.concatenate(affected)] = True
+                    aff = np.nonzero(aff_hit)[0]
+                    first, has_rows = self._first_pool_rows(
+                        act_rows, ptr, aff
+                    )
+                    choice[aff[has_rows]] = act_rows[first[has_rows]]
+                self._lap("re-mask", t0)
+
+        if state is not None:
+            if shadow_side:
+                # Unique: a row can re-enter the side buffer after a
+                # promotion cleared its membership bit mid-round.
+                side = np.unique(np.concatenate(shadow_side))
+                side = side[in_shadow[side]]  # promoted rows dropped out
+                if side.size:
+                    hosts_s = batch.host[side].astype(np.int64)
+                    by_host = np.argsort(hosts_s, kind="stable")
+                    side = side[by_host]
+                    hosts_s = hosts_s[by_host]
+                    at = np.searchsorted(shadow_hosts, hosts_s)
+                    shadow = np.insert(shadow, at, side)
+                    shadow_hosts = np.insert(shadow_hosts, at, hosts_s)
+            # Retire the round's settled ties back into the persistent
+            # pool; fills that happened after an owner settled are caught
+            # here (the owner re-evaluates next round).
+            assert act_rows.size == 0
+            if retired:
+                ret_rows = np.concatenate(retired)
+                order_r = np.argsort(ret_rows, kind="stable")
+                ret_rows = ret_rows[order_r]
+                ret_owner = row_owner_arr[ret_rows]
+                bad = ~host_ok[batch.host[ret_rows]]
+                if bool(bad.any()):
+                    state.stale_decision[ret_owner[bad]] = True
+                pool_rows, pool_owner, pool_hosts, hpool = self._pool_insert(
+                    pool_rows, pool_owner, pool_hosts, hpool, ret_rows,
+                    ret_owner, batch,
+                )
+            state.pool_rows = pool_rows
+            state.pool_owner = pool_owner
+            state.pool_hosts = pool_hosts
+            state.pool_hkeys = hpool
+            state.shadow = shadow
+            state.shadow_hosts = shadow_hosts
+            state.in_shadow = in_shadow
+            state.row_owner = row_owner_arr
+            state.owner_pods = owner_pods
+            cache.decision_state = state
+        assert result.decisions.complete
+        return result
+
+    # -- active-tie bookkeeping ----------------------------------------------
+
+    def _active_merge(
+        self,
+        act_rows: np.ndarray,
+        act_owner: np.ndarray,
+        add_rows: np.ndarray,
+        add_owner: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Insert row-sorted additions into the active tie set."""
+        if add_rows.size == 0:
+            return act_rows, act_owner
+        at = np.searchsorted(act_rows, add_rows)
+        return (
+            np.insert(act_rows, at, add_rows),
+            np.insert(act_owner, at, add_owner),
+        )
+
+    def _active_retire(
+        self,
+        act_rows: np.ndarray,
+        act_owner: np.ndarray,
+        ptr: np.ndarray,
+        owners: np.ndarray,
+        retired: List[np.ndarray],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Move settling owners' live ties onto the round's retire list."""
+        if act_rows.size == 0 or owners.size == 0:
+            return act_rows, act_owner
+        pos, rows = self._owner_pool_rows(act_rows, ptr, owners)
+        if pos.size == 0:
+            return act_rows, act_owner
+        retired.append(rows)
+        keep = np.ones(len(act_rows), dtype=bool)
+        keep[pos] = False
+        return act_rows[keep], act_owner[keep]
+
+    # -- pool / shadow bookkeeping -------------------------------------------
+
+    def _host_pool_rows(
+        self, hpool: np.ndarray, hosts: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(positions, row ids) of the pool entries on the given hosts."""
+        base = np.asarray(hosts, dtype=np.int64) << self._HOST_SHIFT
+        lo = np.searchsorted(hpool, base)
+        hi = np.searchsorted(hpool, base + (np.int64(1) << self._HOST_SHIFT))
+        counts = hi - lo
+        seg = np.zeros(len(lo) + 1, dtype=np.int64)
+        np.cumsum(counts, out=seg[1:])
+        pos = np.repeat(lo - seg[:-1], counts) + np.arange(int(seg[-1]))
+        rows = hpool[pos] & ((np.int64(1) << self._HOST_SHIFT) - 1)
+        return pos, rows
+
+    def _owner_pool_rows(
+        self, tie_rows: np.ndarray, ptr: np.ndarray, owners: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(positions, row ids) of the given owners' entries in the
+        row-sorted pool (each owner's rows live in ``ptr[o]:ptr[o+1]``)."""
+        lo = np.searchsorted(tie_rows, ptr[owners])
+        hi = np.searchsorted(tie_rows, ptr[owners + 1])
+        counts = hi - lo
+        seg = np.zeros(len(lo) + 1, dtype=np.int64)
+        np.cumsum(counts, out=seg[1:])
+        pos = np.repeat(lo - seg[:-1], counts) + np.arange(int(seg[-1]))
+        return pos, tie_rows[pos]
+
+    def _first_pool_rows(
+        self, tie_rows: np.ndarray, ptr: np.ndarray, owners: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(first pool position, any-rows mask) per owner."""
+        lo = np.searchsorted(tie_rows, ptr[owners])
+        has = lo < len(tie_rows)
+        has[has] &= tie_rows[lo[has]] < ptr[owners[has] + 1]
+        return lo, has
+
+    def _pool_delete(
+        self,
+        tie_rows: np.ndarray,
+        tie_owner: np.ndarray,
+        tie_hosts: np.ndarray,
+        hpool: np.ndarray,
+        rows: np.ndarray,
+        row_pos: Optional[np.ndarray] = None,
+        hpool_pos: Optional[np.ndarray] = None,
+    ):
+        """Remove the given row ids from both pool orders."""
+        if row_pos is None:
+            row_pos = np.searchsorted(tie_rows, np.sort(rows))
+        if hpool_pos is None:
+            keys = (tie_hosts[row_pos] << self._HOST_SHIFT) | tie_rows[row_pos]
+            hpool_pos = np.searchsorted(hpool, np.sort(keys))
+        return (
+            np.delete(tie_rows, row_pos),
+            np.delete(tie_owner, row_pos),
+            np.delete(tie_hosts, row_pos),
+            np.delete(hpool, hpool_pos),
+        )
+
+    def _pool_insert(
+        self,
+        tie_rows: np.ndarray,
+        tie_owner: np.ndarray,
+        tie_hosts: np.ndarray,
+        hpool: np.ndarray,
+        add_rows: np.ndarray,
+        add_owner: np.ndarray,
+        batch: CandidateBatch,
+    ):
+        """Insert row-sorted additions into both pool orders."""
+        if add_rows.size == 0:
+            return tie_rows, tie_owner, tie_hosts, hpool
+        hosts = batch.host[add_rows].astype(np.int64)
+        at = np.searchsorted(tie_rows, add_rows)
+        tie_rows = np.insert(tie_rows, at, add_rows)
+        tie_owner = np.insert(tie_owner, at, add_owner)
+        tie_hosts = np.insert(tie_hosts, at, hosts)
+        keys = np.sort((hosts << self._HOST_SHIFT) | add_rows)
+        hpool = np.insert(hpool, np.searchsorted(hpool, keys), keys)
+        return tie_rows, tie_owner, tie_hosts, hpool
+
+    def _shadow_rows(
+        self, shadow: np.ndarray, shadow_hosts: np.ndarray, hosts: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(positions, row ids) of shadow entries on the given hosts."""
+        lo = np.searchsorted(shadow_hosts, hosts, side="left")
+        hi = np.searchsorted(shadow_hosts, hosts, side="right")
+        counts = hi - lo
+        seg = np.zeros(len(hosts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=seg[1:])
+        flat = np.repeat(lo - seg[:-1], counts) + np.arange(int(seg[-1]))
+        return flat, shadow[flat]
+
+    def _shadow_insert(
+        self,
+        shadow: np.ndarray,
+        shadow_hosts: np.ndarray,
+        in_shadow: np.ndarray,
+        rows: np.ndarray,
+        batch: CandidateBatch,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Merge qualifying rows into the host-sorted shadow index.
+
+        Gated by the O(1) membership bitmap, so re-qualifying rows
+        (oscillating hosts) never balloon the index.  A row can arrive
+        twice in one batch (a dropped tie that also re-qualifies through
+        its owner's re-score), hence the dedup.
+        """
+        rows = np.unique(rows)
+        rows = rows[~in_shadow[rows]]
+        if rows.size == 0:
+            return shadow, shadow_hosts
+        in_shadow[rows] = True
+        hosts = batch.host[rows].astype(np.int64)
+        by_host = np.argsort(hosts, kind="stable")
+        rows = rows[by_host]
+        hosts = hosts[by_host]
+        at = np.searchsorted(shadow_hosts, hosts)
+        return (
+            np.insert(shadow, at, rows),
+            np.insert(shadow_hosts, at, hosts),
+        )
+
+    def _freed_rows_update(
+        self,
+        batch: CandidateBatch,
+        rows: np.ndarray,
+        row_owner_arr: np.ndarray,
+        eligible: np.ndarray,
+        best: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fold freshly-freed candidate rows into the owners' decisions.
+
+        A host regaining capacity can only matter to an owner holding a
+        candidate row on it, and only when that row's delta reaches the
+        owner's cached best: strictly better replaces the best (the
+        "freed strictly-better host" invalidation), exactly equal joins
+        the tie set.  Everything below the bar is untouched — which is
+        precisely what a full re-mask would conclude.  ``rows`` come from
+        the caller's shadow index (possibly with duplicates and stale
+        entries; both are filtered here).
+
+        Returns ``(tie_rows, tie_owners, improved_owners)``: the rows to
+        add to the live tie pool and the owners whose previous ties are
+        now obsolete.  ``best`` is updated in place.
+        """
+        empty = np.empty(0, dtype=np.int64)
+        if rows.size == 0:
+            return empty, empty.copy(), empty.copy()
+        row_owner = row_owner_arr[rows]
+        ok = eligible[row_owner]
+        rows, row_owner = rows[ok], row_owner[ok]
+        if rows.size == 0:
+            return empty, empty.copy(), empty.copy()
+        deltas = batch.delta[rows]
+        reach = deltas >= best[row_owner]
+        rows, row_owner, deltas = rows[reach], row_owner[reach], deltas[reach]
+        if rows.size == 0:
+            return empty, empty.copy(), empty.copy()
+        order = np.argsort(rows, kind="stable")
+        rows, row_owner, deltas = rows[order], row_owner[order], deltas[order]
+        seg_first = np.ones(len(rows), dtype=bool)
+        seg_first[1:] = row_owner[1:] != row_owner[:-1]
+        starts = np.flatnonzero(seg_first)
+        owners_u = row_owner[starts]
+        seg_max = np.maximum.reduceat(deltas, starts)
+        gain = seg_max > best[owners_u]
+        improved = owners_u[gain]
+        best[improved] = seg_max[gain]
+        win = deltas == best[row_owner]
+        return rows[win], row_owner[win], improved
+
+    def _rescore_owners(
+        self,
+        batch: CandidateBatch,
+        owners: np.ndarray,
+        host_ok: Optional[np.ndarray],
+        threshold: Optional[float],
+        choice: np.ndarray,
+        best: np.ndarray,
+        with_blocked: bool = False,
+    ) -> Tuple[np.ndarray, ...]:
+        """Recompute (choice, best) plus exact-tie rows for a dirty subset.
+
+        The subset restriction of :meth:`FastCostEngine.best_candidates`:
+        same masking, same segment maxima, same first-in-probing-order
+        tie-breaking, evaluated only over the given owners' candidate
+        rows.  Updates ``choice``/``best`` in place and returns the
+        owners' fresh tie rows (row-ascending, therefore owner-grouped);
+        with ``with_blocked`` a third element carries the owners'
+        *infeasible* rows whose delta reaches the fresh best — the rows
+        the caller's shadow index must track in case their host frees.
+        """
+        fast = self._fast
+        rows, seg_ptr = segment_rows(batch.ptr, owners)
+        choice[owners] = -1
+        best[owners] = -np.inf
+        empty = np.empty(0, dtype=np.int64)
+        if rows.size == 0:
+            if with_blocked:
+                return empty, empty.copy(), empty.copy()
+            return empty, empty.copy()
+        if host_ok is not None:
+            feas = host_ok[batch.host[rows]]
+        else:
+            seg_len = (seg_ptr[1:] - seg_ptr[:-1]).astype(np.int64)
+            row_owner = np.repeat(owners, seg_len)
+            feas = fast.candidate_feasible_rows(
+                batch, rows, row_owner, threshold
+            )
+        deltas = batch.delta[rows]
+        masked = np.where(feas, deltas, -np.inf)
+        starts = seg_ptr[:-1]
+        nonempty = seg_ptr[1:] > starts
+        seg_max = np.full(len(owners), -np.inf)
+        if np.any(nonempty):
+            seg_max[nonempty] = np.maximum.reduceat(masked, starts[nonempty])
+        best[owners] = seg_max
+        seg_len = (seg_ptr[1:] - starts).astype(np.int64)
+        max_rep = np.repeat(seg_max, seg_len)
+        hit = feas & (masked == max_rep)
+        hit_idx = np.nonzero(hit)[0]
+        if hit_idx.size:
+            owner_local = np.searchsorted(seg_ptr, hit_idx, side="right") - 1
+            new_owner = owners[owner_local]
+            new_rows = rows[hit_idx]
+            first = np.ones(len(new_owner), dtype=bool)
+            first[1:] = new_owner[1:] != new_owner[:-1]
+            choice[new_owner[first]] = new_rows[first]
+        else:
+            new_rows = empty
+            new_owner = empty.copy()
+        if not with_blocked:
+            return new_rows, new_owner
+        blocked = rows[~feas & (deltas >= max_rep)]
+        return new_rows, new_owner, blocked
 
     # -- wave planning ------------------------------------------------------
 
@@ -182,16 +1113,21 @@ class BatchedRoundEngine:
         prop: np.ndarray,
         ties: np.ndarray,
         n_hosts: int,
+        tie_owner: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Greedy interference-free admission with exact-tie retargeting.
 
         Returns ``(accepted, target)`` over ``prop``: the admission mask
         and each admitted proposal's target host.  Priority is descending
-        Lemma 3 gain (stable on visit position).  Each proposal may land
-        on any candidate whose delta *exactly equals* its best (``ties``,
-        from :meth:`FastCostEngine.best_candidates`) — the first such host
-        in probing order not yet claimed this wave — so an already-claimed
+        Lemma 3 gain (stable on visit position — callers pass ``prop`` in
+        visit order).  Each proposal may land on any candidate whose
+        delta *exactly equals* its best (``ties``, from
+        :meth:`FastCostEngine.best_candidates`) — the first such host in
+        probing order not yet claimed this wave — so an already-claimed
         host only defers a VM when no equally-good alternative exists.
+        ``tie_owner``, when given, supplies each tied row's owner
+        position directly (the cached loop maintains it alongside its tie
+        pool); rows must be grouped by owner, probing order within.
         """
         fast = self._fast
         snap = fast.snapshot
@@ -203,7 +1139,10 @@ class BatchedRoundEngine:
         # Tied rows of the proposal owners only, mapped to proposal index.
         prop_index = np.full(batch.n_owners, -1, dtype=np.int64)
         prop_index[prop] = np.arange(n_prop)
-        t_owner = prop_index[batch.owner[ties]]
+        owner_of_ties = (
+            batch.owner[ties] if tie_owner is None else tie_owner
+        )
+        t_owner = prop_index[owner_of_ties]
         in_prop = t_owner >= 0
         t_owner = t_owner[in_prop]
         t_host = batch.host[ties[in_prop]]
@@ -316,21 +1255,12 @@ class BatchedRoundEngine:
         settled_ids.extend(vm_ids[dense].tolist())
         genuine = (exact > 0) & (exact > cm)
         if not genuine.all():
-            decisions = result.decisions
-            for pos, vm_id, src, d in zip(
-                positions[wave[~genuine]].tolist(),
-                vm_ids[dense[~genuine]].tolist(),
-                sources[~genuine].tolist(),
-                exact[~genuine].tolist(),
-            ):
-                decisions[pos] = MigrationDecision(
-                    vm_id=vm_id,
-                    source_host=src,
-                    target_host=None,
-                    delta=max(0.0, d),
-                    migrated=False,
-                    reason="no_gain",
-                )
+            cols = result.decisions
+            pos = positions[wave[~genuine]]
+            cols.vm[pos] = vm_ids[dense[~genuine]]
+            cols.source[pos] = sources[~genuine]
+            cols.delta[pos] = np.maximum(exact[~genuine], 0.0)
+            cols.reason[pos] = 2  # no_gain (failed the exact gate)
             wave = wave[genuine]
             dense = dense[genuine]
             sources = sources[genuine]
@@ -351,8 +1281,10 @@ class BatchedRoundEngine:
                     decision = self._engine.decide_and_migrate(
                         allocation, self._traffic, vm_id
                     )
-                    pos = positions[wave[row]]
-                    result.decisions[pos] = decision
+                    pos = int(positions[wave[row]])
+                    cols = result.decisions
+                    cols.overlay[pos] = decision
+                    cols.reason[pos] = 3 if decision.migrated else 2
                     if decision.migrated:
                         result.migrations += 1
                         result.hold_migrated[pos] = True
@@ -369,28 +1301,25 @@ class BatchedRoundEngine:
                         )
         moved_rows = np.array(moved_rows, dtype=np.int64)
         if moved_rows.size:
-            deltas = fast.apply_moves(dense[moved_rows], targets[moved_rows])
+            deltas, _ = fast.apply_moves(dense[moved_rows], targets[moved_rows])
             pos_arr = positions[wave[moved_rows]]
             result.hold_migrated[pos_arr] = True
             result.hold_delta[pos_arr] = deltas
-            decisions = result.decisions
-            srcs = sources[moved_rows].tolist()
-            for pos, row, src, delta in zip(
-                pos_arr.tolist(), moved_rows.tolist(), srcs, deltas.tolist()
-            ):
-                vm_id, tgt = moves[row]
-                decisions[pos] = MigrationDecision(
-                    vm_id=vm_id,
-                    source_host=src,
-                    target_host=tgt,
-                    delta=delta,
-                    migrated=True,
-                    reason="migrated",
-                )
+            cols = result.decisions
+            moved_vms = vm_ids[dense[moved_rows]]
+            moved_tgts = targets[moved_rows]
+            cols.vm[pos_arr] = moved_vms
+            cols.source[pos_arr] = sources[moved_rows]
+            cols.target[pos_arr] = moved_tgts
+            cols.delta[pos_arr] = deltas
+            cols.reason[pos_arr] = 3  # migrated
             if self._record_waves:
                 wave_log.extend(
-                    (moves[row][0], src, moves[row][1])
-                    for row, src in zip(moved_rows.tolist(), srcs)
+                    zip(
+                        moved_vms.tolist(),
+                        sources[moved_rows].tolist(),
+                        moved_tgts.tolist(),
+                    )
                 )
             result.migrations += int(moved_rows.size)
         if self._record_waves:
@@ -411,11 +1340,13 @@ class BatchedRoundEngine:
     def _adjust_stale(
         self,
         batch: CandidateBatch,
+        owners: np.ndarray,
         moved: np.ndarray,
         old_hosts: np.ndarray,
         new_hosts: np.ndarray,
-    ) -> None:
-        """Correct deferred owners' deltas for this wave's peer movements.
+        owner_pods: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Correct the given owners' deltas for this wave's peer movements.
 
         For owner u with candidate x and moved peer p (rate λ):
 
@@ -427,6 +1358,16 @@ class BatchedRoundEngine:
         ``Σ_u |candidates(u)| × |moved peers(u)|`` rows — a tiny slice of
         a full re-score — and keeps every retained delta exact against
         the post-wave placement (candidate sets stay the round snapshot).
+
+        ``owners`` selects which of the batch's owners to correct (the
+        uncached loop passes all of its compacted batch, the cached loop
+        the deferred subset of the full-population batch).  Returns the
+        owner indices that actually had a moved peer — the cached loop's
+        stale set.  ``owner_pods``, when given, is an (owners × pods)
+        candidate-incidence map: an incidence whose peer moved between
+        pods the owner holds no candidate in contributes exactly zero to
+        the candidate-side term, so its row expansion is skipped outright
+        (the source-side aggregate still counts every incidence).
         """
         fast = self._fast
         snap = fast.snapshot
@@ -439,60 +1380,74 @@ class BatchedRoundEngine:
         old_of[moved] = old_hosts
         new_of[moved] = new_hosts
 
-        # (owner, moved peer) incidences of the deferred owners.
-        owners = np.arange(batch.n_owners, dtype=np.int64)
-        deg = batch.degree
-        cum = np.zeros(batch.n_owners + 1, dtype=np.int64)
+        # (owner, moved peer) incidences of the given owners.
+        owners = np.asarray(owners, dtype=np.int64)
+        deg = batch.degree[owners]
+        cum = np.zeros(len(owners) + 1, dtype=np.int64)
         np.cumsum(deg, out=cum[1:])
-        owner_e = np.repeat(owners, deg)
-        edge = np.repeat(snap.ptr[batch.vms] - cum[:-1], deg) + np.arange(
-            int(cum[-1])
+        owner_e = np.repeat(
+            np.arange(len(owners), dtype=np.int64), deg
         )
+        edge = np.repeat(
+            snap.ptr[batch.vms[owners]] - cum[:-1], deg
+        ) + np.arange(int(cum[-1]))
         peer = snap.peer[edge]
         hit = moved_flag[peer]
         if not np.any(hit):
-            return
+            return np.empty(0, dtype=np.int64)
         m_owner = owner_e[hit]
         m_peer = peer[hit]
         m_rate = snap.rate[edge[hit]]
         m_old = old_of[m_peer]
         m_new = new_of[m_peer]
 
-        src = batch.source[m_owner]
+        src = batch.source[owners[m_owner]]
         src_term = m_rate * (
             pw[pair_levels(src, m_new, rack_of, pod_of)]
             - pw[pair_levels(src, m_old, rack_of, pod_of)]
         )
         # Work in the compact row space of the stale owners only (their
         # candidate segments), then scatter once into the batch arrays.
-        row_counts = (batch.ptr[1:] - batch.ptr[:-1]).astype(np.int64)
         u_own, inv = np.unique(m_owner, return_inverse=True)
-        seg_len = row_counts[u_own]
+        g_own = owners[u_own]
+        seg_len = (batch.ptr[g_own + 1] - batch.ptr[g_own]).astype(np.int64)
         c_ptr = np.zeros(len(u_own) + 1, dtype=np.int64)
         np.cumsum(seg_len, out=c_ptr[1:])
         n_stale_rows = int(c_ptr[-1])
         if n_stale_rows == 0:
-            return
-        stale_rows = np.repeat(batch.ptr[u_own] - c_ptr[:-1], seg_len) + np.arange(
-            n_stale_rows
-        )
+            return g_own
+        stale_rows = np.repeat(
+            batch.ptr[g_own] - c_ptr[:-1], seg_len
+        ) + np.arange(n_stale_rows)
         # Source-side term: one per-owner aggregate over its whole segment.
         src_adjust = np.zeros(len(u_own))
         np.add.at(src_adjust, inv, src_term)
         adjust = np.repeat(src_adjust, seg_len)
 
         # Candidate-side term: expand each incidence over the owner's rows.
-        inc_rows = seg_len[inv]
-        i_ptr = np.zeros(len(m_owner) + 1, dtype=np.int64)
+        if owner_pods is not None:
+            ow = owners[m_owner]
+            hit = (
+                owner_pods[ow, pod_of[m_new]]
+                | owner_pods[ow, pod_of[m_old]]
+            )
+            inv_c = inv[hit]
+            rate_c = m_rate[hit]
+            old_c = m_old[hit]
+            new_c = m_new[hit]
+        else:
+            inv_c, rate_c, old_c, new_c = inv, m_rate, m_old, m_new
+        inc_rows = seg_len[inv_c]
+        i_ptr = np.zeros(len(inv_c) + 1, dtype=np.int64)
         np.cumsum(inc_rows, out=i_ptr[1:])
         total = int(i_ptr[-1])
-        row_local = np.repeat(c_ptr[inv] - i_ptr[:-1], inc_rows) + np.arange(
+        row_local = np.repeat(c_ptr[inv_c] - i_ptr[:-1], inc_rows) + np.arange(
             total
         )
-        inc = np.repeat(np.arange(len(m_owner), dtype=np.int64), inc_rows)
+        inc = np.repeat(np.arange(len(inv_c), dtype=np.int64), inc_rows)
         hosts = batch.host[stale_rows[row_local]]
-        new_r = m_new[inc]
-        old_r = m_old[inc]
+        new_r = new_c[inc]
+        old_r = old_c[inc]
         # The level-weight difference vanishes unless the candidate host
         # shares a pod with the peer's old or new placement (both levels
         # are 3 otherwise) — which prunes the expensive part of the
@@ -503,7 +1458,7 @@ class BatchedRoundEngine:
         hosts_n = hosts[near]
         new_n = new_r[near]
         old_n = old_r[near]
-        rate_n = m_rate[inc[near]]
+        rate_n = rate_c[inc[near]]
         cand_term = rate_n * (
             pw[pair_levels(hosts_n, new_n, rack_of, pod_of)]
             - pw[pair_levels(hosts_n, old_n, rack_of, pod_of)]
@@ -519,47 +1474,38 @@ class BatchedRoundEngine:
             batch.onto_rate[stale_rows] += np.bincount(
                 row_near, weights=onto_term, minlength=n_stale_rows
             )
+        return g_own
 
     # -- settlement ---------------------------------------------------------
 
-    def _settle_non_movers(
+    def _settle_owners(
         self,
         result: RoundResult,
         batch: CandidateBatch,
+        rows: np.ndarray,
         positions: np.ndarray,
         choice: np.ndarray,
         best: np.ndarray,
-        beneficial: np.ndarray,
     ) -> List[int]:
-        """Record final decisions for every owner without a beneficial move.
+        """Record final decisions for owners without a beneficial move.
 
+        ``rows`` are owner indices into the batch (callers pass them in
+        visit order); ``positions`` maps owner index → visit position.
         Returns the settled VM ids (the wave callback reports them
         together with the wave's movers).
         """
-        decisions = result.decisions
-        vm_ids = self._fast.snapshot.vm_ids
-        rows = np.nonzero(~beneficial)[0]
         if rows.size == 0:
             return []
+        vm_ids = self._fast.snapshot.vm_ids
         reason_code = np.where(
             batch.degree[rows] == 0, 0, np.where(choice[rows] < 0, 1, 2)
         )
         deltas = np.where(reason_code == 2, np.maximum(best[rows], 0.0), 0.0)
-        reasons = ("no_peers", "no_feasible_target", "no_gain")
-        settled = vm_ids[batch.vms[rows]].tolist()
-        for pos, vm_id, source, code, delta in zip(
-            positions[rows].tolist(),
-            settled,
-            batch.source[rows].tolist(),
-            reason_code.tolist(),
-            deltas.tolist(),
-        ):
-            decisions[pos] = MigrationDecision(
-                vm_id=vm_id,
-                source_host=source,
-                target_host=None,
-                delta=delta,
-                migrated=False,
-                reason=reasons[code],
-            )
-        return settled
+        vms = vm_ids[batch.vms[rows]]
+        pos = positions[rows]
+        cols = result.decisions
+        cols.vm[pos] = vms
+        cols.source[pos] = batch.source[rows]
+        cols.delta[pos] = deltas
+        cols.reason[pos] = reason_code
+        return vms.tolist()

@@ -48,6 +48,65 @@ class IterationStats:
         return self.migrations / self.visits if self.visits else 0.0
 
 
+class DecisionLog:
+    """Sequence of per-hold decisions, lazily materialized per block.
+
+    The batched round engine records decisions as column arrays
+    (:class:`repro.core.rounds.DecisionColumns`); the log keeps those
+    blocks as-is and only builds
+    :class:`~repro.core.migration.MigrationDecision` tuples when the
+    decisions are actually read — report post-processing, never the hot
+    loop.  Supports the list operations the reference loop and consumers
+    use (``append``, ``extend``, iteration, ``len``, indexing).
+    """
+
+    def __init__(self) -> None:
+        self._blocks: List = []
+
+    def append(self, decision) -> None:
+        if not self._blocks or not isinstance(self._blocks[-1], list):
+            self._blocks.append([])
+        self._blocks[-1].append(decision)
+
+    def extend(self, decisions) -> None:
+        if hasattr(decisions, "migrated_count"):
+            self._blocks.append(decisions)
+        else:
+            for decision in decisions:
+                self.append(decision)
+
+    def __len__(self) -> int:
+        return sum(len(block) for block in self._blocks)
+
+    def __iter__(self):
+        for block in self._blocks:
+            yield from block
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self)[index]
+        n = len(self)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("decision index out of range")
+        for block in self._blocks:
+            if index < len(block):
+                return block[index]
+            index -= len(block)
+        raise IndexError("decision index out of range")
+
+    def migrated_count(self) -> int:
+        """Number of migrated holds, without materializing lazy blocks."""
+        total = 0
+        for block in self._blocks:
+            if hasattr(block, "migrated_count"):
+                total += block.migrated_count()
+            else:
+                total += sum(1 for d in block if d.migrated)
+        return total
+
+
 @dataclass
 class SchedulerReport:
     """Full record of one S-CORE run."""
@@ -56,11 +115,13 @@ class SchedulerReport:
     final_cost: float
     time_series: List[Tuple[float, float]] = field(default_factory=list)
     iterations: List[IterationStats] = field(default_factory=list)
-    decisions: List[MigrationDecision] = field(default_factory=list)
+    decisions: Sequence[MigrationDecision] = field(default_factory=DecisionLog)
 
     @property
     def total_migrations(self) -> int:
         """Number of migrations performed over the whole run."""
+        if hasattr(self.decisions, "migrated_count"):
+            return self.decisions.migrated_count()
         return sum(1 for d in self.decisions if d.migrated)
 
     @property
@@ -104,6 +165,7 @@ class SCOREScheduler:
         token_interval_s: float = 1.0,
         use_fastcost: bool = True,
         use_batched_rounds: bool = True,
+        use_round_cache: bool = True,
     ) -> None:
         """
         ``use_fastcost`` (default on) builds a
@@ -121,6 +183,13 @@ class SCOREScheduler:
         and the fast engine is active; otherwise — and always with
         ``use_fastcost=False`` or an order-free policy — :meth:`run` falls
         back to the per-hold reference loop (:meth:`run_reference`).
+
+        ``use_round_cache`` (default on) additionally runs batched rounds
+        against the engine's persistent per-owner score cache
+        (:mod:`repro.core.roundcache`): only the owners a wave / round /
+        epoch actually touched are re-scored, with the exact same
+        trajectory as the uncached wave loop (which ``False`` pins as the
+        reference).
         """
         check_positive("token_interval_s", token_interval_s)
         missing = traffic.vms_with_traffic - set(allocation.vm_ids())
@@ -141,7 +210,10 @@ class SCOREScheduler:
         # twice for a freshly constructed scheduler.
         self._use_fastcost = use_fastcost
         self._use_batched_rounds = use_batched_rounds
+        self._use_round_cache = use_round_cache
         self._fast: Optional[FastCostEngine] = None
+        self._profile = None
+        self._saved_capacity: dict = {}
 
     @property
     def allocation(self) -> Allocation:
@@ -162,6 +234,21 @@ class SCOREScheduler:
     def fastcost(self) -> Optional[FastCostEngine]:
         """The vectorized engine threaded through the loop (None if naive)."""
         return self._fast
+
+    @property
+    def profile(self):
+        """Per-phase timings accumulated so far (None unless enabled)."""
+        return self._profile
+
+    def enable_profiling(self):
+        """Collect per-phase wall clock (score / re-mask / plan / apply)
+        and round-cache hit rates on subsequent runs; returns the
+        :class:`~repro.util.profiling.PhaseTimings` accumulator."""
+        if self._profile is None:
+            from repro.util.profiling import PhaseTimings
+
+            self._profile = PhaseTimings()
+        return self._profile
 
     def run(
         self,
@@ -339,6 +426,8 @@ class SCOREScheduler:
         rounds = BatchedRoundEngine(
             self._allocation, self._traffic, self._engine, self._fast,
             wave_callback=wave_callback,
+            use_cache=self._use_round_cache,
+            profile=self._profile,
         )
         cost = cost_model.total_cost(self._allocation, self._traffic)
         report = SchedulerReport(initial_cost=cost, final_cost=cost)
@@ -496,7 +585,9 @@ class SCOREScheduler:
             )
         return self._traffic.apply_delta(triples)
 
-    def drain_hosts(self, hosts: Sequence[int]) -> List[Tuple[int, int]]:
+    def drain_hosts(
+        self, hosts: Sequence[int], offline: bool = False
+    ) -> List[Tuple[int, int]]:
         """Evacuate every VM from the given hosts (maintenance drain).
 
         Each VM moves to the first feasible host outside the drained set
@@ -506,6 +597,12 @@ class SCOREScheduler:
         ``(vm_id, target_host)`` moves performed; raises
         :class:`~repro.cluster.allocation.CapacityError` when a VM fits
         nowhere (the drain stops at that VM).
+
+        With ``offline=True`` the drained hosts are additionally taken
+        out of service — their slot capacity drops to zero via the
+        in-place capacity patch (:meth:`set_host_capacity`), so no later
+        round migrates anything back onto them — until
+        :meth:`restore_hosts` brings the saved capacity back.
         """
         drained = set(int(h) for h in hosts)
         topology = self._allocation.topology
@@ -530,7 +627,72 @@ class SCOREScheduler:
                 if self._fast is not None:
                     self._fast.apply_migration(vm_id, target)
                 moves.append((vm_id, target))
+        if offline:
+            for host in sorted(drained):
+                capacity = self._allocation.cluster.server(host).capacity
+                self._saved_capacity.setdefault(host, capacity)
+                self.set_host_capacity(host, max_vms=0)
         return moves
+
+    def restore_hosts(self, hosts: Sequence[int]) -> None:
+        """Bring hosts drained with ``offline=True`` back into service.
+
+        Restores each host's saved capacity through the in-place patch —
+        the freed hosts become candidate targets again at the next round
+        (feasibility is re-probed from the live mirrors; scored rows need
+        no invalidation).  Hosts that were never taken offline are
+        ignored.
+        """
+        for host in sorted(int(h) for h in hosts):
+            capacity = self._saved_capacity.pop(host, None)
+            if capacity is None:
+                continue
+            self.set_host_capacity(
+                host,
+                max_vms=capacity.max_vms,
+                nic_bps=capacity.nic_bps,
+                ram_mb=capacity.ram_mb,
+                cpu=capacity.cpu,
+            )
+
+    def set_host_capacity(
+        self,
+        host: int,
+        max_vms: Optional[int] = None,
+        nic_bps: Optional[float] = None,
+        ram_mb: Optional[int] = None,
+        cpu: Optional[float] = None,
+    ) -> None:
+        """Resize one host in place (server upgrade, maintenance offline).
+
+        Routed through :meth:`FastCostEngine.set_host_capacity` when the
+        engine exists — the capacity/egress mirrors are patched without a
+        rebuild — and straight through the cluster otherwise.  Values
+        left ``None`` keep their current setting; shrinking below current
+        usage raises (drain first).
+        """
+        if self._fast is not None:
+            self._fast.set_host_capacity(
+                host, max_vms=max_vms, nic_bps=nic_bps, ram_mb=ram_mb, cpu=cpu
+            )
+            return
+        from repro.cluster.server import ServerCapacity
+
+        cluster = self._allocation.cluster
+        current = cluster.server(int(host)).capacity
+        new = ServerCapacity(
+            max_vms=current.max_vms if max_vms is None else int(max_vms),
+            ram_mb=current.ram_mb if ram_mb is None else int(ram_mb),
+            cpu=current.cpu if cpu is None else float(cpu),
+            nic_bps=current.nic_bps if nic_bps is None else float(nic_bps),
+        )
+        in_use = len(self._allocation.vms_on(int(host)))
+        if new.max_vms < in_use:
+            raise ValueError(
+                f"host {host} runs {in_use} VMs; cannot shrink to "
+                f"{new.max_vms} slots (drain it first)"
+            )
+        cluster.set_host_capacity(int(host), new)
 
     def update_traffic(self, traffic: TrafficMatrix) -> None:
         """Install a fresh traffic-matrix estimate (next measurement window).

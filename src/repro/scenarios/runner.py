@@ -52,6 +52,8 @@ class ScenarioResult:
     epoch_reports: List[SchedulerReport] = field(default_factory=list)
     initial_cost: float = 0.0
     final_cost: float = 0.0
+    #: Per-phase wall clock + cache counters (None unless profiled).
+    profile: Optional[object] = None
 
     @property
     def total_migrations(self) -> int:
@@ -96,6 +98,7 @@ def run_scenario(
     epochs: Optional[int] = None,
     iterations_per_epoch: Optional[int] = None,
     seed: Optional[int] = None,
+    profile: bool = False,
 ) -> ScenarioResult:
     """Run one scenario (by value or registered name) end to end.
 
@@ -104,7 +107,9 @@ def run_scenario(
     scenario's declared values.  The environment is built fresh, the
     control loop comes from :func:`repro.sim.experiment.make_scheduler`,
     and every epoch transition runs through the scheduler's incremental
-    delta APIs.
+    delta APIs.  With ``profile`` the scheduler accumulates per-phase
+    wall clock (score / re-mask / plan / wave-apply) and round-cache
+    hit rates into ``ScenarioResult.profile``.
     """
     if isinstance(scenario, str):
         scenario = scenario_by_name(scenario)
@@ -122,6 +127,8 @@ def run_scenario(
 
     environment = build_environment(scenario.config)
     scheduler = make_scheduler(environment)
+    if profile:
+        scheduler.enable_profiling()
     drift = scenario.drift.build(environment.traffic, seed=scenario.config.seed)
     churn = scenario.churn.build()
     result = ScenarioResult(scenario=scenario, environment=environment)
@@ -163,4 +170,5 @@ def run_scenario(
                 schedule_s=schedule_s,
             )
         )
+    result.profile = scheduler.profile
     return result

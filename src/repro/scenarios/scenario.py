@@ -209,17 +209,31 @@ class FlashCrowdChurn(ChurnProcess):
 
 
 class RollingDrainChurn(ChurnProcess):
-    """Rolling maintenance: evacuate one rack per epoch, cycling."""
+    """Rolling maintenance: evacuate one rack per epoch, cycling.
+
+    The drained rack is taken *offline* (slot capacity zeroed through the
+    in-place capacity patch, so the optimizer cannot migrate anything
+    back mid-maintenance) and restored at the next epoch when the crew
+    moves on — the ``drain_hosts``/``restore_hosts`` capacity cycle.
+    """
 
     def __init__(self, spec: ChurnSpec) -> None:
         self._spec = spec
+        self._offline_rack: Optional[int] = None
 
     def apply(self, epoch: int, environment: Environment, scheduler) -> Tuple[int, int, int]:
         if epoch < self._spec.start_epoch:
             return (0, 0, 0)
         topology = environment.topology
+        if self._offline_rack is not None:
+            scheduler.restore_hosts(
+                topology.hosts_in_rack(self._offline_rack)
+            )
         rack = (epoch - self._spec.start_epoch) % topology.n_racks
-        moves = scheduler.drain_hosts(topology.hosts_in_rack(rack))
+        moves = scheduler.drain_hosts(
+            topology.hosts_in_rack(rack), offline=True
+        )
+        self._offline_rack = rack
         return (0, 0, len(moves))
 
 

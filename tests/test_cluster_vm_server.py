@@ -35,11 +35,14 @@ class TestServerCapacity:
 
     @pytest.mark.parametrize(
         "kwargs",
-        [{"max_vms": 0}, {"ram_mb": 0}, {"cpu": 0}, {"nic_bps": 0}],
+        [{"max_vms": -1}, {"ram_mb": 0}, {"cpu": 0}, {"nic_bps": 0}],
     )
     def test_non_positive_rejected(self, kwargs):
         with pytest.raises(ValueError):
             ServerCapacity(**kwargs)
+
+    def test_zero_slots_models_an_offline_host(self):
+        assert ServerCapacity(max_vms=0).max_vms == 0
 
 
 class TestServer:

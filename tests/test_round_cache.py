@@ -1,0 +1,320 @@
+"""Differential battery for the incremental round cache.
+
+Pins the tentpole invariant: a scheduler running wave-batched rounds
+against the persistent :class:`repro.core.roundcache.RoundScoreCache`
+(``use_round_cache=True``, the default) produces *exactly* the
+trajectory of the uncached reference loop — decision for decision
+(vm, target, migrated, reason and delta), migration for migration, run
+after run — across policies, churn, traffic deltas and adversarial
+invalidation patterns (freed better hosts, filled picks, mid-round
+token-level raises).  Plus the capacity-resize satellite:
+``set_host_capacity`` patches mirrors in place and the drain
+offline/restore paths ride on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.allocation import Allocation
+from repro.cluster.cluster import Cluster
+from repro.cluster.server import ServerCapacity
+from repro.cluster.vm import VM
+from repro.core.cost import CostModel
+from repro.core.fastcost import FastCostEngine
+from repro.core.migration import MigrationEngine
+from repro.core.policies import policy_by_name
+from repro.core.scheduler import SCOREScheduler
+from repro.sim.experiment import ExperimentConfig, build_environment
+from repro.topology.tree import CanonicalTree
+from repro.traffic.matrix import TrafficMatrix
+from repro.util.rng import make_rng
+
+
+def build_twins(seed=1, policy="rr", bandwidth_threshold=None, **overrides):
+    """Two identical environments + schedulers: cached and uncached."""
+    config = ExperimentConfig(policy=policy, seed=seed, **overrides)
+    out = []
+    for cached in (True, False):
+        env = build_environment(config)
+        engine = MigrationEngine(
+            env.cost_model, bandwidth_threshold=bandwidth_threshold
+        )
+        out.append(
+            (
+                env,
+                SCOREScheduler(
+                    env.allocation,
+                    env.traffic,
+                    policy_by_name(policy, seed=seed),
+                    engine,
+                    use_round_cache=cached,
+                ),
+            )
+        )
+    return out[0], out[1]
+
+
+def decisions_key(report):
+    return [
+        (d.vm_id, d.target_host, d.migrated, d.reason, d.delta)
+        for d in report.decisions
+    ]
+
+
+def assert_reports_equal(cached, uncached):
+    assert decisions_key(cached) == decisions_key(uncached)
+    assert cached.total_migrations == uncached.total_migrations
+    assert cached.final_cost == uncached.final_cost
+    assert [i.migrations for i in cached.iterations] == [
+        i.migrations for i in uncached.iterations
+    ]
+
+
+class TestMatchedSeedBattery:
+    @pytest.mark.parametrize("policy", ["rr", "hlf"])
+    @pytest.mark.parametrize("seed", [1, 2, 5, 9])
+    def test_cached_equals_uncached_across_runs(self, policy, seed):
+        """Three consecutive runs: the cache carries decisions across
+        rounds, runs and convergence — the trajectory must not drift."""
+        (env_c, sched_c), (env_u, sched_u) = build_twins(
+            seed=seed, policy=policy, n_iterations=4
+        )
+        for _ in range(3):
+            assert_reports_equal(
+                sched_c.run(n_iterations=4), sched_u.run(n_iterations=4)
+            )
+
+    @pytest.mark.parametrize("seed", [3, 7])
+    def test_bandwidth_threshold_path(self, seed):
+        """§V-C budgets disable per-host feasibility shortcuts; the
+        degenerate cached path must still match exactly."""
+        (env_c, sched_c), (env_u, sched_u) = build_twins(
+            seed=seed, policy="rr", bandwidth_threshold=0.9, n_iterations=3
+        )
+        for _ in range(2):
+            assert_reports_equal(
+                sched_c.run(n_iterations=3), sched_u.run(n_iterations=3)
+            )
+
+    def test_cache_actually_caches(self):
+        """A converged re-run re-scores a small fraction of owners."""
+        (env_c, sched_c), _ = build_twins(seed=4, policy="rr", n_iterations=4)
+        sched_c.run(n_iterations=6)
+        cache = sched_c.fastcost.round_cache()
+        before = cache.owners_rescored
+        seen_before = cache.owners_seen
+        sched_c.run(n_iterations=2)
+        rescored = cache.owners_rescored - before
+        seen = cache.owners_seen - seen_before
+        assert rescored < seen * 0.5
+        assert 0.0 < cache.hit_ratio <= 1.0
+
+
+class TestChurnAndDeltas:
+    def test_traffic_deltas_between_rounds(self):
+        """λ re-estimates between runs invalidate exactly the endpoints;
+        trajectories stay equal over a multi-epoch drift loop."""
+        (env_c, sched_c), (env_u, sched_u) = build_twins(
+            seed=6, policy="rr", n_iterations=2
+        )
+        rng = make_rng(6)
+        pairs = list(env_c.traffic.pairs())
+        for epoch in range(4):
+            picked = [
+                pairs[int(i)]
+                for i in rng.choice(len(pairs), 12, replace=False)
+            ]
+            delta = [
+                (u, v, r * float(0.2 + 2 * rng.random()))
+                for u, v, r in picked
+            ]
+            sched_c.apply_traffic_delta(delta)
+            sched_u.apply_traffic_delta(delta)
+            assert_reports_equal(
+                sched_c.run(n_iterations=2), sched_u.run(n_iterations=2)
+            )
+
+    def test_churn_between_rounds(self):
+        """Arrivals/departures flush the cache (dense remap); the next
+        run rebuilds it and stays exact."""
+        (env_c, sched_c), (env_u, sched_u) = build_twins(
+            seed=8, policy="hlf", n_iterations=2
+        )
+        assert_reports_equal(
+            sched_c.run(n_iterations=2), sched_u.run(n_iterations=2)
+        )
+        victims = sorted(env_c.allocation.vm_ids())[:3]
+        sched_c.retire_vms(victims)
+        sched_u.retire_vms(victims)
+        assert_reports_equal(
+            sched_c.run(n_iterations=2), sched_u.run(n_iterations=2)
+        )
+        next_id = max(env_c.allocation.vm_ids()) + 1
+        template = next(iter(env_c.allocation.vms()))
+        for env, sched in ((env_c, sched_c), (env_u, sched_u)):
+            vms = [
+                VM(next_id + i, ram_mb=template.ram_mb, cpu=template.cpu)
+                for i in range(3)
+            ]
+            free = [
+                h
+                for h in env.topology.hosts
+                if env.allocation.free_slots(h) > 0
+            ]
+            sched.admit_vms(vms, free[:3])
+            hot = max(
+                env.allocation.vm_ids(), key=lambda v: env.traffic.vm_load(v)
+            )
+            sched.apply_traffic_delta(
+                [(vm.vm_id, hot, 400.0) for vm in vms]
+            )
+        assert_reports_equal(
+            sched_c.run(n_iterations=3), sched_u.run(n_iterations=3)
+        )
+
+
+class TestAdversarialInvalidation:
+    def test_freed_better_host_between_runs(self):
+        """Retiring VMs frees strictly-better hosts after owners settled;
+        the cached next round must notice without a full re-score."""
+        (env_c, sched_c), (env_u, sched_u) = build_twins(
+            seed=11, policy="rr", n_iterations=3, fill_fraction=0.95
+        )
+        assert_reports_equal(
+            sched_c.run(n_iterations=3), sched_u.run(n_iterations=3)
+        )
+        # Free a whole host's worth of slots on the busiest host.
+        busiest = max(
+            env_c.topology.hosts, key=lambda h: len(env_c.allocation.vms_on(h))
+        )
+        victims = sorted(env_c.allocation.vms_on(busiest))[:3]
+        sched_c.retire_vms(victims)
+        sched_u.retire_vms(victims)
+        assert_reports_equal(
+            sched_c.run(n_iterations=3), sched_u.run(n_iterations=3)
+        )
+
+    def test_hlf_level_raise_mid_round(self):
+        """HLF's wave_refresh raises token levels mid-round; order
+        snapshots and cached decisions must agree run after run."""
+        (env_c, sched_c), (env_u, sched_u) = build_twins(
+            seed=13, policy="hlf", n_iterations=3, pattern="medium"
+        )
+        for _ in range(3):
+            assert_reports_equal(
+                sched_c.run(n_iterations=3), sched_u.run(n_iterations=3)
+            )
+        assert [v for v in sched_c.token.vm_ids] == [
+            v for v in sched_u.token.vm_ids
+        ]
+        levels_c = {v: sched_c.token.level_of(v) for v in sched_c.token.vm_ids}
+        levels_u = {v: sched_u.token.level_of(v) for v in sched_u.token.vm_ids}
+        assert levels_c == levels_u
+
+
+class TestSetHostCapacity:
+    def make_engine(self):
+        topo = CanonicalTree(n_racks=4, hosts_per_rack=2)
+        cluster = Cluster(topo, ServerCapacity(max_vms=4, ram_mb=8192, cpu=8.0))
+        allocation = Allocation(cluster)
+        rng = make_rng(3)
+        for vm_id in range(12):
+            allocation.add_vm(
+                VM(vm_id, ram_mb=1024, cpu=1.0), int(rng.integers(0, 8))
+            )
+        traffic = TrafficMatrix()
+        ids = sorted(allocation.vm_ids())
+        for i in range(0, len(ids) - 1, 2):
+            traffic.set_rate(ids[i], ids[i + 1], 100.0 + i)
+        return allocation, traffic, FastCostEngine(allocation, traffic)
+
+    def test_resize_patches_mirrors_in_place(self):
+        allocation, traffic, fast = self.make_engine()
+        fast.set_host_capacity(0, max_vms=6, nic_bps=2e9)
+        slots, _, _, nic = allocation.cluster.capacity_arrays()
+        assert slots[0] == 6 and nic[0] == 2e9
+        assert allocation.cluster.server(0).capacity.max_vms == 6
+        # The engine agrees with a freshly built one (no rebuild needed).
+        fresh = FastCostEngine(allocation, traffic)
+        hosts = np.arange(8)
+        vm = allocation.vm(sorted(allocation.vm_ids())[0])
+        assert np.array_equal(
+            fast.can_host_many(hosts, vm), fresh.can_host_many(hosts, vm)
+        )
+
+    def test_shrink_below_usage_rejected(self):
+        allocation, traffic, fast = self.make_engine()
+        loaded = max(
+            range(8), key=lambda h: len(allocation.vms_on(h))
+        )
+        with pytest.raises(ValueError):
+            fast.set_host_capacity(loaded, max_vms=0)
+
+    def test_drain_offline_and_restore(self):
+        """Offline drains zero a host's slots through the in-place patch;
+        restore brings the saved capacity back and the host becomes a
+        candidate again.  Cached and uncached twins stay equal."""
+        (env_c, sched_c), (env_u, sched_u) = build_twins(
+            seed=17, policy="rr", n_iterations=2
+        )
+        assert_reports_equal(
+            sched_c.run(n_iterations=2), sched_u.run(n_iterations=2)
+        )
+        hosts = env_c.topology.hosts_in_rack(0)
+        for sched in (sched_c, sched_u):
+            moves = sched.drain_hosts(hosts, offline=True)
+            assert all(t not in hosts for _, t in moves)
+        for env in (env_c, env_u):
+            for h in hosts:
+                assert env.allocation.cluster.server(h).capacity.max_vms == 0
+        assert_reports_equal(
+            sched_c.run(n_iterations=2), sched_u.run(n_iterations=2)
+        )
+        # Nothing migrated back onto the offline rack.
+        for env in (env_c, env_u):
+            assert all(len(env.allocation.vms_on(h)) == 0 for h in hosts)
+        for sched in (sched_c, sched_u):
+            sched.restore_hosts(hosts)
+        for env in (env_c, env_u):
+            for h in hosts:
+                assert env.allocation.cluster.server(h).capacity.max_vms > 0
+        assert_reports_equal(
+            sched_c.run(n_iterations=3), sched_u.run(n_iterations=3)
+        )
+
+
+class TestEngineTouchedSets:
+    def test_apply_moves_reports_footprint(self):
+        allocation, traffic, fast = TestSetHostCapacity().make_engine()
+        ids = sorted(allocation.vm_ids())
+        vm_id = ids[0]
+        dense = fast.dense_indices([vm_id])
+        source = fast.host_of(vm_id)
+        target = next(
+            h
+            for h in range(8)
+            if h != source and allocation.can_host(h, allocation.vm(vm_id))
+        )
+        allocation.migrate(vm_id, target)
+        deltas, touched = fast.apply_moves(
+            dense, np.array([target], dtype=np.int64)
+        )
+        assert len(deltas) == 1
+        assert source in touched.hosts and target in touched.hosts
+        assert dense[0] in touched.owners
+        peers, _ = fast.snapshot.peers_slice(int(dense[0]))
+        assert set(peers.tolist()) <= set(touched.owners.tolist())
+        assert not touched.structural
+
+    def test_structural_ops_flush(self):
+        allocation, traffic, fast = TestSetHostCapacity().make_engine()
+        cache = fast.round_cache()
+        cache.refresh()
+        assert cache._valid is not None
+        new_vm = VM(100, ram_mb=1024, cpu=1.0)
+        allocation.add_vm(new_vm, 0)
+        touched = fast.add_vms([new_vm])
+        assert touched.structural
+        assert cache._valid is None  # flushed
