@@ -484,3 +484,108 @@ def _timed(fn) -> float:
     t0 = time.perf_counter()
     fn()
     return time.perf_counter() - t0
+
+
+#: Events per burst drained through one pump at paper scale; the stream
+#: below cycles surge / retirement / arrival / resize / §V-C squeeze+lift.
+EVENT_BENCH_EVENTS = 60
+
+#: Ceiling for draining the whole stream (CI-runner slack included) —
+#: sustained absorption must stay interactive at paper scale.
+EVENT_ABSORB_BUDGET_S = 30.0
+
+
+@pytest.mark.smoke
+@pytest.mark.slow
+def test_event_absorption_at_paper_scale(emit):
+    """Sustained event-queue absorption on the canonical 2560-host tree.
+
+    Drains a ``EVENT_BENCH_EVENTS``-event stream (traffic surges, tenant
+    retirements and arrivals, host resizes, §V-C bandwidth squeezes and
+    lifts — every kind the failure scenarios inject) through
+    ``EventQueueRunner.pump`` against a warmed scheduler, timing pure
+    absorption: each event lands through the incremental churn/delta
+    APIs plus round-cache footprint invalidation.  Records ``absorb_s``
+    (trended, lower is better) and ``events_per_second`` (informational)
+    as ``paper_canonical_event_absorb``, then runs one mid-round
+    interleaved iteration to time the wave-loop bail path at scale.
+    """
+    from repro.sim.eventqueue import (
+        Arrival,
+        BandwidthCrunch,
+        CapacityChange,
+        EventQueueRunner,
+        Retirement,
+        TrafficSurge,
+    )
+
+    config = ExperimentConfig.paper_canonical(policy="rr", n_iterations=1)
+    env = build_environment(config)
+    scheduler = make_scheduler(env, config)
+    runner = EventQueueRunner(scheduler, environment=env)
+    scheduler.run(n_iterations=1)  # settle the heavy first round
+
+    def stream(i):
+        kind = i % 6
+        if kind == 0:
+            return TrafficSurge(1.5, top_pairs=32)
+        if kind == 1:
+            return Retirement(count=4, pick="newest")
+        if kind == 2:
+            return Arrival(count=4, rate=400.0)
+        if kind == 3:
+            return CapacityChange(
+                hosts=(i % env.topology.n_hosts,), max_vms=6
+            )
+        if kind == 4:
+            return BandwidthCrunch(0.8)
+        return BandwidthCrunch(None)  # lift
+
+    for i in range(EVENT_BENCH_EVENTS):
+        runner.schedule(scheduler.clock, stream(i))
+    t0 = time.perf_counter()
+    runner.pump(scheduler.clock)
+    absorb_s = time.perf_counter() - t0
+    assert len(runner.log) == EVENT_BENCH_EVENTS
+    assert all(e.changed for e in runner.log)
+    events_per_second = EVENT_BENCH_EVENTS / absorb_s
+
+    # One interleaved iteration: a mid-round surge + retirement exercise
+    # the live-continuation bail (fresh candidate batch) at full scale.
+    runner.schedule_at_round(
+        scheduler.clock / runner.round_seconds + 0.25, TrafficSurge(2.0)
+    )
+    runner.schedule_at_round(
+        scheduler.clock / runner.round_seconds + 0.5,
+        Retirement(count=8, pick="coldest"),
+    )
+    t1 = time.perf_counter()
+    runner.run(n_iterations=1)
+    interleaved_iteration_s = time.perf_counter() - t1
+    assert runner.pending == 0
+    fast = scheduler.fastcost
+    assert fast is not None and fast.in_sync
+
+    record = {
+        "name": "paper_canonical_event_absorb",
+        "topology": config.topology,
+        "n_hosts": env.topology.n_hosts,
+        "n_vms": env.allocation.n_vms,
+        "n_pairs": env.traffic.n_pairs,
+        "n_events": EVENT_BENCH_EVENTS,
+        "absorb_s": round(absorb_s, 4),
+        "events_per_second": round(events_per_second, 1),
+        "interleaved_iteration_s": round(interleaved_iteration_s, 3),
+    }
+    _write_report(record)
+    emit(
+        f"[paper-scale] event absorption: {EVENT_BENCH_EVENTS} events in "
+        f"{absorb_s:.3f}s ({events_per_second:,.0f} events/s)",
+        f"[paper-scale]   mid-round interleaved iteration "
+        f"{interleaved_iteration_s:6.2f}s",
+    )
+
+    assert absorb_s < EVENT_ABSORB_BUDGET_S, (
+        f"draining {EVENT_BENCH_EVENTS} events took {absorb_s:.1f}s; "
+        f"budget is {EVENT_ABSORB_BUDGET_S:.0f}s"
+    )

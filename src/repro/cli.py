@@ -168,17 +168,19 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         iterations_per_epoch=args.iterations_per_epoch,
         seed=args.seed,
         profile=args.profile,
+        validate=args.validate,
     )
     env = result.environment
     print(f"topology: {env.topology.describe()}  policy: {scenario.config.policy}")
     print(
         f"{'epoch':>5s} {'vms':>6s} {'migr':>6s} {'return':>6s} {'arr':>4s} "
-        f"{'dep':>4s} {'drain':>5s} {'cost after':>12s} {'trans':>8s} {'sched':>8s}"
+        f"{'dep':>4s} {'drain':>5s} {'event':>5s} {'cost after':>12s} "
+        f"{'trans':>8s} {'sched':>8s}"
     )
     for s in result.epoch_stats:
         print(
             f"{s.epoch:5d} {s.n_vms:6d} {s.migrations:6d} {s.returning:6d} "
-            f"{s.arrivals:4d} {s.departures:4d} {s.drained:5d} "
+            f"{s.arrivals:4d} {s.departures:4d} {s.drained:5d} {s.events:5d} "
             f"{s.cost_after:12.4g} {s.transition_s:7.3f}s {s.schedule_s:7.3f}s"
         )
     print(
@@ -264,6 +266,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="print per-phase scheduling timings (transition / score / "
         "wave-apply / re-mask) and round-cache hit rates",
+    )
+    scenario_parser.add_argument(
+        "--validate", action="store_true",
+        help="run the engine-invariant harness after every injected "
+        "event and epoch (debug; slows the run down)",
     )
     scenario_parser.set_defaults(func=_cmd_scenario)
 

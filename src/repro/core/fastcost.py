@@ -840,6 +840,18 @@ class FastCostEngine:
         if self._round_cache is not None:
             self._round_cache.flush()
 
+    def invalidate_round_decisions(self) -> None:
+        """Drop the round cache's cross-round decision carry, if any.
+
+        Call after out-of-band configuration changes that alter decision
+        semantics without touching scored deltas (e.g. a §V-C bandwidth
+        threshold flip): the cached scored rows stay valid, but any
+        carried per-owner decision was made under the old rules and must
+        be re-derived.
+        """
+        if self._round_cache is not None:
+            self._round_cache.invalidate_decisions()
+
     def _movers_footprint(self, movers: np.ndarray) -> np.ndarray:
         """Dense owners whose scored rows a batch of moves makes stale:
         the movers themselves plus every communication peer of a mover."""

@@ -201,6 +201,21 @@ class MigrationEngine:
         """The §V-C link-load threshold in force (None = disabled)."""
         return self._bandwidth_threshold
 
+    def set_bandwidth_threshold(self, threshold: Optional[float]) -> None:
+        """Change the §V-C link-load budget mid-run (None disables it).
+
+        Models migration-bandwidth contention events: a squeezed budget
+        takes effect for every decision made after the call.  Callers
+        holding a round-score cache must also drop its carried decisions
+        (:meth:`repro.core.fastcost.FastCostEngine
+        .invalidate_round_decisions`) — the scheduler-level setter does.
+        """
+        if threshold is not None and not 0 < threshold <= 1:
+            raise ValueError(
+                f"bandwidth_threshold must be in (0, 1], got {threshold}"
+            )
+        self._bandwidth_threshold = threshold
+
     @property
     def max_candidates(self) -> Optional[int]:
         """Cap on probed candidate servers per decision (None = unlimited)."""

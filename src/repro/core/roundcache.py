@@ -188,6 +188,20 @@ class RoundScoreCache:
         if self._valid is not None:
             self._valid[dense_owners] = False
 
+    def invalidate_decisions(self) -> None:
+        """Drop only the cross-round decision carry, keeping scored rows.
+
+        Mid-round structural churn (an injected arrival, retirement,
+        capacity change or traffic delta) invalidates the round engine's
+        in-flight incremental decision structures, but the persistent
+        scored rows stay correct as long as the mutation itself routed
+        through the engine's footprint invalidation (``apply_moves``,
+        ``apply_traffic_delta``, splices).  This is the hook for exactly
+        that case: the next round re-evaluates every owner's decision
+        from its (mostly cached) scored rows instead of rebuilding them.
+        """
+        self.decision_state = None
+
     @property
     def hit_ratio(self) -> float:
         """Fraction of owner evaluations answered from cache so far."""

@@ -69,7 +69,9 @@ from repro.traffic.matrix import TrafficMatrix
 
 
 #: Reason strings indexed by the round engine's per-hold reason codes.
-_REASONS = ("no_peers", "no_feasible_target", "no_gain", "migrated")
+#: ``retired`` settles a hold whose VM left the allocation mid-round (an
+#: injected departure): the hold is consumed without a decision.
+_REASONS = ("no_peers", "no_feasible_target", "no_gain", "migrated", "retired")
 
 
 class DecisionColumns:
@@ -227,35 +229,70 @@ class BatchedRoundEngine:
         if self._profile is not None:
             self._profile.add(phase, time.perf_counter() - t0)
 
-    def run_round(self, order: Sequence[int]) -> RoundResult:
+    def run_round(self, order: Sequence[int], injector=None) -> RoundResult:
         """Run one full token round over ``order`` (a visit-order snapshot).
 
         Dispatches to the cached loop when enabled and ``order`` covers
         the engine's whole population (the round cache is keyed by the
         dense VM index); partial orders always take the uncached path.
+
+        ``injector``, when given, is pumped after every applied wave (and
+        after the wave callback) with the number of holds decided so far:
+        ``injector(settled_holds) -> bool``.  Returning ``True`` means
+        external events mutated engine state mid-round (churn, traffic
+        deltas, capacity changes); the in-flight scored batch is then
+        stale, so the round abandons it and finishes through
+        :meth:`_finish_round_live` — fresh re-scores of the still
+        undecided holds against the live state.  Both loops pump at the
+        exact same protocol points, so a cached/uncached twin pair under
+        an identical injector sees identical pump times and produces the
+        identical trajectory.
         """
         if self._use_cache:
             n = self._fast.snapshot.n_vms
             if len(order) == n:
                 dense_order = self._fast.dense_indices(order)
                 if bool(np.bincount(dense_order, minlength=n).all()):
-                    return self._run_round_cached(order, dense_order)
-        return self._run_round_uncached(order)
+                    return self._run_round_cached(order, dense_order, injector)
+        return self._run_round_uncached(order, injector)
 
-    def _run_round_uncached(self, order: Sequence[int]) -> RoundResult:
+    def _run_round_uncached(
+        self, order: Sequence[int], injector=None
+    ) -> RoundResult:
         """The reference wave loop: full re-mask of every pending owner
         per wave, round-local candidate batch.  Pinned against the cached
         loop by ``tests/test_round_cache.py``."""
         fast = self._fast
-        engine = self._engine
         n = len(order)
         result = RoundResult.for_round(n)
         t0 = self._tick()
         batch = fast.candidate_batch(
-            fast.dense_indices(order), engine.max_candidates
+            fast.dense_indices(order), self._engine.max_candidates
         )
         self._lap("score", t0)
         positions = np.arange(n, dtype=np.int64)
+        if self._wave_segment(result, batch, positions, injector):
+            self._finish_round_live(result, list(order), injector)
+        assert result.decisions.complete
+        return result
+
+    def _wave_segment(
+        self,
+        result: RoundResult,
+        batch: CandidateBatch,
+        positions: np.ndarray,
+        injector=None,
+    ) -> bool:
+        """Run the uncached wave loop over one scored batch to completion.
+
+        ``positions`` maps the batch's owners to their visit positions in
+        the round.  Returns ``True`` when the injector fired mid-segment:
+        the batch (round-snapshot candidate sets, incrementally adjusted
+        deltas) no longer describes the live engine state, so the caller
+        must re-score whatever is still undecided and run a new segment.
+        """
+        fast = self._fast
+        engine = self._engine
         cm = engine.migration_cost
         threshold = engine.bandwidth_threshold
         n_hosts = self._allocation.cluster.n_servers
@@ -295,6 +332,8 @@ class BatchedRoundEngine:
                 # Fired after the wave landed, so refreshes see the
                 # post-wave placement (the freshest state this round).
                 self._wave_callback(settled_ids)
+            if injector is not None and injector(self._settled_count(result)):
+                return True
             deferred = prop[~accepted]
             if deferred.size == 0:
                 break
@@ -313,9 +352,75 @@ class BatchedRoundEngine:
                 self._lap("adjust", t0)
             batch = keep
             positions = keep_positions
+        return False
 
-        assert result.decisions.complete
-        return result
+    @staticmethod
+    def _settled_count(result: RoundResult) -> int:
+        """Holds decided so far this round (the injector's clock input)."""
+        return int((result.decisions.reason >= 0).sum())
+
+    def _settle_retired(
+        self, result: RoundResult, vm_ids: List[int], positions: List[int]
+    ) -> None:
+        """Consume the holds of VMs that left the allocation mid-round.
+
+        A retired VM's remaining holds settle with the ``retired`` reason
+        (no decision, zero delta); they still consume their clock ticks,
+        keeping the round's hold count — and therefore every twin's event
+        timeline — fixed at the visit-order snapshot's length.  Retired
+        settles are not reported to the wave callback: the VM already
+        left the token, so there is nothing to refresh.
+        """
+        cols = result.decisions
+        pos = np.asarray(positions, dtype=np.int64)
+        cols.vm[pos] = np.asarray(vm_ids, dtype=np.int64)
+        cols.source[pos] = -1
+        cols.delta[pos] = 0.0
+        cols.reason[pos] = 4  # retired
+
+    def _finish_round_live(
+        self, result: RoundResult, order_ids: List[int], injector
+    ) -> None:
+        """Finish a round whose in-flight batch an injected event staled.
+
+        Loops until every hold is decided: settle the holds of VMs that
+        no longer exist, score a *fresh* candidate batch over the still
+        undecided (and still placed) VMs against the live engine state,
+        and run a wave segment over it — which may itself be interrupted
+        by further injections.  The continuation depends only on live
+        engine state, so the cached and uncached loops (which share this
+        path after bailing out) produce bit-identical trajectories.
+        """
+        allocation = self._allocation
+        fast = self._fast
+        while True:
+            undecided = np.nonzero(result.decisions.reason < 0)[0]
+            if undecided.size == 0:
+                return
+            alive_pos: List[int] = []
+            alive_ids: List[int] = []
+            gone_pos: List[int] = []
+            gone_ids: List[int] = []
+            for pos in undecided.tolist():
+                vm_id = order_ids[pos]
+                if vm_id in allocation:
+                    alive_pos.append(pos)
+                    alive_ids.append(vm_id)
+                else:
+                    gone_pos.append(pos)
+                    gone_ids.append(vm_id)
+            if gone_pos:
+                self._settle_retired(result, gone_ids, gone_pos)
+            if not alive_pos:
+                return
+            t0 = self._tick()
+            batch = fast.candidate_batch(
+                fast.dense_indices(alive_ids), self._engine.max_candidates
+            )
+            self._lap("score", t0)
+            positions = np.asarray(alive_pos, dtype=np.int64)
+            if not self._wave_segment(result, batch, positions, injector):
+                return
 
     # -- cached round loop ---------------------------------------------------
 
@@ -323,7 +428,7 @@ class BatchedRoundEngine:
     _HOST_SHIFT = 40
 
     def _run_round_cached(
-        self, order: Sequence[int], dense_order: np.ndarray
+        self, order: Sequence[int], dense_order: np.ndarray, injector=None
     ) -> RoundResult:
         """One token round against the persistent round-score cache.
 
@@ -603,6 +708,19 @@ class BatchedRoundEngine:
             self._lap("wave-apply", t0)
             if self._wave_callback is not None and settled_ids:
                 self._wave_callback(settled_ids)
+            if injector is not None and injector(self._settled_count(result)):
+                # Injected events mutated engine state mid-round: both the
+                # round-local incremental structures (choice/best, active
+                # ties, shadow) and any carried cross-round decision state
+                # are stale.  Drop the decision carry — the persistent
+                # scored rows themselves stay valid because every event
+                # routes through the engine's footprint invalidation —
+                # and finish the round on the live path, exactly like the
+                # uncached loop.
+                cache.invalidate_decisions()
+                self._finish_round_live(result, list(order), injector)
+                assert result.decisions.complete
+                return result
             wave_owners = prop[accepted]
             pending[wave_owners] = False
             if state is not None and wave_owners.size:

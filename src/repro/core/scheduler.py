@@ -41,6 +41,8 @@ class IterationStats:
     visits: int
     migrations: int
     cost_at_end: float
+    #: Waves the batched round took (0 on the per-hold reference loop).
+    waves: int = 0
 
     @property
     def migrated_ratio(self) -> float:
@@ -226,6 +228,21 @@ class SCOREScheduler:
         return self._token
 
     @property
+    def traffic(self) -> TrafficMatrix:
+        """The bound traffic matrix (live state)."""
+        return self._traffic
+
+    @property
+    def clock(self) -> float:
+        """Simulated wall-clock seconds elapsed (persists across runs)."""
+        return self._clock
+
+    @property
+    def token_interval_s(self) -> float:
+        """Simulated seconds one token hold takes."""
+        return self._interval
+
+    @property
     def cost_model(self) -> CostModel:
         """Shortcut to the engine's cost model."""
         return self._engine.cost_model
@@ -255,6 +272,7 @@ class SCOREScheduler:
         n_iterations: int = 5,
         stop_when_stable: bool = False,
         record_every_hold: bool = False,
+        event_pump=None,
     ) -> SchedulerReport:
         """Circulate the token for ``n_iterations`` full rounds.
 
@@ -274,6 +292,15 @@ class SCOREScheduler:
         record_every_hold:
             Record a time-series point at every hold instead of only when
             the cost changes (larger but smoother series).
+        event_pump:
+            Optional ``pump(now_s) -> bool`` driving a continuous-time
+            event queue (see :mod:`repro.sim.eventqueue`).  On the
+            batched path it is called after every applied wave with the
+            simulated time of the last settled hold, and at every round
+            boundary; the reference loop pumps at iteration boundaries
+            only.  A ``True`` return means events mutated engine state:
+            the in-flight round finishes against the live state and the
+            cost series re-anchors from the engine's exact total.
         """
         if n_iterations < 1:
             raise ValueError(f"n_iterations must be >= 1, got {n_iterations}")
@@ -293,9 +320,11 @@ class SCOREScheduler:
                     n_iterations,
                     stop_when_stable,
                     record_every_hold,
+                    event_pump,
                 )
         return self._run_reference_loop(
-            cost_model, n_iterations, stop_when_stable, record_every_hold
+            cost_model, n_iterations, stop_when_stable, record_every_hold,
+            event_pump,
         )
 
     def run_reference(
@@ -348,14 +377,18 @@ class SCOREScheduler:
         n_iterations: int,
         stop_when_stable: bool,
         record_every_hold: bool,
+        event_pump=None,
     ) -> SchedulerReport:
         cost = cost_model.total_cost(self._allocation, self._traffic)
         report = SchedulerReport(initial_cost=cost, final_cost=cost)
         report.time_series.append((self._clock, cost))
 
         holder = self._token.lowest_id
-        n_vms = len(self._token)
         for iteration in range(1, n_iterations + 1):
+            # Re-read each iteration: boundary events may have churned
+            # the population (the per-hold loop has no mid-round seam —
+            # event injection there is boundary-granular by design).
+            n_vms = len(self._token)
             migrations = 0
             for _visit in range(n_vms):
                 decision = self._engine.decide_and_migrate(
@@ -391,6 +424,15 @@ class SCOREScheduler:
                 )
             )
             report.time_series.append((self._clock, cost))
+            if event_pump is not None and event_pump(self._clock):
+                # Events changed cost out-of-band of the migration deltas
+                # and may have retired the next holder.
+                cost = float(
+                    cost_model.total_cost(self._allocation, self._traffic)
+                )
+                if holder not in self._token:
+                    holder = self._token.lowest_id
+                report.time_series.append((self._clock, cost))
             if stop_when_stable and migrations == 0:
                 break
 
@@ -404,6 +446,7 @@ class SCOREScheduler:
         n_iterations: int,
         stop_when_stable: bool,
         record_every_hold: bool,
+        event_pump=None,
     ) -> SchedulerReport:
         """Wave-batched rounds over the policy's round-order snapshots.
 
@@ -411,6 +454,15 @@ class SCOREScheduler:
         visit order, a time-series point per migrated hold (or per hold
         with ``record_every_hold``) and one per iteration end — with each
         wave's cost change attributed to the holds that moved.
+
+        With an ``event_pump``, the pump runs after every applied wave at
+        the simulated time of the wave's last settled hold (round start +
+        ``token_interval_s`` × holds decided so far — a retired hold
+        still consumes its tick) and again at each round boundary.  When
+        a pump mutates state, per-hold points within that round remain
+        migration-delta-relative (events shift them out-of-band), but
+        every iteration-end cost re-anchors from the engine's exact
+        incremental total, so ``final_cost`` is exact.
         """
         assert self._fast is not None
         wave_callback = None
@@ -435,7 +487,12 @@ class SCOREScheduler:
 
         order = first_order
         for iteration in range(1, n_iterations + 1):
-            result = rounds.run_round(order)
+            injector = None
+            if event_pump is not None:
+                def injector(settled, _start=self._clock):
+                    return event_pump(_start + self._interval * settled)
+
+            result = rounds.run_round(order, injector)
             report.decisions.extend(result.decisions)
             # Per-hold cost series, attributed at each migrated hold in
             # visit order (cumulative exact deltas).
@@ -445,6 +502,12 @@ class SCOREScheduler:
             )
             self._clock = float(clocks[-1])
             cost = float(costs[-1])
+            if event_pump is not None:
+                # Injected events shift cost out-of-band of the per-hold
+                # deltas; re-anchor from the engine's exact total (O(1)).
+                cost = float(
+                    cost_model.total_cost(self._allocation, self._traffic)
+                )
             if record_every_hold:
                 report.time_series.extend(
                     zip(clocks.tolist(), costs.tolist())
@@ -460,12 +523,20 @@ class SCOREScheduler:
                     visits=len(order),
                     migrations=result.migrations,
                     cost_at_end=cost,
+                    waves=result.waves,
                 )
             )
             report.time_series.append((self._clock, cost))
             holder = self._policy.end_round(
                 self._token, order, self._allocation, self._traffic, cost_model
             )
+            if event_pump is not None and event_pump(self._clock):
+                # Boundary events (arrivals join here; departures leave
+                # before the next order snapshot).
+                cost = float(
+                    cost_model.total_cost(self._allocation, self._traffic)
+                )
+                report.time_series.append((self._clock, cost))
             if stop_when_stable and result.migrations == 0:
                 break
             if iteration < n_iterations:
@@ -693,6 +764,19 @@ class SCOREScheduler:
                 f"{new.max_vms} slots (drain it first)"
             )
         cluster.set_host_capacity(int(host), new)
+
+    def set_bandwidth_threshold(self, threshold: Optional[float]) -> None:
+        """Change the §V-C migration-bandwidth budget mid-run.
+
+        Models link contention events (a squeezed budget) and their
+        lifting (``None`` or a looser fraction).  The new budget governs
+        every decision made after the call; any round-cache decision
+        carry is dropped (it was derived under the old budget), while the
+        cached scored deltas — budget-independent — survive.
+        """
+        self._engine.set_bandwidth_threshold(threshold)
+        if self._fast is not None:
+            self._fast.invalidate_round_decisions()
 
     def update_traffic(self, traffic: TrafficMatrix) -> None:
         """Install a fresh traffic-matrix estimate (next measurement window).

@@ -2,11 +2,15 @@
 
 The growth layer over :mod:`repro.sim`: a :class:`Scenario` couples a
 static :class:`~repro.sim.experiment.ExperimentConfig` with a traffic
-:class:`DriftSpec` and a population :class:`ChurnSpec`;
+:class:`DriftSpec`, a population :class:`ChurnSpec` and timestamped
+:class:`EventSpec` injections for the continuous-time event queue;
 :func:`run_scenario` executes it epoch by epoch through the fast engine's
-incremental state-delta APIs (no per-epoch snapshot rebuilds).  A shipped
-catalogue (steady, diurnal-drift, hotspot-flip, flash-crowd,
-rolling-maintenance) registers on import; ``register_scenario`` grows it.
+incremental state-delta APIs (no per-epoch snapshot rebuilds), routing
+event scenarios through :mod:`repro.sim.eventqueue` so failures land
+*mid-round*.  A shipped catalogue (steady, diurnal-drift, hotspot-flip,
+flash-crowd, rolling-maintenance, rack-outage, pod-outage,
+flash-crowd-mid-round, bandwidth-crunch) registers on import;
+``register_scenario`` grows it.
 
 See ``docs/scenarios.md`` for the catalogue and how to add a scenario.
 """
@@ -14,6 +18,7 @@ See ``docs/scenarios.md`` for the catalogue and how to add a scenario.
 from repro.scenarios.scenario import (
     ChurnSpec,
     DriftSpec,
+    EventSpec,
     Scenario,
 )
 from repro.scenarios.registry import (
@@ -31,6 +36,7 @@ __all__ = [
     "Scenario",
     "DriftSpec",
     "ChurnSpec",
+    "EventSpec",
     "EpochStats",
     "ScenarioResult",
     "run_scenario",

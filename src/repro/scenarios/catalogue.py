@@ -1,18 +1,24 @@
 """The shipped scenario catalogue.
 
-Five named studies spanning the dynamics the paper argues about (§IV,
+Nine named studies spanning the dynamics the paper argues about (§IV,
 §VI-B) and the operational events a live DC adds on top.  Each registers
 on import of :mod:`repro.scenarios`; run one with
 ``python -m repro scenario <name>`` or
 :func:`repro.scenarios.run_scenario`.  Configs are laptop-scale by
 default — pass ``scale="toy"`` for CI smoke or ``scale="paper"`` for the
 published 2560-host dimensions.
+
+The last four are *failure scenarios* driven by the continuous-time
+event queue (:mod:`repro.sim.eventqueue`): their events land **between
+waves of an in-flight round** at simulated timestamps (``at_round`` in
+global round units), exercising the engine's mid-round invalidation
+contracts rather than only epoch boundaries.
 """
 
 from __future__ import annotations
 
 from repro.scenarios.registry import register_scenario
-from repro.scenarios.scenario import ChurnSpec, DriftSpec, Scenario
+from repro.scenarios.scenario import ChurnSpec, DriftSpec, EventSpec, Scenario
 from repro.sim.experiment import ExperimentConfig
 
 #: Shared static base: the repo's default canonical tree with HLF.
@@ -90,5 +96,90 @@ ROLLING_MAINTENANCE = register_scenario(
         epochs=4,
         iterations_per_epoch=2,
         churn=ChurnSpec(kind="rolling_drain", start_epoch=1),
+    )
+)
+
+# -- event-queue failure scenarios ------------------------------------------
+# Timestamps are global round units; fractional values fire mid-round.
+
+RACK_OUTAGE = register_scenario(
+    Scenario(
+        name="rack-outage",
+        description=(
+            "Correlated failure mid-round: rack 0 goes dark halfway "
+            "through the first round (offline drain between waves), is "
+            "restored 1.5 rounds later, and S-CORE re-localizes the "
+            "displaced VMs.  Lower fill leaves failover headroom."
+        ),
+        config=_BASE.with_(fill_fraction=0.7),
+        epochs=3,
+        iterations_per_epoch=2,
+        events=(
+            EventSpec(
+                kind="outage", at_round=0.5, racks=(0,),
+                restore_after_rounds=1.5,
+            ),
+        ),
+    )
+)
+
+POD_OUTAGE = register_scenario(
+    Scenario(
+        name="pod-outage",
+        description=(
+            "A whole aggregation domain fails mid-round: every rack of "
+            "pod 1 drains offline between waves, then racks restore "
+            "staggered a quarter round apart (rolling recovery).  Low "
+            "fill so the surviving pods can absorb the evacuees."
+        ),
+        config=_BASE.with_(fill_fraction=0.4),
+        epochs=3,
+        iterations_per_epoch=2,
+        events=(
+            EventSpec(
+                kind="outage", at_round=0.5, pods=(1,),
+                restore_after_rounds=2.0, stagger_rounds=0.25,
+            ),
+        ),
+    )
+)
+
+FLASH_CROWD_MID_ROUND = register_scenario(
+    Scenario(
+        name="flash-crowd-mid-round",
+        description=(
+            "The flash crowd, at wave granularity: a hot tenant burst "
+            "arrives 40% into the first round (admitted between waves, "
+            "optimized from the next round) and departs mid-round three "
+            "circulations later."
+        ),
+        config=_BASE.with_(fill_fraction=0.7),
+        epochs=3,
+        iterations_per_epoch=2,
+        events=(
+            EventSpec(kind="arrival", at_round=0.4, count=8, rate=600.0),
+            EventSpec(kind="retirement", at_round=3.4, count=8, pick="newest"),
+        ),
+    )
+)
+
+BANDWIDTH_CRUNCH = register_scenario(
+    Scenario(
+        name="bandwidth-crunch",
+        description=(
+            "Migration-bandwidth contention (§V-C): 30% into the first "
+            "round the per-target NIC budget squeezes to 50%, throttling "
+            "feasible moves mid-flight; the squeeze lifts two rounds "
+            "later and the deferred optimization drains."
+        ),
+        config=_BASE,
+        epochs=3,
+        iterations_per_epoch=2,
+        events=(
+            EventSpec(
+                kind="bandwidth_crunch", at_round=0.3, threshold=0.5,
+                lift_after_rounds=2.0,
+            ),
+        ),
     )
 )

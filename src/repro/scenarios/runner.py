@@ -21,6 +21,7 @@ from repro.scenarios.scenario import Scenario
 from repro.core.scheduler import SchedulerReport
 from repro.sim.dynamics import count_returning_migrations
 from repro.sim.experiment import Environment, build_environment, make_scheduler
+from repro.util.validation import check_engine_invariants
 
 
 @dataclass(frozen=True)
@@ -40,6 +41,9 @@ class EpochStats:
     transition_s: float
     #: Token-loop wall clock for the epoch's iterations.
     schedule_s: float
+    #: Timestamped events the continuous-time queue applied this epoch
+    #: (mid-round and boundary injections alike; 0 without an event queue).
+    events: int = 0
 
 
 @dataclass
@@ -77,6 +81,11 @@ class ScenarioResult:
         return [s.migrations for s in self.epoch_stats]
 
     @property
+    def events_applied(self) -> int:
+        """Timestamped events the continuous-time queue applied in total."""
+        return sum(s.events for s in self.epoch_stats)
+
+    @property
     def settled(self) -> bool:
         """Whether the final epoch needed no migrations at all."""
         return bool(self.epoch_stats) and self.epoch_stats[-1].migrations == 0
@@ -99,6 +108,7 @@ def run_scenario(
     iterations_per_epoch: Optional[int] = None,
     seed: Optional[int] = None,
     profile: bool = False,
+    validate: bool = False,
 ) -> ScenarioResult:
     """Run one scenario (by value or registered name) end to end.
 
@@ -110,6 +120,14 @@ def run_scenario(
     delta APIs.  With ``profile`` the scheduler accumulates per-phase
     wall clock (score / re-mask / plan / wave-apply) and round-cache
     hit rates into ``ScenarioResult.profile``.
+
+    Scenarios declaring :class:`~repro.scenarios.scenario.EventSpec`
+    entries run each epoch through the continuous-time event-queue
+    runner (:mod:`repro.sim.eventqueue`): events land mid-round at their
+    simulated timestamps.  ``validate`` runs the full engine-invariant
+    harness (:func:`repro.util.validation.check_engine_invariants`)
+    after every injected event and at every epoch end — the debug mode
+    the stress suite and the scenario smoke tests use.
     """
     if isinstance(scenario, str):
         scenario = scenario_by_name(scenario)
@@ -131,6 +149,17 @@ def run_scenario(
         scheduler.enable_profiling()
     drift = scenario.drift.build(environment.traffic, seed=scenario.config.seed)
     churn = scenario.churn.build()
+    events_runner = None
+    if scenario.events:
+        from repro.sim.eventqueue import EventQueueRunner
+
+        events_runner = EventQueueRunner(
+            scheduler, environment=environment, validate=validate
+        )
+        for spec in scenario.events:
+            events_runner.schedule_at_round(
+                spec.at_round, spec.build(events_runner.round_seconds)
+            )
     result = ScenarioResult(scenario=scenario, environment=environment)
     former_hosts: Dict[int, Set[int]] = {}
 
@@ -146,8 +175,16 @@ def run_scenario(
         transition_s = time.perf_counter() - t0
 
         t1 = time.perf_counter()
-        report = scheduler.run(n_iterations=iterations)
+        if events_runner is not None:
+            applied_before = len(events_runner.log)
+            report = events_runner.run(n_iterations=iterations)
+            epoch_events = len(events_runner.log) - applied_before
+        else:
+            report = scheduler.run(n_iterations=iterations)
+            epoch_events = 0
         schedule_s = time.perf_counter() - t1
+        if validate:
+            check_engine_invariants(scheduler)
 
         if epoch == 0:
             result.initial_cost = report.initial_cost
@@ -168,6 +205,7 @@ def run_scenario(
                 cost_after=report.final_cost,
                 transition_s=transition_s,
                 schedule_s=schedule_s,
+                events=epoch_events,
             )
         )
     result.profile = scheduler.profile

@@ -27,6 +27,15 @@ from repro.traffic.temporal import (
 
 DRIFT_KINDS = ("none", "jitter", "diurnal", "hotspot_flip")
 CHURN_KINDS = ("none", "flash_crowd", "rolling_drain")
+EVENT_KINDS = (
+    "arrival",
+    "retirement",
+    "traffic_surge",
+    "capacity_change",
+    "outage",
+    "restore",
+    "bandwidth_crunch",
+)
 
 #: Topology-dimension overrides per named scale; everything else (pattern,
 #: policy, budgets, seed) comes from the scenario's own config.
@@ -238,6 +247,91 @@ class RollingDrainChurn(ChurnProcess):
 
 
 @dataclass(frozen=True)
+class EventSpec:
+    """One declarative timestamped event for the continuous-time runner.
+
+    ``at_round`` is the fire time in *global round units* — fractions of
+    one full token circulation of the scenario's initial population,
+    counted from the run's start across every epoch (1.5 = halfway
+    through the second round overall).  Fractional times land the event
+    *between waves* of the in-flight round through the scheduler's
+    event-pump seam; whole numbers land it at a round boundary.  ``kind``
+    selects the event class of :mod:`repro.sim.eventqueue`; the
+    remaining fields parameterize it (unused fields are ignored by the
+    other kinds).  ``restore_after_rounds``/``stagger_rounds`` and
+    ``lift_after_rounds`` are converted to seconds with the same round
+    unit at schedule time.
+    """
+
+    kind: str
+    at_round: float
+    # arrival / retirement
+    count: int = 4
+    rate: float = 500.0
+    pick: str = "newest"
+    vm_ids: Tuple[int, ...] = ()
+    # traffic_surge
+    factor: float = 2.0
+    top_pairs: int = 8
+    # outage / restore / capacity_change
+    racks: Tuple[int, ...] = ()
+    pods: Tuple[int, ...] = ()
+    hosts: Tuple[int, ...] = ()
+    max_vms: Optional[int] = None
+    restore_after_rounds: Optional[float] = None
+    stagger_rounds: float = 0.0
+    # bandwidth_crunch
+    threshold: Optional[float] = None
+    lift_after_rounds: Optional[float] = None
+    lift_to: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown event kind {self.kind!r}; known: {EVENT_KINDS}"
+            )
+        if self.at_round < 0:
+            raise ValueError(f"at_round must be >= 0, got {self.at_round}")
+
+    def build(self, round_seconds: float):
+        """Instantiate the runtime :class:`~repro.sim.eventqueue.Event`."""
+        from repro.sim import eventqueue as eq
+
+        if self.kind == "arrival":
+            return eq.Arrival(self.count, rate=self.rate)
+        if self.kind == "retirement":
+            return eq.Retirement(
+                self.count, pick=self.pick, vm_ids=self.vm_ids
+            )
+        if self.kind == "traffic_surge":
+            return eq.TrafficSurge(self.factor, top_pairs=self.top_pairs)
+        if self.kind == "capacity_change":
+            return eq.CapacityChange(self.hosts, max_vms=self.max_vms)
+        if self.kind == "outage":
+            restore_after = (
+                None
+                if self.restore_after_rounds is None
+                else self.restore_after_rounds * round_seconds
+            )
+            return eq.Outage(
+                racks=self.racks,
+                pods=self.pods,
+                restore_after=restore_after,
+                stagger_s=self.stagger_rounds * round_seconds,
+            )
+        if self.kind == "restore":
+            return eq.Restore(self.hosts)
+        lift_after = (
+            None
+            if self.lift_after_rounds is None
+            else self.lift_after_rounds * round_seconds
+        )
+        return eq.BandwidthCrunch(
+            self.threshold, lift_after=lift_after, lift_to=self.lift_to
+        )
+
+
+@dataclass(frozen=True)
 class Scenario:
     """One named, declarative multi-epoch S-CORE study."""
 
@@ -248,6 +342,9 @@ class Scenario:
     iterations_per_epoch: int = 2
     drift: DriftSpec = field(default_factory=DriftSpec)
     churn: ChurnSpec = field(default_factory=ChurnSpec)
+    #: Timestamped failure/churn injections for the continuous-time
+    #: event-queue runner; empty = the classic epoch-stepped run.
+    events: Tuple[EventSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:

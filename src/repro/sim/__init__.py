@@ -11,6 +11,9 @@
     GA reference), return the series the paper plots.
 :mod:`repro.sim.dynamics`
     S-CORE under a drifting traffic matrix (stability / oscillation study).
+:mod:`repro.sim.eventqueue`
+    Continuous-time event-queue runner: timestamped arrival/retirement/
+    drift/failure events injected between waves of in-flight rounds.
 """
 
 from repro.sim.network import LinkLoadCalculator
@@ -26,6 +29,18 @@ from repro.sim.experiment import (
     run_experiment,
 )
 from repro.sim.dynamics import DynamicRunResult, run_dynamic
+from repro.sim.eventqueue import (
+    AppliedEvent,
+    Arrival,
+    BandwidthCrunch,
+    CapacityChange,
+    Event,
+    EventQueueRunner,
+    Outage,
+    Restore,
+    Retirement,
+    TrafficSurge,
+)
 from repro.sim.fairshare import (
     FairShareResult,
     FlowAllocation,
@@ -44,6 +59,16 @@ __all__ = [
     "run_experiment",
     "DynamicRunResult",
     "run_dynamic",
+    "EventQueueRunner",
+    "AppliedEvent",
+    "Event",
+    "Arrival",
+    "Retirement",
+    "TrafficSurge",
+    "CapacityChange",
+    "Outage",
+    "Restore",
+    "BandwidthCrunch",
     "MaxMinFairAllocator",
     "FairShareResult",
     "FlowAllocation",

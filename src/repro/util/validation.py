@@ -1,4 +1,4 @@
-"""Argument validation helpers with consistent error messages."""
+"""Argument validation helpers + the engine-invariant debug harness."""
 
 from __future__ import annotations
 
@@ -33,3 +33,155 @@ def check_type(name: str, value: Any, expected: Type) -> Any:
             f"{name} must be {expected.__name__}, got {type(value).__name__}"
         )
     return value
+
+
+def check_engine_invariants(scheduler) -> None:
+    """Assert every cross-layer invariant of a live scheduler stack.
+
+    The opt-in debug harness behind event injection and the stress
+    suite: after *any* mutation — a wave landing, a churn event, a
+    capacity change — the whole tower must still agree:
+
+    * the allocation's own structural invariants hold,
+    * the token circulates exactly the placed VM ids, with level
+      estimates in range and level buckets consistent,
+    * the fast engine's snapshot/mirrors (dense index, host map,
+      slot/RAM/CPU usage, per-host egress) match the allocation and
+      traffic matrix bit-for-bit, capacities are never violated, and the
+      incrementally maintained Lemma-3 caches agree with a from-scratch
+      recomputation to 1e-9,
+    * every *valid* row of the persistent round-score cache is exactly
+      what a fresh ``candidate_batch`` would score.
+
+    Raises ``AssertionError`` (with a named invariant) on the first
+    violation.  Cost scales with population and valid cached rows — a
+    per-event debug hook, not a production-path check.
+    """
+    import numpy as np
+
+    from repro.core.token import MAX_LEVEL_VALUE
+
+    allocation = scheduler.allocation
+    token = scheduler.token
+    traffic = scheduler.traffic
+
+    allocation.validate()
+
+    placed = sorted(allocation.vm_ids())
+    assert list(token.vm_ids) == placed, (
+        "token <-> allocation: token circulates "
+        f"{len(token)} ids, allocation places {len(placed)}"
+    )
+    levels_seen = set()
+    for entry in token.entries():
+        assert 0 <= entry.level <= MAX_LEVEL_VALUE, (
+            f"token level out of range: vm {entry.vm_id} at {entry.level}"
+        )
+        levels_seen.add(entry.level)
+    assert set(token.levels_present()) == levels_seen, (
+        "token level buckets disagree with entries"
+    )
+    bucketed = 0
+    for level in token.levels_present():
+        members = token.vms_at_level(level)
+        bucketed += len(members)
+        for vm_id in members:
+            assert token.level_of(vm_id) == level, (
+                f"token bucket desync: vm {vm_id} bucketed at {level}, "
+                f"recorded {token.level_of(vm_id)}"
+            )
+    assert bucketed == len(token), "token buckets do not partition the ids"
+
+    fast = scheduler.fastcost
+    if fast is None:
+        return
+    assert fast.in_sync, "fast engine out of sync (bypassed update path)"
+    snap = fast.snapshot
+    assert snap.vm_ids.tolist() == placed, (
+        "fast snapshot dense index disagrees with the allocation"
+    )
+    expected_hosts = np.fromiter(
+        (allocation.server_of(v) for v in snap.vm_ids.tolist()),
+        dtype=np.int64,
+        count=snap.n_vms,
+    )
+    assert np.array_equal(fast._host_of, expected_hosts), (
+        "fast host map disagrees with the allocation"
+    )
+    n_hosts = allocation.cluster.n_servers
+    assert np.array_equal(
+        fast._slot_used, np.bincount(fast._host_of, minlength=n_hosts)
+    ), "slot-usage mirror desync"
+    ram = np.fromiter(
+        (allocation.vm(v).ram_mb for v in snap.vm_ids.tolist()),
+        dtype=np.int64,
+        count=snap.n_vms,
+    )
+    cpu = np.fromiter(
+        (allocation.vm(v).cpu for v in snap.vm_ids.tolist()),
+        dtype=float,
+        count=snap.n_vms,
+    )
+    assert np.array_equal(
+        fast._ram_used,
+        np.bincount(fast._host_of, weights=ram, minlength=n_hosts).astype(
+            np.int64
+        ),
+    ), "RAM-usage mirror desync"
+    assert np.allclose(
+        fast._cpu_used,
+        np.bincount(fast._host_of, weights=cpu, minlength=n_hosts),
+        rtol=1e-9, atol=1e-9,
+    ), "CPU-usage mirror desync"
+    assert bool((fast._slot_used <= fast._slot_cap).all()), (
+        "slot capacity violated"
+    )
+    assert bool((fast._ram_used <= fast._ram_cap).all()), (
+        "RAM capacity violated"
+    )
+    assert bool(
+        (fast._cpu_used <= fast._cpu_cap + 1e-9).all()
+    ), "CPU capacity violated"
+
+    # Lemma-3 caches: the O(1) running total and the per-VM cost vector
+    # against from-scratch recomputation over the same snapshot.
+    total = fast.total_cost()
+    recomputed = fast.recompute_total_cost()
+    assert abs(total - recomputed) <= 1e-9 * max(1.0, abs(recomputed)), (
+        f"incremental total drifted: {total} vs recomputed {recomputed}"
+    )
+    crossing = fast._host_of[snap.row] != fast._host_of[snap.peer]
+    egress = np.bincount(
+        fast._host_of[snap.row],
+        weights=snap.rate * crossing,
+        minlength=n_hosts,
+    )
+    assert np.allclose(fast._egress, egress, rtol=1e-9, atol=1e-6), (
+        "per-host egress mirror desync"
+    )
+    n_traffic_pairs = traffic.n_pairs
+    assert snap.n_pairs == n_traffic_pairs, (
+        f"snapshot holds {snap.n_pairs} pairs, matrix {n_traffic_pairs}"
+    )
+
+    # Round cache: every still-valid scored row must be exactly what a
+    # fresh candidate_batch over its owner would produce right now.
+    cache = fast._round_cache
+    if cache is None or cache._valid is None:
+        return
+    valid = np.nonzero(cache._valid)[0]
+    if valid.size == 0:
+        return
+    from repro.core.roundcache import segment_rows
+
+    fresh = fast.candidate_batch(valid, cache.max_candidates)
+    rows, seg_ptr = segment_rows(cache._ptr, valid)
+    assert np.array_equal(fresh.ptr, seg_ptr), (
+        "round cache: valid owners' candidate counts diverged"
+    )
+    assert np.array_equal(fresh.host, cache._host[rows]), (
+        "round cache: valid owners' candidate hosts diverged"
+    )
+    assert np.array_equal(fresh.delta, cache._delta[rows]), (
+        "round cache: valid owners' scored deltas diverged"
+    )

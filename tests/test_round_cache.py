@@ -285,6 +285,173 @@ class TestSetHostCapacity:
         )
 
 
+def one_shot(action):
+    """An ``event_pump`` that fires ``action`` exactly once — at the
+    first pump, i.e. right after the first applied wave of the first
+    round — then stays silent.  Returns (pump, fired_times)."""
+    fired = []
+
+    def pump(now):
+        if fired:
+            return False
+        fired.append(now)
+        return bool(action())
+
+    return pump, fired
+
+
+def assert_exact_vs_fresh(env, sched):
+    fresh = FastCostEngine(env.allocation, env.traffic)
+    live = sched.fastcost.total_cost()
+    assert abs(live - fresh.total_cost()) <= 1e-9 * max(
+        1.0, abs(fresh.total_cost())
+    )
+
+
+class TestMidRoundChurn:
+    """Churn edge cases injected *between waves of an in-flight round*
+    through the wave-loop pump: the cached and uncached twins must stay
+    bit-exact, and the engine must match a from-scratch rebuild."""
+
+    @pytest.mark.parametrize("policy", ["rr", "hlf"])
+    def test_retire_token_holder_mid_wave(self, policy):
+        """The round's first visitor (already settled) and its last
+        (still holding a pending visit) both retire after wave one: the
+        decided retirement shrinks the allocation, the undecided one
+        settles with the ``retired`` reason — identically in both twins."""
+        (env_c, sched_c), (env_u, sched_u) = build_twins(
+            seed=21, policy=policy, n_iterations=2
+        )
+        victims = {}
+        pumps = []
+        for key, sched in (("c", sched_c), ("u", sched_u)):
+
+            def retire(sched=sched, key=key):
+                ids = sorted(sched.token.vm_ids)
+                victims[key] = [ids[0], ids[-1]]
+                sched.retire_vms(victims[key])
+                return True
+
+            pumps.append(one_shot(retire)[0])
+        rep_c = sched_c.run(n_iterations=2, event_pump=pumps[0])
+        rep_u = sched_u.run(n_iterations=2, event_pump=pumps[1])
+        assert victims["c"] == victims["u"]
+        assert_reports_equal(rep_c, rep_u)
+        assert rep_c.iterations[0].waves >= 2, "never went mid-round"
+        for env, sched in ((env_c, sched_c), (env_u, sched_u)):
+            for vm_id in victims["c"]:
+                assert vm_id not in env.allocation
+                assert vm_id not in sched.token
+            assert_exact_vs_fresh(env, sched)
+        # The highest id sits at the tail of the visit order under both
+        # policies' first round here; its hold settles as retired.
+        assert any(d.reason == "retired" for d in rep_c.decisions)
+
+    def test_retire_pending_movers_peer_mid_wave(self):
+        """A VM due to migrate late in the round loses its heaviest
+        traffic peer after wave one — the Lemma-3 delta that justified
+        the move changes under its feet, identically in both twins."""
+        # Dry run on a third identically-seeded twin to find a late mover.
+        (_, dry), _ = build_twins(seed=22, policy="rr", n_iterations=1)
+        dry_rep = dry.run(n_iterations=1)
+        movers = [d for d in dry_rep.decisions if d.migrated]
+        assert movers, "seed 22 must produce migrations"
+        late = movers[-1]
+        (env_c, sched_c), (env_u, sched_u) = build_twins(
+            seed=22, policy="rr", n_iterations=2
+        )
+        peer = max(
+            (
+                (v if u == late.vm_id else u, r)
+                for u, v, r in env_c.traffic.pairs()
+                if late.vm_id in (u, v)
+            ),
+            key=lambda t: t[1],
+        )[0]
+        pumps = [
+            one_shot(lambda s=s: bool(s.retire_vms([peer]) or True))[0]
+            for s in (sched_c, sched_u)
+        ]
+        rep_c = sched_c.run(n_iterations=2, event_pump=pumps[0])
+        rep_u = sched_u.run(n_iterations=2, event_pump=pumps[1])
+        assert_reports_equal(rep_c, rep_u)
+        for env, sched in ((env_c, sched_c), (env_u, sched_u)):
+            assert peer not in env.allocation
+            assert_exact_vs_fresh(env, sched)
+
+    def test_drain_wave_destination_host_mid_round(self):
+        """The host a later wave wants to move onto drains offline after
+        wave one: every cached candidate aimed there must be re-proposed,
+        and nothing may land on the offline host."""
+        (_, dry), _ = build_twins(seed=23, policy="rr", n_iterations=1)
+        dry_rep = dry.run(n_iterations=1)
+        movers = [d for d in dry_rep.decisions if d.migrated]
+        assert movers, "seed 23 must produce migrations"
+        target = movers[-1].target_host
+        (env_c, sched_c), (env_u, sched_u) = build_twins(
+            seed=23, policy="rr", n_iterations=2
+        )
+        pumps = [
+            one_shot(
+                lambda s=s: bool(
+                    s.drain_hosts([target], offline=True) or True
+                )
+            )[0]
+            for s in (sched_c, sched_u)
+        ]
+        rep_c = sched_c.run(n_iterations=2, event_pump=pumps[0])
+        rep_u = sched_u.run(n_iterations=2, event_pump=pumps[1])
+        assert_reports_equal(rep_c, rep_u)
+        for env, sched in ((env_c, sched_c), (env_u, sched_u)):
+            assert len(env.allocation.vms_on(target)) == 0
+            assert env.allocation.cluster.server(target).capacity.max_vms == 0
+            assert_exact_vs_fresh(env, sched)
+
+    def test_admit_vms_between_waves(self):
+        """Arrivals admitted after wave one sit out the in-flight round
+        (its visit-order snapshot is fixed) and join the very next one:
+        visits go n, then n + 2 — identically in both twins."""
+        (env_c, sched_c), (env_u, sched_u) = build_twins(
+            seed=24, policy="hlf", n_iterations=2
+        )
+        n_before = len(sched_c.token)
+        pumps = []
+        for env, sched in ((env_c, sched_c), (env_u, sched_u)):
+
+            def admit(env=env, sched=sched):
+                next_id = max(env.allocation.vm_ids()) + 1
+                template = next(iter(env.allocation.vms()))
+                vms = [
+                    VM(next_id + i, ram_mb=template.ram_mb, cpu=template.cpu)
+                    for i in range(2)
+                ]
+                free = [
+                    h
+                    for h in env.topology.hosts
+                    if env.allocation.free_slots(h) > 0
+                ]
+                sched.admit_vms(vms, free[:2])
+                hot = max(
+                    env.allocation.vm_ids(),
+                    key=lambda v: (env.traffic.vm_load(v), -v),
+                )
+                sched.apply_traffic_delta(
+                    [(vm.vm_id, hot, 300.0) for vm in vms]
+                )
+                return True
+
+            pumps.append(one_shot(admit)[0])
+        rep_c = sched_c.run(n_iterations=2, event_pump=pumps[0])
+        rep_u = sched_u.run(n_iterations=2, event_pump=pumps[1])
+        assert_reports_equal(rep_c, rep_u)
+        assert [i.visits for i in rep_c.iterations] == [
+            n_before,
+            n_before + 2,
+        ]
+        for env, sched in ((env_c, sched_c), (env_u, sched_u)):
+            assert_exact_vs_fresh(env, sched)
+
+
 class TestEngineTouchedSets:
     def test_apply_moves_reports_footprint(self):
         allocation, traffic, fast = TestSetHostCapacity().make_engine()

@@ -23,7 +23,14 @@ CATALOGUE = [
     "hotspot-flip",
     "flash-crowd",
     "rolling-maintenance",
+    "rack-outage",
+    "pod-outage",
+    "flash-crowd-mid-round",
+    "bandwidth-crunch",
 ]
+
+#: The event-queue failure scenarios (mid-round injections).
+EVENT_SCENARIOS = CATALOGUE[5:]
 
 
 class TestRegistry:
@@ -68,7 +75,10 @@ class TestScenarioSmoke:
 
     @pytest.mark.parametrize("name", CATALOGUE)
     def test_scenario_runs_and_stays_consistent(self, name):
-        result = run_scenario(name, scale="toy")
+        # validate=True runs the full engine-invariant harness after
+        # every injected event and every epoch — the acceptance bar for
+        # the whole catalogue, event-driven and classic alike.
+        result = run_scenario(name, scale="toy", validate=True)
         scenario = result.scenario
         assert len(result.epoch_stats) == scenario.epochs
         assert len(result.epoch_reports) == scenario.epochs
@@ -132,6 +142,28 @@ class TestScenarioSmoke:
         )
         assert len(result.epoch_stats) == 2
         assert result.epoch_reports[0].iterations[0].index == 1
+
+    @pytest.mark.parametrize("name", EVENT_SCENARIOS)
+    def test_event_scenarios_apply_their_events(self, name):
+        result = run_scenario(name, scale="toy")
+        assert result.events_applied > 0, "no event ever fired"
+        # The first epoch's injection is mid-round by construction
+        # (every shipped failure scenario fires at a fractional round).
+        assert result.epoch_stats[0].events > 0
+
+    def test_flash_crowd_mid_round_population_cycles(self):
+        result = run_scenario("flash-crowd-mid-round", scale="toy")
+        stats = result.epoch_stats
+        assert stats[0].n_vms > stats[-1].n_vms, "the crowd never left"
+        result.environment.allocation.validate()
+
+    def test_rack_outage_restores(self):
+        result = run_scenario("rack-outage", scale="toy")
+        # After the restore, rack 0's hosts are back at full capacity.
+        env = result.environment
+        topology = env.allocation.topology
+        for host in topology.hosts_in_rack(0):
+            assert env.cluster.server(host).capacity.max_vms > 0
 
     def test_scenario_by_value(self):
         scenario = Scenario(
