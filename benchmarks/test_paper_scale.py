@@ -589,3 +589,76 @@ def test_event_absorption_at_paper_scale(emit):
         f"draining {EVENT_BENCH_EVENTS} events took {absorb_s:.1f}s; "
         f"budget is {EVENT_ABSORB_BUDGET_S:.0f}s"
     )
+
+
+#: Acceptance floor: restoring a warm scheduler from a snapshot must beat
+#: a cold rebuild (environment + scheduler + first warm iteration) by at
+#: least this factor at paper scale.
+SNAPSHOT_RESTORE_MIN_SPEEDUP = 5.0
+
+
+@pytest.mark.smoke
+@pytest.mark.slow
+def test_snapshot_restore_at_paper_scale(emit, tmp_path):
+    """Snapshot write + restore-to-warm vs cold rebuild on the canonical tree.
+
+    Warms a scheduler with one full iteration at the published 2560-host /
+    ~35k-VM scale, writes one atomic checksummed snapshot generation of the
+    complete warm state (engine caches included), restores it into a fresh
+    process-equivalent scheduler, and compares the restore wall clock with
+    what reaching the same warm state from nothing costs.  Records
+    ``paper_canonical_snapshot`` (write/restore/cold-boot seconds, file
+    size, speedup); the restored engine must verify in sync with its
+    incremental cost exact to 1e-9.
+    """
+    from repro.core.scheduler import SCOREScheduler
+
+    config = ExperimentConfig.paper_canonical(policy="rr", n_iterations=1)
+    t0 = time.perf_counter()
+    env = build_environment(config)
+    scheduler = make_scheduler(env, config)
+    scheduler.run(n_iterations=1)  # the cold path to the same warm state
+    cold_boot_s = time.perf_counter() - t0
+    fast = scheduler.fastcost
+    assert fast is not None and fast.in_sync
+
+    t1 = time.perf_counter()
+    path = scheduler.save_snapshot(str(tmp_path))
+    snapshot_write_s = time.perf_counter() - t1
+    snapshot_mb = os.path.getsize(path) / 1e6
+
+    t2 = time.perf_counter()
+    restored = SCOREScheduler.restore(str(tmp_path))
+    restore_s = time.perf_counter() - t2
+    rfast = restored.fastcost
+    assert rfast is not None and rfast.in_sync
+    assert abs(rfast.total_cost() - rfast.recompute_total_cost()) <= (
+        1e-9 * max(1.0, abs(rfast.total_cost()))
+    )
+    assert restored.allocation.n_vms == env.allocation.n_vms
+
+    speedup = cold_boot_s / restore_s
+    record = {
+        "name": "paper_canonical_snapshot",
+        "topology": config.topology,
+        "n_hosts": env.topology.n_hosts,
+        "n_vms": env.allocation.n_vms,
+        "n_pairs": env.traffic.n_pairs,
+        "snapshot_write_s": round(snapshot_write_s, 4),
+        "snapshot_mb": round(snapshot_mb, 1),
+        "restore_s": round(restore_s, 4),
+        "cold_boot_s": round(cold_boot_s, 3),
+        "speedup_vs_cold_boot": round(speedup, 1),
+    }
+    _write_report(record)
+    emit(
+        f"[paper-scale] snapshot: write {snapshot_write_s:6.3f}s "
+        f"({snapshot_mb:.1f} MB)   restore-to-warm {restore_s:6.3f}s",
+        f"[paper-scale]   cold rebuild to the same warm state "
+        f"{cold_boot_s:6.2f}s   speedup {speedup:.1f}x",
+    )
+
+    assert speedup >= SNAPSHOT_RESTORE_MIN_SPEEDUP, (
+        f"restore-to-warm only {speedup:.1f}x faster than a cold rebuild; "
+        f"the floor is {SNAPSHOT_RESTORE_MIN_SPEEDUP:.0f}x"
+    )

@@ -152,36 +152,52 @@ def _cmd_migration_profile(args: argparse.Namespace) -> int:
 def _cmd_scenario(args: argparse.Namespace) -> int:
     from repro.scenarios import run_scenario, scenario_by_name, scenario_names
 
-    if args.list or args.name is None:
-        print(f"{'scenario':22s} description")
-        for name in scenario_names():
-            print(f"{name:22s} {scenario_by_name(name).description}")
-        if args.name is None and not args.list:
-            print("\nrun one with: python -m repro scenario <name>")
-        return 0
-    scenario = scenario_by_name(args.name)
-    print(f"scenario: {scenario.name} — {scenario.description}")
-    result = run_scenario(
-        scenario,
-        scale=args.scale,
-        epochs=args.epochs,
-        iterations_per_epoch=args.iterations_per_epoch,
-        seed=args.seed,
-        profile=args.profile,
-        validate=args.validate,
-    )
+    if args.recover_from is not None:
+        print(f"recovering checkpointed run from {args.recover_from}")
+        result = run_scenario(
+            "baseline",  # ignored: the directory's journal names the scenario
+            validate=args.validate,
+            recover_from=args.recover_from,
+        )
+        scenario = result.scenario
+        print(f"scenario: {scenario.name} — {scenario.description}")
+    else:
+        if args.list or args.name is None:
+            print(f"{'scenario':22s} description")
+            for name in scenario_names():
+                print(f"{name:22s} {scenario_by_name(name).description}")
+            if args.name is None and not args.list:
+                print("\nrun one with: python -m repro scenario <name>")
+            return 0
+        scenario = scenario_by_name(args.name)
+        print(f"scenario: {scenario.name} — {scenario.description}")
+        result = run_scenario(
+            scenario,
+            scale=args.scale,
+            epochs=args.epochs,
+            iterations_per_epoch=args.iterations_per_epoch,
+            seed=args.seed,
+            profile=args.profile,
+            validate=args.validate,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+        )
     env = result.environment
     print(f"topology: {env.topology.describe()}  policy: {scenario.config.policy}")
+    show_recov = any(s.recovered_from for s in result.epoch_stats)
+    recov_header = f" {'recov':>30s}" if show_recov else ""
     print(
         f"{'epoch':>5s} {'vms':>6s} {'migr':>6s} {'return':>6s} {'arr':>4s} "
         f"{'dep':>4s} {'drain':>5s} {'event':>5s} {'cost after':>12s} "
-        f"{'trans':>8s} {'sched':>8s}"
+        f"{'trans':>8s} {'sched':>8s}" + recov_header
     )
     for s in result.epoch_stats:
+        recov = f" {s.recovered_from or '-':>30s}" if show_recov else ""
         print(
             f"{s.epoch:5d} {s.n_vms:6d} {s.migrations:6d} {s.returning:6d} "
             f"{s.arrivals:4d} {s.departures:4d} {s.drained:5d} {s.events:5d} "
             f"{s.cost_after:12.4g} {s.transition_s:7.3f}s {s.schedule_s:7.3f}s"
+            + recov
         )
     print(
         f"cost {result.initial_cost:,.0f} -> {result.final_cost:,.0f}  "
@@ -271,6 +287,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--validate", action="store_true",
         help="run the engine-invariant harness after every injected "
         "event and epoch (debug; slows the run down)",
+    )
+    scenario_parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="make the run durable: journal + snapshot generations in DIR",
+    )
+    scenario_parser.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="rounds between snapshot generations (with --checkpoint-dir)",
+    )
+    scenario_parser.add_argument(
+        "--recover-from", default=None, metavar="DIR",
+        help="resume a killed durable run from its checkpoint directory",
     )
     scenario_parser.set_defaults(func=_cmd_scenario)
 

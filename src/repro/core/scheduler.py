@@ -118,6 +118,13 @@ class SchedulerReport:
     time_series: List[Tuple[float, float]] = field(default_factory=list)
     iterations: List[IterationStats] = field(default_factory=list)
     decisions: Sequence[MigrationDecision] = field(default_factory=DecisionLog)
+    #: The holder the *next* round would start from — pass it back as
+    #: ``run(first_holder=...)`` to continue a multi-round schedule
+    #: across separate ``run`` calls exactly as one call would have.
+    next_holder: Optional[int] = None
+    #: Provenance label when this scheduler state descends from a
+    #: restored snapshot (``None`` for a never-restored scheduler).
+    recovered_from: Optional[str] = None
 
     @property
     def total_migrations(self) -> int:
@@ -216,6 +223,7 @@ class SCOREScheduler:
         self._fast: Optional[FastCostEngine] = None
         self._profile = None
         self._saved_capacity: dict = {}
+        self._recovered_from: Optional[str] = None
 
     @property
     def allocation(self) -> Allocation:
@@ -257,6 +265,12 @@ class SCOREScheduler:
         """Per-phase timings accumulated so far (None unless enabled)."""
         return self._profile
 
+    @property
+    def recovered_from(self) -> Optional[str]:
+        """Recovery provenance (``"snapshot-00000003.snap@seq42"``) when
+        this scheduler came through :meth:`restore`; None otherwise."""
+        return self._recovered_from
+
     def enable_profiling(self):
         """Collect per-phase wall clock (score / re-mask / plan / apply)
         and round-cache hit rates on subsequent runs; returns the
@@ -273,6 +287,7 @@ class SCOREScheduler:
         stop_when_stable: bool = False,
         record_every_hold: bool = False,
         event_pump=None,
+        first_holder: Optional[int] = None,
     ) -> SchedulerReport:
         """Circulate the token for ``n_iterations`` full rounds.
 
@@ -301,6 +316,12 @@ class SCOREScheduler:
             only.  A ``True`` return means events mutated engine state:
             the in-flight round finishes against the live state and the
             cost series re-anchors from the engine's exact total.
+        first_holder:
+            Start the first round's order from this VM instead of the
+            token's lowest id.  Feeding a previous report's
+            ``next_holder`` back here makes ``run(1)`` called k times
+            reproduce ``run(k)`` hold for hold — the seam checkpointed
+            runs resume through (:mod:`repro.persist`).
         """
         if n_iterations < 1:
             raise ValueError(f"n_iterations must be >= 1, got {n_iterations}")
@@ -308,7 +329,11 @@ class SCOREScheduler:
         if self._use_batched_rounds and self._fast is not None:
             order = self._policy.round_order(
                 self._token,
-                self._token.lowest_id,
+                (
+                    first_holder
+                    if first_holder is not None
+                    else self._token.lowest_id
+                ),
                 self._allocation,
                 self._traffic,
                 cost_model,
@@ -324,7 +349,7 @@ class SCOREScheduler:
                 )
         return self._run_reference_loop(
             cost_model, n_iterations, stop_when_stable, record_every_hold,
-            event_pump,
+            event_pump, first_holder,
         )
 
     def run_reference(
@@ -378,12 +403,18 @@ class SCOREScheduler:
         stop_when_stable: bool,
         record_every_hold: bool,
         event_pump=None,
+        first_holder: Optional[int] = None,
     ) -> SchedulerReport:
         cost = cost_model.total_cost(self._allocation, self._traffic)
         report = SchedulerReport(initial_cost=cost, final_cost=cost)
+        report.recovered_from = self._recovered_from
         report.time_series.append((self._clock, cost))
 
+        # A continuation holder that churned away between runs degrades
+        # to the lowest id — the same fallback the boundary pump applies.
         holder = self._token.lowest_id
+        if first_holder is not None and first_holder in self._token:
+            holder = first_holder
         for iteration in range(1, n_iterations + 1):
             # Re-read each iteration: boundary events may have churned
             # the population (the per-hold loop has no mid-round seam —
@@ -437,6 +468,7 @@ class SCOREScheduler:
                 break
 
         report.final_cost = cost
+        report.next_holder = holder
         return report
 
     def _run_batched(
@@ -483,9 +515,11 @@ class SCOREScheduler:
         )
         cost = cost_model.total_cost(self._allocation, self._traffic)
         report = SchedulerReport(initial_cost=cost, final_cost=cost)
+        report.recovered_from = self._recovered_from
         report.time_series.append((self._clock, cost))
 
         order = first_order
+        holder: Optional[int] = None
         for iteration in range(1, n_iterations + 1):
             injector = None
             if event_pump is not None:
@@ -548,7 +582,102 @@ class SCOREScheduler:
                     cost_model,
                 )
         report.final_cost = cost
+        report.next_holder = holder
         return report
+
+    def save_snapshot(
+        self,
+        directory: str,
+        *,
+        include_engine: bool = True,
+        meta: Optional[dict] = None,
+        io=None,
+    ) -> str:
+        """Write one atomic, checksummed snapshot generation of the full
+        warm state under ``directory``; returns the file path.
+
+        The payload is the scheduler's whole object graph — allocation,
+        traffic matrix, token levels/buckets, policy state, clock, saved
+        drain capacity, and (by default) the warm
+        :class:`~repro.core.fastcost.FastCostEngine` with its CSR
+        snapshot, Lemma-3 caches and round-score cache, so
+        :meth:`restore` resumes without re-paying the cold scoring
+        boot.  ``include_engine=False`` strips the engine from the
+        payload (a far smaller file); the restored scheduler then
+        re-derives it lazily on its next :meth:`run`.
+
+        ``meta`` lands verbatim in the snapshot's JSON header (the
+        durable runner records its journal position there); ``io``
+        overrides the :class:`~repro.persist.snapshot.StorageIO` write
+        layer (fault injection, retry budget).
+        """
+        from repro.persist.snapshot import write_snapshot
+
+        detached = None
+        if not include_engine and self._fast is not None:
+            detached = self._fast
+            self._fast = None
+            self._engine.attach_fastcost(None)
+        try:
+            header_meta = {
+                "kind": "scheduler",
+                "include_engine": bool(include_engine),
+                "clock": self._clock,
+                "n_vms": self._allocation.n_vms,
+                **(meta or {}),
+            }
+            return write_snapshot(
+                directory, {"scheduler": self}, header_meta, io=io
+            )
+        finally:
+            if detached is not None:
+                self._fast = detached
+                self._engine.attach_fastcost(detached)
+
+    @classmethod
+    def restore(cls, source: str, *, generation: Optional[int] = None):
+        """Load a scheduler from a snapshot; the warm twin of ``__init__``.
+
+        ``source`` is a snapshot *directory* (the newest generation that
+        verifies is loaded — corrupt files are skipped, the degradation
+        ladder of :func:`repro.persist.snapshot.load_latest_good`) or
+        one snapshot *file*; ``generation`` pins a specific generation
+        inside a directory.  The restored scheduler carries a
+        ``recovered_from`` provenance label on itself and every
+        subsequent :class:`SchedulerReport`.
+
+        Raises :class:`~repro.persist.snapshot.SnapshotCorruptError` for
+        an unusable explicit file/generation and
+        :class:`~repro.persist.snapshot.NoSnapshotError` when a
+        directory holds no usable generation at all.
+        """
+        import os
+
+        from repro.persist.snapshot import (
+            load_latest_good,
+            read_snapshot,
+            snapshot_path,
+        )
+
+        if generation is not None:
+            source = snapshot_path(source, generation)
+        if os.path.isdir(source):
+            loaded = load_latest_good(source)
+            header, state, path = loaded.header, loaded.state, loaded.path
+        else:
+            header, state = read_snapshot(source)
+            path = source
+        scheduler = state["scheduler"]
+        if not isinstance(scheduler, cls):
+            raise TypeError(
+                f"snapshot {path} holds {type(scheduler).__name__}, "
+                f"not {cls.__name__}"
+            )
+        scheduler._recovered_from = (
+            f"{os.path.basename(path)}"
+            f"@seq{header.get('meta', {}).get('journal_seq', 0)}"
+        )
+        return scheduler
 
     def admit_vm(self, vm, host: int) -> None:
         """Bring a newly created VM online (joins the token circulation).

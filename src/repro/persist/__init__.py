@@ -1,0 +1,62 @@
+"""Durable scheduler state: snapshots, write-ahead journal, recovery.
+
+Three layers, bottom up:
+
+* :mod:`repro.persist.snapshot` — versioned, checksummed, atomically
+  written snapshot generations plus the :class:`StorageIO` seam every
+  disk touch goes through (bounded retry/backoff, fault injection);
+* :mod:`repro.persist.journal` — an append-only, CRC-framed,
+  torn-tail-repairing write-ahead journal;
+* :mod:`repro.persist.durable` — :class:`DurableScenarioRun`, the
+  checkpointed scenario driver whose kill-at-any-point recovery the
+  crash-differential suite (``tests/test_crash_recovery.py``) pins.
+
+:mod:`repro.persist.faults` supplies the simulated-crash harness
+(:class:`FaultPlan` / :class:`FaultyIO`) the recovery tests drive.
+"""
+
+from repro.persist.durable import (
+    DurableScenarioRun,
+    JournaledScheduler,
+    RecoveryError,
+    resume_durable_scenario,
+    run_durable_scenario,
+)
+from repro.persist.faults import FaultPlan, FaultyIO, SimulatedCrash
+from repro.persist.journal import JOURNAL_NAME, Journal, JournalRecord
+from repro.persist.snapshot import (
+    NoSnapshotError,
+    SnapshotCorruptError,
+    SnapshotError,
+    StorageIO,
+    list_snapshots,
+    load_latest_good,
+    prune_snapshots,
+    read_header,
+    read_snapshot,
+    write_snapshot,
+)
+
+__all__ = [
+    "DurableScenarioRun",
+    "JournaledScheduler",
+    "RecoveryError",
+    "run_durable_scenario",
+    "resume_durable_scenario",
+    "FaultPlan",
+    "FaultyIO",
+    "SimulatedCrash",
+    "Journal",
+    "JournalRecord",
+    "JOURNAL_NAME",
+    "SnapshotError",
+    "SnapshotCorruptError",
+    "NoSnapshotError",
+    "StorageIO",
+    "list_snapshots",
+    "load_latest_good",
+    "prune_snapshots",
+    "read_header",
+    "read_snapshot",
+    "write_snapshot",
+]

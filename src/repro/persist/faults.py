@@ -1,0 +1,163 @@
+"""Crash/fault injection for the persistence layer.
+
+The harness simulates the failure modes the recovery ladder must
+survive, at configurable points, without ever actually killing the test
+process:
+
+* **between waves** — :class:`FaultPlan.crash_at_s` raises
+  :class:`SimulatedCrash` from the event pump the first time the
+  simulated clock reaches the configured second, i.e. exactly at the
+  mid-round injection seam where a real SIGKILL would land;
+* **mid-snapshot** — ``crash_on_snapshot`` kills the k-th snapshot
+  write, optionally leaving a *torn* final file (a prefix of the blob,
+  simulating a non-atomic filesystem), a checksum-corrupted file (one
+  byte flipped) or a vanished write (the honest crash-before-rename
+  outcome of the atomic discipline);
+* **mid-journal-append** — ``crash_on_journal_append`` kills the k-th
+  journal append after writing only a prefix of the record, leaving the
+  torn tail :meth:`~repro.persist.journal.Journal.open` must repair;
+* **transient IO errors** — the first ``transient_errors`` writes raise
+  ``OSError``; with the default retry budget the write then succeeds,
+  exercising the bounded retry/backoff path.
+
+:class:`SimulatedCrash` derives from ``BaseException`` on purpose: it
+models a process kill, so no ``except Exception`` cleanup handler in
+the code under test may accidentally swallow it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.persist.snapshot import StorageIO
+
+
+class SimulatedCrash(BaseException):
+    """The process 'died' here; everything not on disk is gone.
+
+    Raised by the fault harness in place of a SIGKILL.  Tests catch it,
+    drop every live object, and recover from the on-disk state alone.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(point)
+        self.point = point
+
+
+@dataclass
+class FaultPlan:
+    """Declarative kill/corruption schedule for one victim run.
+
+    All counters are 1-based ordinals over the run's own IO stream
+    (``crash_on_snapshot=2`` kills the second snapshot write).  A plan
+    with every field at its default injects nothing.
+    """
+
+    #: Raise SimulatedCrash at the first event pump at/after this
+    #: simulated second (the between-waves kill point).
+    crash_at_s: Optional[float] = None
+    #: Kill the k-th snapshot write (see ``snapshot_mode``).
+    crash_on_snapshot: Optional[int] = None
+    #: What the killed snapshot write leaves behind: "vanish" (nothing —
+    #: the crash hit before the atomic rename), "torn" (a prefix of the
+    #: blob under the final name) or "corrupt" (full length, one byte
+    #: flipped — a checksum mismatch).
+    snapshot_mode: str = "vanish"
+    #: Fraction of the blob present in a "torn" snapshot / journal record.
+    tear_fraction: float = 0.5
+    #: Kill the k-th journal append after writing a record prefix.
+    crash_on_journal_append: Optional[int] = None
+    #: The first k writes/appends fail once each with OSError (transient).
+    transient_errors: int = 0
+
+    _pumped_crash: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.snapshot_mode not in ("vanish", "torn", "corrupt"):
+            raise ValueError(
+                f"snapshot_mode must be vanish|torn|corrupt, "
+                f"got {self.snapshot_mode!r}"
+            )
+        if not 0.0 < self.tear_fraction < 1.0:
+            raise ValueError(
+                f"tear_fraction must be in (0, 1), got {self.tear_fraction}"
+            )
+
+    def check_pump(self, now: float) -> None:
+        """The between-waves kill point (called from the event pump)."""
+        if (
+            self.crash_at_s is not None
+            and not self._pumped_crash
+            and now >= self.crash_at_s
+        ):
+            self._pumped_crash = True
+            raise SimulatedCrash(f"between-waves @ t={now:.3f}s")
+
+
+class FaultyIO(StorageIO):
+    """A :class:`StorageIO` that executes a :class:`FaultPlan`.
+
+    Drop-in for the real IO layer: the snapshot writer and journal call
+    the same ``write_file_atomic`` / ``append_record`` entry points and
+    the plan decides which call tears, corrupts or 'kills the process'.
+    The backoff sleeper is a no-op so retry tests take zero wall-clock.
+    """
+
+    def __init__(self, plan: FaultPlan, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.plan = plan
+        self._snapshot_writes = 0
+        self._journal_appends = 0
+        self._transients_left = plan.transient_errors
+        #: Wall-clock the retry path would have slept (asserted by tests).
+        self.slept_s = 0.0
+
+    def sleep(self, seconds: float) -> None:
+        self.slept_s += seconds
+
+    def _take_transient(self) -> None:
+        if self._transients_left > 0:
+            self._transients_left -= 1
+            raise OSError("injected transient IO error")
+
+    def _pre_write(self, path: str, blob: bytes) -> None:
+        self._take_transient()
+
+    def _pre_append(self, path: str, blob: bytes, handle) -> None:
+        self._take_transient()
+        if path.endswith(".wal"):
+            self._journal_appends += 1
+            if self._journal_appends == self.plan.crash_on_journal_append:
+                cut = max(1, int(len(blob) * self.plan.tear_fraction))
+                handle.write(blob[:cut])
+                handle.flush()
+                raise SimulatedCrash(
+                    f"mid-journal-append #{self._journal_appends} "
+                    f"({cut}/{len(blob)} bytes hit disk)"
+                )
+
+    def _post_write(self, path: str, blob: bytes) -> None:
+        if not path.endswith(".snap"):
+            return
+        self._snapshot_writes += 1
+        if self._snapshot_writes != self.plan.crash_on_snapshot:
+            return
+        mode = self.plan.snapshot_mode
+        if mode == "vanish":
+            # The kill landed between fsync(tmp) and the rename: the
+            # atomic discipline means the final name never appeared.
+            os.remove(path)
+        elif mode == "torn":
+            cut = max(1, int(len(blob) * self.plan.tear_fraction))
+            with open(path, "wb") as handle:
+                handle.write(blob[:cut])
+        else:  # corrupt: flip one payload byte, keep the length
+            flipped = bytearray(blob)
+            flipped[len(flipped) // 2] ^= 0xFF
+            with open(path, "wb") as handle:
+                handle.write(bytes(flipped))
+        raise SimulatedCrash(
+            f"mid-snapshot #{self._snapshot_writes} ({mode}) {path}"
+        )

@@ -1,0 +1,301 @@
+"""Atomic, checksummed, generation-versioned snapshots of warm state.
+
+A snapshot file holds two parts::
+
+    {"format": "score-snapshot/v1", "generation": 7, "payload_bytes": N,
+     "payload_sha256": "...", "meta": {...}}\\n
+    <pickle payload, N bytes>
+
+The one-line JSON header is self-describing (format tag, generation,
+payload length and SHA-256) and ``meta`` carries caller context — for
+scheduler snapshots the journal position the snapshot covers, so
+recovery knows which journal suffix still applies.  The payload is a
+single :mod:`pickle` of one state object graph; pickling the whole
+graph at once preserves the identity sharing the engine relies on (the
+scheduler, the placement manager and the fast engine all referencing
+*the same* allocation and traffic matrix).
+
+Durability discipline (the write path, via :class:`StorageIO`):
+
+1. serialize fully in memory — nothing touches disk on a failed pickle;
+2. write to ``<final>.tmp`` in the destination directory, ``flush`` +
+   ``fsync``;
+3. ``os.replace`` onto the final generation-numbered name (atomic on
+   POSIX);
+4. ``fsync`` the directory so the rename itself is durable.
+
+A torn write therefore only ever produces a torn *temp* file on a
+crash-consistent filesystem; the checksum header additionally catches
+non-atomic filesystems, bit rot and truncation at read time, and
+:func:`load_latest_good` degrades to the newest generation that still
+verifies (the first rung of the recovery ladder — see
+``docs/persistence.md``).
+
+Transient IO errors (``OSError``) are retried with bounded exponential
+backoff; the retry budget lives on :class:`StorageIO` so tests inject
+deterministic fault sequences (:mod:`repro.persist.faults`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import re
+import time
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
+
+FORMAT = "score-snapshot/v1"
+
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d{8})\.snap$")
+
+
+class SnapshotError(Exception):
+    """Base class for snapshot persistence failures."""
+
+
+class SnapshotCorruptError(SnapshotError):
+    """A snapshot file failed verification (torn, truncated, bit-rotten).
+
+    Carries the offending ``path`` and a one-line ``reason`` so the
+    degradation ladder can report what it skipped.
+    """
+
+    def __init__(self, path: str, reason: str) -> None:
+        super().__init__(f"{path}: {reason}")
+        self.path = str(path)
+        self.reason = reason
+
+
+class NoSnapshotError(SnapshotError):
+    """No usable snapshot generation exists (next rung: cold rebuild)."""
+
+
+class StorageIO:
+    """All snapshot/journal disk writes, behind one injectable seam.
+
+    Every write retries up to ``retries`` times on ``OSError`` with
+    exponential backoff starting at ``backoff_s`` (the *sleeper* is a
+    method so tests run with zero wall-clock).  The ``_pre_write`` /
+    ``_post_write`` / ``_pre_append`` hooks are no-ops here; the
+    fault-injection harness overrides them to tear, corrupt or crash at
+    configured points without reimplementing the write discipline.
+    """
+
+    def __init__(self, retries: int = 3, backoff_s: float = 0.01) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.retries = retries
+        self.backoff_s = backoff_s
+
+    def sleep(self, seconds: float) -> None:
+        time.sleep(seconds)
+
+    def _with_retries(self, attempt_fn):
+        for attempt in range(self.retries + 1):
+            try:
+                return attempt_fn()
+            except OSError:
+                if attempt == self.retries:
+                    raise
+                self.sleep(self.backoff_s * (2 ** attempt))
+
+    # Fault-injection seams (see repro.persist.faults.FaultyIO).
+    def _pre_write(self, path: str, blob: bytes) -> None:
+        pass
+
+    def _post_write(self, path: str, blob: bytes) -> None:
+        pass
+
+    def _pre_append(self, path: str, blob: bytes, handle) -> None:
+        pass
+
+    def write_file_atomic(self, path: str, blob: bytes) -> None:
+        """Temp file + fsync + atomic rename + directory fsync."""
+
+        def _attempt():
+            self._pre_write(path, blob)
+            tmp = f"{path}.tmp"
+            with open(tmp, "wb") as handle:
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+            self._fsync_dir(os.path.dirname(path) or ".")
+            self._post_write(path, blob)
+
+        self._with_retries(_attempt)
+
+    def append_record(self, path: str, handle, blob: bytes) -> None:
+        """One journal append: write + flush + fsync (WAL durability)."""
+
+        def _attempt():
+            self._pre_append(path, blob, handle)
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+        self._with_retries(_attempt)
+
+    @staticmethod
+    def _fsync_dir(directory: str) -> None:
+        fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+class LoadedSnapshot(NamedTuple):
+    """One successfully verified snapshot, plus what the ladder skipped."""
+
+    path: str
+    generation: int
+    header: Dict[str, Any]
+    state: Any
+    #: ``(path, reason)`` for every newer generation that failed to verify.
+    skipped: Tuple[Tuple[str, str], ...]
+
+
+def snapshot_path(directory: str, generation: int) -> str:
+    """The canonical file name of one snapshot generation."""
+    return os.path.join(directory, f"snapshot-{generation:08d}.snap")
+
+
+def list_snapshots(directory: str) -> List[Tuple[int, str]]:
+    """``(generation, path)`` for every snapshot file, oldest first."""
+    if not os.path.isdir(directory):
+        return []
+    found = []
+    for name in os.listdir(directory):
+        match = _SNAPSHOT_RE.match(name)
+        if match:
+            found.append((int(match.group(1)), os.path.join(directory, name)))
+    return sorted(found)
+
+
+def next_generation(directory: str) -> int:
+    """1 + the highest existing generation (1 for an empty directory)."""
+    existing = list_snapshots(directory)
+    return existing[-1][0] + 1 if existing else 1
+
+
+def write_snapshot(
+    directory: str,
+    state: Any,
+    meta: Optional[Dict[str, Any]] = None,
+    *,
+    generation: Optional[int] = None,
+    io: Optional[StorageIO] = None,
+) -> str:
+    """Write one new snapshot generation atomically; returns its path."""
+    io = io or StorageIO()
+    os.makedirs(directory, exist_ok=True)
+    if generation is None:
+        generation = next_generation(directory)
+    payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    header = {
+        "format": FORMAT,
+        "generation": int(generation),
+        "payload_bytes": len(payload),
+        "payload_sha256": hashlib.sha256(payload).hexdigest(),
+        "meta": dict(meta or {}),
+    }
+    blob = json.dumps(header, sort_keys=True).encode("utf-8") + b"\n" + payload
+    path = snapshot_path(directory, generation)
+    io.write_file_atomic(path, blob)
+    return path
+
+
+def read_header(path: str) -> Dict[str, Any]:
+    """Parse and sanity-check just the JSON header line."""
+    try:
+        with open(path, "rb") as handle:
+            line = handle.readline()
+    except OSError as exc:
+        raise SnapshotCorruptError(path, f"unreadable: {exc}") from exc
+    try:
+        header = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotCorruptError(path, f"bad header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("format") != FORMAT:
+        raise SnapshotCorruptError(
+            path, f"unknown format {header.get('format') if isinstance(header, dict) else header!r}"
+        )
+    return header
+
+
+def read_snapshot(path: str) -> Tuple[Dict[str, Any], Any]:
+    """Verify and load one snapshot file: ``(header, state)``.
+
+    Raises :class:`SnapshotCorruptError` on any verification failure —
+    short payload (torn write), checksum mismatch (corruption), or an
+    unpicklable payload.
+    """
+    header = read_header(path)
+    with open(path, "rb") as handle:
+        handle.readline()
+        payload = handle.read()
+    expected = int(header.get("payload_bytes", -1))
+    if len(payload) != expected:
+        raise SnapshotCorruptError(
+            path, f"torn payload: {len(payload)} bytes, header says {expected}"
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header.get("payload_sha256"):
+        raise SnapshotCorruptError(path, "payload checksum mismatch")
+    try:
+        state = pickle.loads(payload)
+    except Exception as exc:  # pickle raises a zoo of types
+        raise SnapshotCorruptError(path, f"unpicklable payload: {exc}") from exc
+    return header, state
+
+
+def load_latest_good(directory: str) -> LoadedSnapshot:
+    """The degradation ladder's first rung: newest generation that verifies.
+
+    Walks generations newest-first, skipping (and recording) every file
+    that fails verification; raises :class:`NoSnapshotError` when none
+    is usable — the caller's cue to cold-rebuild from the initial spec
+    and replay the full journal.
+    """
+    skipped: List[Tuple[str, str]] = []
+    for generation, path in reversed(list_snapshots(directory)):
+        try:
+            header, state = read_snapshot(path)
+        except SnapshotCorruptError as exc:
+            skipped.append((path, exc.reason))
+            continue
+        return LoadedSnapshot(
+            path=path,
+            generation=generation,
+            header=header,
+            state=state,
+            skipped=tuple(skipped),
+        )
+    raise NoSnapshotError(
+        f"no usable snapshot under {directory!r} "
+        f"({len(skipped)} corrupt generation(s) skipped)"
+    )
+
+
+def prune_snapshots(
+    directory: str, keep: int = 3
+) -> List[str]:
+    """Delete all but the newest ``keep`` generations; returns removals.
+
+    ``keep`` must stay >= 2 — the ladder needs a previous generation to
+    fall back to when the newest turns out corrupt.
+    """
+    if keep < 2:
+        raise ValueError(f"keep must be >= 2, got {keep}")
+    doomed = list_snapshots(directory)[:-keep]
+    removed = []
+    for _, path in doomed:
+        try:
+            os.remove(path)
+        except OSError:
+            continue
+        removed.append(path)
+    return removed

@@ -44,6 +44,10 @@ class EpochStats:
     #: Timestamped events the continuous-time queue applied this epoch
     #: (mid-round and boundary injections alike; 0 without an event queue).
     events: int = 0
+    #: Recovery provenance: which snapshot generation + journal position
+    #: this epoch's run resumed from (``"snapshot-00000003.snap@seq42"``,
+    #: ``"cold-rebuild@seq1"``), None for an uninterrupted run.
+    recovered_from: Optional[str] = None
 
 
 @dataclass
@@ -109,6 +113,9 @@ def run_scenario(
     seed: Optional[int] = None,
     profile: bool = False,
     validate: bool = False,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 1,
+    recover_from: Optional[str] = None,
 ) -> ScenarioResult:
     """Run one scenario (by value or registered name) end to end.
 
@@ -128,7 +135,34 @@ def run_scenario(
     harness (:func:`repro.util.validation.check_engine_invariants`)
     after every injected event and at every epoch end — the debug mode
     the stress suite and the scenario smoke tests use.
+
+    ``checkpoint_dir`` routes the run through the durable driver
+    (:class:`repro.persist.durable.DurableScenarioRun`): the same
+    trajectory, journaled and snapshotted every ``checkpoint_every``
+    rounds so a killed run can resume.  ``recover_from`` resumes a
+    previously checkpointed run from its directory instead of starting
+    one (all other scenario arguments come from the directory's journal
+    and are ignored).
     """
+    if recover_from is not None:
+        from repro.persist.durable import resume_durable_scenario
+
+        return resume_durable_scenario(
+            recover_from, validate=validate or None
+        )
+    if checkpoint_dir is not None:
+        from repro.persist.durable import run_durable_scenario
+
+        return run_durable_scenario(
+            scenario,
+            checkpoint_dir,
+            scale=scale,
+            epochs=epochs,
+            iterations_per_epoch=iterations_per_epoch,
+            seed=seed,
+            checkpoint_every=checkpoint_every,
+            validate=validate,
+        )
     if isinstance(scenario, str):
         scenario = scenario_by_name(scenario)
     scenario = scenario.scaled(scale)

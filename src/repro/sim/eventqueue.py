@@ -396,8 +396,11 @@ class EventQueueRunner:
     built twins and pins each against a rebuilt-from-scratch engine.
 
     ``validate=True`` runs :func:`check_engine_invariants` after every
-    applied event; ``on_event`` (``callable(AppliedEvent)``) observes the
-    log as it grows.
+    applied event (failures name the event that triggered them);
+    ``on_event`` (``callable(AppliedEvent)``) observes the log as it
+    grows, and ``on_before_event`` (``callable(time_s, Event)``) fires
+    *before* each event applies — the write-ahead seam the journal of
+    :mod:`repro.persist` records through.
     """
 
     def __init__(
@@ -406,11 +409,13 @@ class EventQueueRunner:
         environment=None,
         validate: bool = False,
         on_event: Optional[Callable[[AppliedEvent], None]] = None,
+        on_before_event: Optional[Callable[[float, Event], None]] = None,
     ) -> None:
         self.scheduler = scheduler
         self.environment = environment
         self.validate = validate
         self.on_event = on_event
+        self.on_before_event = on_before_event
         self.round_seconds = len(scheduler.token) * scheduler.token_interval_s
         self.log: List[AppliedEvent] = []
         self._heap: List[Tuple[float, int, Event]] = []
@@ -448,12 +453,17 @@ class EventQueueRunner:
         changed = False
         while self._heap and self._heap[0][0] <= now + 1e-12:
             time_s, _, event = heapq.heappop(self._heap)
+            if self.on_before_event is not None:
+                self.on_before_event(time_s, event)
             did = event.apply(self, now)
             changed = changed or did
             record = AppliedEvent(time_s=time_s, event=event, changed=did)
             self.log.append(record)
             if self.validate:
-                check_engine_invariants(self.scheduler)
+                check_engine_invariants(
+                    self.scheduler,
+                    context=f"{event.describe()} @ t={time_s:.3f}s",
+                )
             if self.on_event is not None:
                 self.on_event(record)
         return changed

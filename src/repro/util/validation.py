@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Type
+from typing import Any, Optional, Sequence, Type
 
 
 def check_positive(name: str, value: float) -> float:
@@ -35,12 +35,54 @@ def check_type(name: str, value: Any, expected: Type) -> Any:
     return value
 
 
-def check_engine_invariants(scheduler) -> None:
-    """Assert every cross-layer invariant of a live scheduler stack.
+class InvariantViolation(AssertionError):
+    """One named engine invariant failed, with everything a diagnosis needs.
 
-    The opt-in debug harness behind event injection and the stress
-    suite: after *any* mutation — a wave landing, a churn event, a
-    capacity change — the whole tower must still agree:
+    Subclasses ``AssertionError`` so every existing ``except`` /
+    ``pytest.raises(AssertionError)`` treatment keeps working; carries
+    structure on top of the message:
+
+    ``invariant``
+        The stable short name of the violated invariant (e.g.
+        ``"slot-capacity"``, ``"round-cache-deltas"``).
+    ``indices``
+        The offending positions — dense rows, host ids or VM ids,
+        whichever the invariant indexes by (empty when not applicable,
+        clipped to the first 20).
+    ``context``
+        What last touched the state — the recovery and stress suites
+        pass the last applied event's description, so a ``--validate``
+        failure names its trigger.
+    """
+
+    MAX_INDICES = 20
+
+    def __init__(
+        self,
+        invariant: str,
+        message: str,
+        *,
+        indices: Sequence = (),
+        context: Optional[str] = None,
+    ) -> None:
+        self.invariant = str(invariant)
+        self.indices = tuple(int(i) for i in list(indices)[: self.MAX_INDICES])
+        self.context = context
+        text = f"[{self.invariant}] {message}"
+        if self.indices:
+            text += f" (offending indices: {list(self.indices)})"
+        if context:
+            text += f" (last applied: {context})"
+        super().__init__(text)
+
+
+def check_engine_invariants(scheduler, context: Optional[str] = None) -> None:
+    """Check every cross-layer invariant of a live scheduler stack.
+
+    The opt-in debug harness behind event injection, the stress suite
+    and crash recovery: after *any* mutation — a wave landing, a churn
+    event, a capacity change, a snapshot restore — the whole tower must
+    still agree:
 
     * the allocation's own structural invariants hold,
     * the token circulates exactly the placed VM ids, with level
@@ -53,65 +95,104 @@ def check_engine_invariants(scheduler) -> None:
     * every *valid* row of the persistent round-score cache is exactly
       what a fresh ``candidate_batch`` would score.
 
-    Raises ``AssertionError`` (with a named invariant) on the first
-    violation.  Cost scales with population and valid cached rows — a
-    per-event debug hook, not a production-path check.
+    Raises :class:`InvariantViolation` (an ``AssertionError`` carrying
+    the invariant name, offending indices and ``context`` — callers
+    pass the last applied event) on the first violation.  Cost scales
+    with population and valid cached rows — a per-event debug hook, not
+    a production-path check.
     """
     import numpy as np
 
     from repro.core.token import MAX_LEVEL_VALUE
 
+    def fail(invariant, message, indices=()):
+        raise InvariantViolation(
+            invariant, message, indices=indices, context=context
+        )
+
     allocation = scheduler.allocation
     token = scheduler.token
     traffic = scheduler.traffic
 
-    allocation.validate()
+    try:
+        allocation.validate()
+    except AssertionError as exc:
+        if isinstance(exc, InvariantViolation):
+            raise
+        fail("allocation-structure", str(exc))
 
     placed = sorted(allocation.vm_ids())
-    assert list(token.vm_ids) == placed, (
-        "token <-> allocation: token circulates "
-        f"{len(token)} ids, allocation places {len(placed)}"
-    )
+    if list(token.vm_ids) != placed:
+        fail(
+            "token-membership",
+            f"token circulates {len(token)} ids, "
+            f"allocation places {len(placed)}",
+            indices=sorted(set(token.vm_ids) ^ set(placed)),
+        )
     levels_seen = set()
     for entry in token.entries():
-        assert 0 <= entry.level <= MAX_LEVEL_VALUE, (
-            f"token level out of range: vm {entry.vm_id} at {entry.level}"
-        )
+        if not 0 <= entry.level <= MAX_LEVEL_VALUE:
+            fail(
+                "token-level-range",
+                f"vm {entry.vm_id} at level {entry.level}",
+                indices=[entry.vm_id],
+            )
         levels_seen.add(entry.level)
-    assert set(token.levels_present()) == levels_seen, (
-        "token level buckets disagree with entries"
-    )
+    if set(token.levels_present()) != levels_seen:
+        fail(
+            "token-level-buckets",
+            "level buckets disagree with entries",
+            indices=sorted(set(token.levels_present()) ^ levels_seen),
+        )
     bucketed = 0
     for level in token.levels_present():
         members = token.vms_at_level(level)
         bucketed += len(members)
         for vm_id in members:
-            assert token.level_of(vm_id) == level, (
-                f"token bucket desync: vm {vm_id} bucketed at {level}, "
-                f"recorded {token.level_of(vm_id)}"
-            )
-    assert bucketed == len(token), "token buckets do not partition the ids"
+            if token.level_of(vm_id) != level:
+                fail(
+                    "token-bucket-desync",
+                    f"vm {vm_id} bucketed at {level}, "
+                    f"recorded {token.level_of(vm_id)}",
+                    indices=[vm_id],
+                )
+    if bucketed != len(token):
+        fail(
+            "token-bucket-partition",
+            f"buckets hold {bucketed} ids, token {len(token)}",
+        )
 
     fast = scheduler.fastcost
     if fast is None:
         return
-    assert fast.in_sync, "fast engine out of sync (bypassed update path)"
+    if not fast.in_sync:
+        fail("engine-sync", "fast engine out of sync (bypassed update path)")
     snap = fast.snapshot
-    assert snap.vm_ids.tolist() == placed, (
-        "fast snapshot dense index disagrees with the allocation"
-    )
+    if snap.vm_ids.tolist() != placed:
+        fail(
+            "dense-index",
+            "fast snapshot dense index disagrees with the allocation",
+            indices=sorted(set(snap.vm_ids.tolist()) ^ set(placed)),
+        )
     expected_hosts = np.fromiter(
         (allocation.server_of(v) for v in snap.vm_ids.tolist()),
         dtype=np.int64,
         count=snap.n_vms,
     )
-    assert np.array_equal(fast._host_of, expected_hosts), (
-        "fast host map disagrees with the allocation"
-    )
+    if not np.array_equal(fast._host_of, expected_hosts):
+        fail(
+            "host-map",
+            "fast host map disagrees with the allocation",
+            indices=np.nonzero(fast._host_of != expected_hosts)[0],
+        )
     n_hosts = allocation.cluster.n_servers
-    assert np.array_equal(
-        fast._slot_used, np.bincount(fast._host_of, minlength=n_hosts)
-    ), "slot-usage mirror desync"
+    slot_expected = np.bincount(fast._host_of, minlength=n_hosts)
+    if not np.array_equal(fast._slot_used, slot_expected):
+        fail(
+            "slot-mirror",
+            "slot-usage mirror desync",
+            indices=np.nonzero(fast._slot_used != slot_expected)[0],
+        )
     ram = np.fromiter(
         (allocation.vm(v).ram_mb for v in snap.vm_ids.tolist()),
         dtype=np.int64,
@@ -122,47 +203,72 @@ def check_engine_invariants(scheduler) -> None:
         dtype=float,
         count=snap.n_vms,
     )
-    assert np.array_equal(
-        fast._ram_used,
-        np.bincount(fast._host_of, weights=ram, minlength=n_hosts).astype(
-            np.int64
-        ),
-    ), "RAM-usage mirror desync"
-    assert np.allclose(
-        fast._cpu_used,
-        np.bincount(fast._host_of, weights=cpu, minlength=n_hosts),
-        rtol=1e-9, atol=1e-9,
-    ), "CPU-usage mirror desync"
-    assert bool((fast._slot_used <= fast._slot_cap).all()), (
-        "slot capacity violated"
-    )
-    assert bool((fast._ram_used <= fast._ram_cap).all()), (
-        "RAM capacity violated"
-    )
-    assert bool(
-        (fast._cpu_used <= fast._cpu_cap + 1e-9).all()
-    ), "CPU capacity violated"
+    ram_expected = np.bincount(
+        fast._host_of, weights=ram, minlength=n_hosts
+    ).astype(np.int64)
+    if not np.array_equal(fast._ram_used, ram_expected):
+        fail(
+            "ram-mirror",
+            "RAM-usage mirror desync",
+            indices=np.nonzero(fast._ram_used != ram_expected)[0],
+        )
+    cpu_expected = np.bincount(fast._host_of, weights=cpu, minlength=n_hosts)
+    if not np.allclose(fast._cpu_used, cpu_expected, rtol=1e-9, atol=1e-9):
+        fail(
+            "cpu-mirror",
+            "CPU-usage mirror desync",
+            indices=np.nonzero(
+                ~np.isclose(fast._cpu_used, cpu_expected, rtol=1e-9, atol=1e-9)
+            )[0],
+        )
+    if not bool((fast._slot_used <= fast._slot_cap).all()):
+        fail(
+            "slot-capacity",
+            "slot capacity violated",
+            indices=np.nonzero(fast._slot_used > fast._slot_cap)[0],
+        )
+    if not bool((fast._ram_used <= fast._ram_cap).all()):
+        fail(
+            "ram-capacity",
+            "RAM capacity violated",
+            indices=np.nonzero(fast._ram_used > fast._ram_cap)[0],
+        )
+    if not bool((fast._cpu_used <= fast._cpu_cap + 1e-9).all()):
+        fail(
+            "cpu-capacity",
+            "CPU capacity violated",
+            indices=np.nonzero(fast._cpu_used > fast._cpu_cap + 1e-9)[0],
+        )
 
     # Lemma-3 caches: the O(1) running total and the per-VM cost vector
     # against from-scratch recomputation over the same snapshot.
     total = fast.total_cost()
     recomputed = fast.recompute_total_cost()
-    assert abs(total - recomputed) <= 1e-9 * max(1.0, abs(recomputed)), (
-        f"incremental total drifted: {total} vs recomputed {recomputed}"
-    )
+    if not abs(total - recomputed) <= 1e-9 * max(1.0, abs(recomputed)):
+        fail(
+            "lemma3-total",
+            f"incremental total drifted: {total} vs recomputed {recomputed}",
+        )
     crossing = fast._host_of[snap.row] != fast._host_of[snap.peer]
     egress = np.bincount(
         fast._host_of[snap.row],
         weights=snap.rate * crossing,
         minlength=n_hosts,
     )
-    assert np.allclose(fast._egress, egress, rtol=1e-9, atol=1e-6), (
-        "per-host egress mirror desync"
-    )
+    if not np.allclose(fast._egress, egress, rtol=1e-9, atol=1e-6):
+        fail(
+            "egress-mirror",
+            "per-host egress mirror desync",
+            indices=np.nonzero(
+                ~np.isclose(fast._egress, egress, rtol=1e-9, atol=1e-6)
+            )[0],
+        )
     n_traffic_pairs = traffic.n_pairs
-    assert snap.n_pairs == n_traffic_pairs, (
-        f"snapshot holds {snap.n_pairs} pairs, matrix {n_traffic_pairs}"
-    )
+    if snap.n_pairs != n_traffic_pairs:
+        fail(
+            "pair-count",
+            f"snapshot holds {snap.n_pairs} pairs, matrix {n_traffic_pairs}",
+        )
 
     # Round cache: every still-valid scored row must be exactly what a
     # fresh candidate_batch over its owner would produce right now.
@@ -176,12 +282,21 @@ def check_engine_invariants(scheduler) -> None:
 
     fresh = fast.candidate_batch(valid, cache.max_candidates)
     rows, seg_ptr = segment_rows(cache._ptr, valid)
-    assert np.array_equal(fresh.ptr, seg_ptr), (
-        "round cache: valid owners' candidate counts diverged"
-    )
-    assert np.array_equal(fresh.host, cache._host[rows]), (
-        "round cache: valid owners' candidate hosts diverged"
-    )
-    assert np.array_equal(fresh.delta, cache._delta[rows]), (
-        "round cache: valid owners' scored deltas diverged"
-    )
+    if not np.array_equal(fresh.ptr, seg_ptr):
+        fail(
+            "round-cache-counts",
+            "valid owners' candidate counts diverged",
+            indices=valid[np.nonzero(np.diff(fresh.ptr) != np.diff(seg_ptr))[0]],
+        )
+    if not np.array_equal(fresh.host, cache._host[rows]):
+        fail(
+            "round-cache-hosts",
+            "valid owners' candidate hosts diverged",
+            indices=np.nonzero(fresh.host != cache._host[rows])[0],
+        )
+    if not np.array_equal(fresh.delta, cache._delta[rows]):
+        fail(
+            "round-cache-deltas",
+            "valid owners' scored deltas diverged",
+            indices=np.nonzero(fresh.delta != cache._delta[rows])[0],
+        )

@@ -1,0 +1,171 @@
+"""Write-ahead journal: framing, torn-tail repair, WAL ordering.
+
+The journal's contract is narrow and absolute: records append with
+``seq`` increasing by exactly one, every record is CRC-framed, a crash
+mid-append leaves a tail that :class:`Journal`'s open-time scan drops
+*in place* (so the file and the in-memory view never disagree), and a
+mutation's record hits disk *before* the mutation executes — which is
+what makes last-snapshot + journal-suffix replay a complete recovery.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.persist.faults import FaultPlan, FaultyIO, SimulatedCrash
+from repro.persist.journal import (
+    Journal,
+    JournalError,
+    JournalRecord,
+    _crc,
+)
+from repro.persist.durable import JournaledScheduler
+
+
+def make_journal(tmp_path, name="journal.wal", **kwargs):
+    return Journal(str(tmp_path / name), **kwargs)
+
+
+class TestFraming:
+    def test_append_read_round_trip(self, tmp_path):
+        with make_journal(tmp_path) as journal:
+            assert journal.last_seq == 0
+            assert journal.append("begin", {"spec": [1, 2]}) == 1
+            assert journal.append("op", {"op": "retire_vms"}) == 2
+            assert journal.append("round", {"cost": 1.5}) == 3
+            assert list(journal) == [
+                JournalRecord(1, "begin", {"spec": [1, 2]}),
+                JournalRecord(2, "op", {"op": "retire_vms"}),
+                JournalRecord(3, "round", {"cost": 1.5}),
+            ]
+        # Reopen: everything durable, seq chain continues.
+        with make_journal(tmp_path) as journal:
+            assert journal.last_seq == 3
+            assert journal.repaired_bytes == 0
+            assert journal.append("epoch", {}) == 4
+
+    def test_records_filters_by_seq_and_kind(self, tmp_path):
+        with make_journal(tmp_path) as journal:
+            for i in range(6):
+                journal.append("op" if i % 2 else "round", {"i": i})
+            assert [r.seq for r in journal.records(after_seq=3)] == [4, 5, 6]
+            assert [
+                r.data["i"] for r in journal.records(kinds=("round",))
+            ] == [0, 2, 4]
+            assert journal.find_first("op").data == {"i": 1}
+            assert journal.find_first("begin") is None
+
+    def test_closed_journal_rejects_appends(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.close()
+        with pytest.raises(JournalError):
+            journal.append("op", {})
+
+    def test_non_finite_payloads_are_rejected(self, tmp_path):
+        # allow_nan=False: NaN would not survive a JSON round trip, so it
+        # must fail loudly at append time, not at recovery time.
+        with make_journal(tmp_path) as journal:
+            with pytest.raises(ValueError):
+                journal.append("round", {"cost": float("nan")})
+
+
+class TestTornTailRepair:
+    @settings(max_examples=25, deadline=None)
+    @given(fraction=st.floats(min_value=0.01, max_value=0.99))
+    def test_torn_final_record_is_dropped_and_truncated(
+        self, tmp_path_factory, fraction
+    ):
+        tmp_path = tmp_path_factory.mktemp("wal")
+        path = str(tmp_path / "journal.wal")
+        with Journal(path) as journal:
+            for i in range(4):
+                journal.append("op", {"i": i})
+        with open(path, "rb") as fh:
+            raw = fh.read()
+        lines = raw.splitlines(keepends=True)
+        cut = max(1, int(len(lines[3]) * fraction))
+        torn = b"".join(lines[:3]) + lines[3][:cut]
+        with open(path, "wb") as fh:
+            fh.write(torn)
+
+        with Journal(path) as journal:
+            assert journal.last_seq == 3
+            assert journal.repaired_bytes > 0
+            # The tail is gone from the *file*, not just the view, and
+            # appending continues the chain where the good prefix ended.
+            assert journal.append("op", {"i": "new"}) == 4
+        with Journal(path) as journal:
+            assert [r.data["i"] for r in journal] == [0, 1, 2, "new"]
+
+    def test_mid_file_corruption_drops_the_suffix(self, tmp_path):
+        path = str(tmp_path / "journal.wal")
+        with Journal(path) as journal:
+            for i in range(5):
+                journal.append("op", {"i": i})
+        with open(path, "rb") as fh:
+            lines = fh.read().splitlines(keepends=True)
+        lines[2] = lines[2].replace(b'"i":2', b'"i":7')  # breaks the CRC
+        with open(path, "wb") as fh:
+            fh.write(b"".join(lines))
+        with Journal(path) as journal:
+            assert [r.data["i"] for r in journal] == [0, 1]
+            assert os.path.getsize(path) == sum(len(l) for l in lines[:2])
+
+    def test_seq_gap_is_treated_as_corruption(self, tmp_path):
+        path = str(tmp_path / "journal.wal")
+        with Journal(path) as journal:
+            journal.append("op", {"i": 0})
+        body = {"seq": 5, "kind": "op", "data": {"i": 9}}
+        line = json.dumps(
+            {**body, "crc": _crc(body)}, sort_keys=True, separators=(",", ":")
+        )
+        with open(path, "ab") as fh:
+            fh.write(line.encode() + b"\n")
+        with Journal(path) as journal:
+            assert journal.last_seq == 1
+
+    def test_crashed_append_leaves_repairable_tail(self, tmp_path):
+        """The fault harness tears a real append exactly like a kill."""
+        path = str(tmp_path / "journal.wal")
+        plan = FaultPlan(crash_on_journal_append=3, tear_fraction=0.4)
+        journal = Journal(path, io=FaultyIO(plan))
+        journal.append("op", {"i": 0})
+        journal.append("op", {"i": 1})
+        with pytest.raises(SimulatedCrash):
+            journal.append("op", {"i": 2})
+        with Journal(path) as reopened:
+            assert [r.data["i"] for r in reopened] == [0, 1]
+            assert reopened.repaired_bytes > 0
+
+
+class _ExplodingScheduler:
+    """Stand-in whose mutations always die *after* the journal write."""
+
+    def __getattr__(self, name):
+        raise AssertionError(f"unexpected delegate: {name}")
+
+    def retire_vms(self, vm_ids):
+        raise RuntimeError("boom")
+
+    def set_bandwidth_threshold(self, threshold):
+        raise RuntimeError("boom")
+
+
+class TestWriteAheadOrdering:
+    def test_record_hits_the_log_before_the_mutation_runs(self):
+        recorded = []
+        proxy = JournaledScheduler(
+            _ExplodingScheduler(), lambda op, payload: recorded.append(op)
+        )
+        with pytest.raises(RuntimeError):
+            proxy.retire_vms([1, 2])
+        with pytest.raises(RuntimeError):
+            proxy.set_bandwidth_threshold(None)
+        # Both ops were journaled even though neither executed: on disk
+        # first, in memory second — the definition of write-ahead.
+        assert recorded == ["retire_vms", "set_bandwidth_threshold"]
