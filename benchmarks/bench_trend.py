@@ -32,6 +32,9 @@ METRIC_FACTORS = {
     "round_s": 1.5,
     "run_s": 1.5,
     "epoch_s": 1.5,
+    # The service-layer latency headline: keep it trending even when a
+    # fast runner pushes it under the generic noise floor.
+    "p99_event_to_plan_s": 2.0,
 }
 
 #: Wall-clocks faster than this are below timer/runner noise; skip them —
@@ -41,6 +44,10 @@ MIN_MEANINGFUL_SECONDS = 0.05
 
 #: Ratio fields (higher is better) tracked in the reverse direction.
 SPEEDUP_PREFIXES = ("speedup",)
+
+#: Rate fields (higher is better), e.g. the service's sustained
+#: ``events_per_second`` — a *drop* is the regression, like a speedup.
+RATE_SUFFIXES = ("_per_second",)
 
 
 def _records(path: str) -> dict:
@@ -72,8 +79,10 @@ def main(argv: list) -> int:
             if not isinstance(value, (int, float)) or isinstance(value, bool):
                 continue
             is_seconds = field.endswith("_s")
-            is_speedup = field.startswith(SPEEDUP_PREFIXES) or field.endswith(
-                "speedup"
+            is_speedup = (
+                field.startswith(SPEEDUP_PREFIXES)
+                or field.endswith("speedup")
+                or field.endswith(RATE_SUFFIXES)
             )
             if not is_seconds and not is_speedup:
                 continue

@@ -14,7 +14,15 @@ Commands
 ``scenario``
     Run a named scenario from the catalogue (drifting traffic, tenant
     churn, maintenance drains) epoch by epoch via the delta-path engine;
-    ``--list`` prints the catalogue.
+    ``--list`` prints the catalogue.  Durable runs
+    (``--checkpoint-dir``/``--recover-from``) drain gracefully on
+    SIGINT/SIGTERM: the in-flight round finishes and a final checkpoint
+    flushes before exit.
+``serve``
+    The scheduler-as-a-service daemon: warm scheduler state, a pluggable
+    event source (Poisson, a scenario's event feed, newline-JSON),
+    bounded admission control, journaled rounds, supervised restarts
+    and graceful signal drain (see ``docs/service.md``).
 ``info``
     Print version and the paper-scale configurations.
 """
@@ -152,13 +160,17 @@ def _cmd_migration_profile(args: argparse.Namespace) -> int:
 def _cmd_scenario(args: argparse.Namespace) -> int:
     from repro.scenarios import run_scenario, scenario_by_name, scenario_names
 
+    from repro.service import GracefulShutdown
+
     if args.recover_from is not None:
         print(f"recovering checkpointed run from {args.recover_from}")
-        result = run_scenario(
-            "baseline",  # ignored: the directory's journal names the scenario
-            validate=args.validate,
-            recover_from=args.recover_from,
-        )
+        with GracefulShutdown() as stop:
+            result = run_scenario(
+                "baseline",  # ignored: the journal names the scenario
+                validate=args.validate,
+                recover_from=args.recover_from,
+                stop_requested=stop,
+            )
         scenario = result.scenario
         print(f"scenario: {scenario.name} — {scenario.description}")
     else:
@@ -171,17 +183,19 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             return 0
         scenario = scenario_by_name(args.name)
         print(f"scenario: {scenario.name} — {scenario.description}")
-        result = run_scenario(
-            scenario,
-            scale=args.scale,
-            epochs=args.epochs,
-            iterations_per_epoch=args.iterations_per_epoch,
-            seed=args.seed,
-            profile=args.profile,
-            validate=args.validate,
-            checkpoint_dir=args.checkpoint_dir,
-            checkpoint_every=args.checkpoint_every,
-        )
+        with GracefulShutdown() as stop:
+            result = run_scenario(
+                scenario,
+                scale=args.scale,
+                epochs=args.epochs,
+                iterations_per_epoch=args.iterations_per_epoch,
+                seed=args.seed,
+                profile=args.profile,
+                validate=args.validate,
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every=args.checkpoint_every,
+                stop_requested=stop if args.checkpoint_dir else None,
+            )
     env = result.environment
     print(f"topology: {env.topology.describe()}  policy: {scenario.config.policy}")
     show_recov = any(s.recovered_from for s in result.epoch_stats)
@@ -209,11 +223,132 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         f"wall clock: transitions {result.total_transition_s:.3f}s, "
         f"scheduling {result.total_schedule_s:.3f}s"
     )
+    if result.interrupted:
+        where = args.checkpoint_dir or args.recover_from
+        print(
+            f"interrupted by shutdown request — final checkpoint flushed; "
+            f"resume with: python -m repro scenario --recover-from {where}"
+        )
     if result.profile is not None:
         print("scheduling phases (round-cache hit rates included):")
         print(f"  {'transition':12s} {result.total_transition_s:8.3f}s")
         for line in result.profile.lines(result.total_schedule_s):
             print(f"  {line}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.scenarios.scenario import SCALES
+    from repro.service import (
+        GracefulShutdown,
+        JsonLinesSource,
+        PoissonSource,
+        SchedulerService,
+        ScriptedSource,
+        ServiceConfig,
+        supervise,
+    )
+
+    state_dir = args.state_dir
+    config = ServiceConfig(
+        checkpoint_every=args.checkpoint_every,
+        queue_capacity=args.queue_capacity,
+        queue_soft_limit=args.queue_soft_limit,
+    )
+
+    def make_source(round_seconds: float):
+        if args.source == "none":
+            return None
+        if args.source == "poisson":
+            return PoissonSource(
+                args.rate,
+                round_seconds,
+                args.horizon_rounds,
+                seed=args.source_seed,
+            )
+        if args.source.startswith("scenario:"):
+            from repro.scenarios import scenario_by_name
+
+            scenario = scenario_by_name(args.source.split(":", 1)[1])
+            return ScriptedSource.from_specs(scenario.events, round_seconds)
+        if args.source.startswith("jsonl:"):
+            target = args.source.split(":", 1)[1]
+            if target == "-":
+                return JsonLinesSource(sys.stdin, round_seconds)
+            with open(target) as handle:
+                return JsonLinesSource(handle, round_seconds)
+        raise SystemExit(f"unknown --source {args.source!r}")
+
+    on_plan = None
+    if args.print_plans:
+        def on_plan(plan):
+            print(
+                f"  plan round={plan.round} t={plan.clock:.1f}s "
+                f"cost={plan.cost:.4g} moves={plan.migrations} "
+                f"events={plan.events_absorbed}"
+            )
+
+    with GracefulShutdown() as stop:
+        if args.resume:
+            print(f"resuming service from {state_dir}")
+
+            def create_fn():
+                return SchedulerService.resume(state_dir, on_plan=on_plan)
+
+        else:
+            experiment = ExperimentConfig(
+                **SCALES[args.scale], policy=args.policy, seed=args.seed
+            )
+
+            def create_fn():
+                return SchedulerService.create(
+                    experiment,
+                    state_dir,
+                    make_source,
+                    config=config,
+                    on_plan=on_plan,
+                )
+
+        outcome = supervise(
+            state_dir,
+            create_fn,
+            max_restarts=args.max_restarts,
+            serve_kwargs={"max_rounds": args.rounds, "stop_requested": stop},
+        )
+        outcome.service.close()
+    report = outcome.report
+    if outcome.service.recovered_from:
+        print(f"recovered from: {outcome.service.recovered_from}")
+    print(
+        f"rounds: {report.rounds_total} total ({report.rounds} live)  "
+        f"plans: {report.plans}  events: {report.events_applied}  "
+        f"migrations: {report.migrations}"
+    )
+    print(f"final cost: {report.final_cost:,.4f}")
+    adm = report.admissions
+    print(
+        f"admission: accepted {adm.get('accepted', 0)}, deferred "
+        f"{adm.get('deferred', 0)}, coalesced {adm.get('coalesced', 0)}, "
+        f"rejected {adm.get('rejected', 0)} "
+        f"(backpressure rounds: {report.backpressure_rounds})"
+    )
+    if report.events_applied:
+        print(
+            f"throughput: {report.events_per_second:,.1f} events/s, "
+            f"p99 event->plan latency {report.p99_latency_s * 1e3:.2f} ms"
+        )
+    if report.restarts or report.safe_mode or report.degraded:
+        print(
+            f"robustness: {report.restarts} supervised restart(s), "
+            f"{len(report.safe_mode)} safe-mode window(s), "
+            f"{len(report.degraded)} degraded window(s)"
+        )
+    print(f"stopped: {report.stop_reason}")
+    if report.stop_reason == "graceful shutdown":
+        print(
+            f"final checkpoint flushed — resume with: "
+            f"python -m repro serve --resume --state-dir {state_dir}"
+        )
     return 0
 
 
@@ -301,6 +436,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume a killed durable run from its checkpoint directory",
     )
     scenario_parser.set_defaults(func=_cmd_scenario)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the scheduler-as-a-service daemon"
+    )
+    serve_parser.add_argument(
+        "--state-dir", required=True, metavar="DIR",
+        help="durable state directory (journal + snapshot generations)",
+    )
+    serve_parser.add_argument(
+        "--resume", action="store_true",
+        help="recover an existing service from --state-dir instead of "
+        "creating one (topology/source come from its journal)",
+    )
+    serve_parser.add_argument(
+        "--scale", choices=["toy", "small", "paper"], default="toy"
+    )
+    serve_parser.add_argument(
+        "--policy", choices=["rr", "hlf", "random", "lrv"], default="hlf"
+    )
+    serve_parser.add_argument("--seed", type=int, default=42)
+    serve_parser.add_argument(
+        "--source", default="poisson", metavar="SPEC",
+        help="event source: 'poisson', 'scenario:<name>', 'jsonl:<path>', "
+        "'jsonl:-' (stdin) or 'none'",
+    )
+    serve_parser.add_argument(
+        "--rate", type=float, default=3.0,
+        help="poisson source: mean events per token round",
+    )
+    serve_parser.add_argument(
+        "--horizon-rounds", type=float, default=12.0,
+        help="poisson source: stream length in rounds",
+    )
+    serve_parser.add_argument(
+        "--source-seed", type=int, default=0,
+        help="poisson source: RNG seed (independent of --seed)",
+    )
+    serve_parser.add_argument(
+        "--rounds", type=int, default=None, metavar="N",
+        help="stop after N rounds (default: run until the stream is "
+        "absorbed and the scheduler quiesces)",
+    )
+    serve_parser.add_argument("--checkpoint-every", type=int, default=4)
+    serve_parser.add_argument("--queue-capacity", type=int, default=64)
+    serve_parser.add_argument(
+        "--queue-soft-limit", type=int, default=None,
+        help="overload watermark (default: half the capacity)",
+    )
+    serve_parser.add_argument(
+        "--max-restarts", type=int, default=8,
+        help="supervised restart budget before a crash propagates",
+    )
+    serve_parser.add_argument(
+        "--print-plans", action="store_true",
+        help="print every emitted migration plan",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
 
     info_parser = sub.add_parser("info", help="version and paper-scale info")
     info_parser.set_defaults(func=_cmd_info)

@@ -352,6 +352,31 @@ class SCOREScheduler:
             event_pump, first_holder,
         )
 
+    def quiesce(
+        self, max_rounds: int = 25, first_holder: Optional[int] = None
+    ) -> List[SchedulerReport]:
+        """Run one round at a time until a round migrates nothing.
+
+        The settle loop the service drain and the chaos differential
+        share: with no further events arriving, S-CORE converges (every
+        hold fails the Theorem 1 gate) and the first zero-migration
+        round proves it.  Returns the per-round reports, the stable
+        round last; raises ``RuntimeError`` if ``max_rounds`` rounds
+        all still migrate — that is oscillation, not convergence.
+        """
+        reports: List[SchedulerReport] = []
+        holder = first_holder
+        for _ in range(max_rounds):
+            report = self.run(n_iterations=1, first_holder=holder)
+            reports.append(report)
+            holder = report.next_holder
+            if report.total_migrations == 0:
+                return reports
+        raise RuntimeError(
+            f"scheduler failed to quiesce within {max_rounds} rounds "
+            f"(last round still moved {reports[-1].total_migrations} VMs)"
+        )
+
     def run_reference(
         self,
         n_iterations: int = 5,

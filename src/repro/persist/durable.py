@@ -55,9 +55,13 @@ from repro.persist.faults import FaultPlan
 from repro.persist.journal import JOURNAL_NAME, Journal, JournalRecord
 from repro.persist.snapshot import (
     NoSnapshotError,
+    SnapshotCorruptError,
     StorageIO,
+    _quick_verify,
+    list_snapshots,
     load_latest_good,
     prune_snapshots,
+    read_header,
     write_snapshot,
 )
 from repro.scenarios.registry import scenario_by_name
@@ -116,6 +120,31 @@ def _scenario_from_dict(data: Dict[str, Any]) -> Scenario:
         churn=ChurnSpec(**data["churn"]),
         events=events,
     )
+
+
+def compact_journal_to_snapshots(directory: str, journal: Journal) -> int:
+    """Drop journal records no surviving snapshot generation needs.
+
+    The cutoff is the *oldest* surviving generation's journal position
+    (screened cheaply for integrity): every rung the recovery ladder can
+    still take replays from a seq at or after it.  Generations without a
+    readable position — foreign files, torn headers — veto nothing but
+    contribute nothing either; with no usable position at all,
+    compaction is skipped.  Returns the number of records dropped.
+    """
+    positions = []
+    for _, path in list_snapshots(directory):
+        if not _quick_verify(path):
+            continue
+        try:
+            seq = read_header(path).get("meta", {}).get("journal_seq")
+        except SnapshotCorruptError:
+            continue
+        if isinstance(seq, int):
+            positions.append(seq)
+    if not positions:
+        return 0
+    return journal.compact(min(positions))
 
 
 def _decisions_digest(decisions) -> str:
@@ -242,19 +271,6 @@ class JournaledScheduler:
         self._inner.set_bandwidth_threshold(threshold)
 
 
-class _DurableEventRunner(EventQueueRunner):
-    """Event runner with the between-waves kill point wired into the pump."""
-
-    def __init__(self, *args, fault: Optional[FaultPlan] = None, **kwargs):
-        super().__init__(*args, **kwargs)
-        self.fault = fault
-
-    def pump(self, now: float) -> bool:
-        if self.fault is not None:
-            self.fault.check_pump(now)
-        return super().pump(now)
-
-
 class DurableScenarioRun:
     """One checkpointed, journaled, resumable scenario run.
 
@@ -277,6 +293,7 @@ class DurableScenarioRun:
         io: StorageIO,
         fault: Optional[FaultPlan],
         keep_generations: int,
+        compact_journal: bool = False,
     ) -> None:
         self._directory = str(directory)
         self._journal = journal
@@ -288,6 +305,7 @@ class DurableScenarioRun:
         self._io = io
         self._fault = fault
         self._keep_generations = int(keep_generations)
+        self._compact_journal = bool(compact_journal)
         self._replaying = False
         self._phase = "transition"
         self._recovered_from: Optional[str] = None
@@ -324,6 +342,7 @@ class DurableScenarioRun:
         io: Optional[StorageIO] = None,
         fault: Optional[FaultPlan] = None,
         keep_generations: int = 4,
+        compact_journal: bool = False,
     ) -> "DurableScenarioRun":
         """Start a fresh durable run in an empty ``directory``.
 
@@ -332,6 +351,12 @@ class DurableScenarioRun:
         :func:`~repro.scenarios.runner.run_scenario`; the resolved spec
         is journaled as the ``begin`` record, making the directory
         self-contained for cold rebuilds.
+
+        ``compact_journal`` truncates committed journal records older
+        than every surviving snapshot generation after each checkpoint,
+        bounding long-running disk use — at the cost of the ladder's
+        cold-rebuild rung for the dropped span (recovery then floors at
+        the oldest kept generation; the default keeps the full journal).
         """
         if isinstance(scenario, str):
             scenario = scenario_by_name(scenario)
@@ -369,6 +394,7 @@ class DurableScenarioRun:
             io,
             fault,
             keep_generations,
+            compact_journal,
         )
         journal.append(
             "begin",
@@ -394,6 +420,7 @@ class DurableScenarioRun:
         io: Optional[StorageIO] = None,
         fault: Optional[FaultPlan] = None,
         keep_generations: int = 4,
+        compact_journal: bool = False,
     ) -> "DurableScenarioRun":
         """Recover a run from ``directory``'s snapshots + journal.
 
@@ -422,13 +449,20 @@ class DurableScenarioRun:
             io,
             fault,
             keep_generations,
+            compact_journal,
         )
         try:
             loaded = load_latest_good(directory)
             run._install_state(loaded.state)
             base_seq = int(loaded.header.get("meta", {})["journal_seq"])
             label = f"{os.path.basename(loaded.path)}@seq{base_seq}"
-        except NoSnapshotError:
+        except NoSnapshotError as exc:
+            if journal.find_first("compact") is not None:
+                raise RecoveryError(
+                    f"{directory!r} has no usable snapshot and its journal "
+                    f"was compacted — the dropped records made the "
+                    f"cold-rebuild rung unreachable ({exc})"
+                ) from exc
             run._boot_fresh()
             base_seq = begin.seq
             label = f"cold-rebuild@seq{base_seq}"
@@ -451,7 +485,7 @@ class DurableScenarioRun:
         self._drift = drift
         self._churn = churn
         self._proxy = JournaledScheduler(scheduler, self._record_op)
-        self._runner = _DurableEventRunner(
+        self._runner = EventQueueRunner(
             self._proxy,
             environment=environment,
             validate=self._validate,
@@ -569,7 +603,12 @@ class DurableScenarioRun:
             },
         )
         prune_snapshots(self._directory, keep=self._keep_generations)
+        if self._compact_journal:
+            self._compact_wal()
         return path
+
+    def _compact_wal(self) -> int:
+        return compact_journal_to_snapshots(self._directory, self._journal)
 
     # -- the schedule --------------------------------------------------
 
@@ -747,19 +786,38 @@ class DurableScenarioRun:
             "next_holder": self._next_holder,
         }
 
-    def run(self):
+    def run(self, stop_requested=None):
         """Drive the remaining schedule to completion; returns the
         :class:`~repro.scenarios.runner.ScenarioResult` (epoch stats of
         already-committed epochs included, ``recovered_from`` stamped on
-        every epoch a resumed run produced)."""
-        while self._epoch < self._n_epochs:
+        every epoch a resumed run produced).
+
+        ``stop_requested`` (a zero-argument callable, e.g. a signal
+        flag from :class:`repro.service.GracefulShutdown`) is polled
+        between rounds: when it turns true the in-flight round finishes,
+        a final checkpoint is flushed, and the partial result returns
+        with ``interrupted=True`` — :meth:`resume` continues from there.
+        """
+
+        def stopping() -> bool:
+            return stop_requested is not None and stop_requested()
+
+        interrupted = False
+        while self._epoch < self._n_epochs and not interrupted:
             if not self._transition_done:
                 self._do_transition()
             while self._rounds_done < self._iterations:
                 self._do_round()
-            self._finish_epoch()
+                if stopping():
+                    interrupted = True
+                    break
+            if not interrupted:
+                self._finish_epoch()
+                if self._epoch < self._n_epochs and stopping():
+                    interrupted = True
         self._write_checkpoint()
         self._result.profile = self._scheduler.profile
+        self._result.interrupted = interrupted
         return self._result
 
     def close(self) -> None:
@@ -767,20 +825,24 @@ class DurableScenarioRun:
 
 
 def run_durable_scenario(
-    scenario: Union[Scenario, str], directory: str, **kwargs
+    scenario: Union[Scenario, str],
+    directory: str,
+    *,
+    stop_requested=None,
+    **kwargs,
 ):
     """Create + run one durable scenario; returns its ScenarioResult."""
     run = DurableScenarioRun.create(scenario, directory, **kwargs)
     try:
-        return run.run()
+        return run.run(stop_requested=stop_requested)
     finally:
         run.close()
 
 
-def resume_durable_scenario(directory: str, **kwargs):
+def resume_durable_scenario(directory: str, *, stop_requested=None, **kwargs):
     """Resume + finish a durable scenario; returns its ScenarioResult."""
     run = DurableScenarioRun.resume(directory, **kwargs)
     try:
-        return run.run()
+        return run.run(stop_requested=stop_requested)
     finally:
         run.close()

@@ -69,6 +69,12 @@ class FaultPlan:
     tear_fraction: float = 0.5
     #: Kill the k-th journal append after writing a record prefix.
     crash_on_journal_append: Optional[int] = None
+    #: Kill the k-th journal *compaction rewrite* (see ``compaction_mode``).
+    crash_on_compaction: Optional[int] = None
+    #: Which side of the atomic rename the compaction kill lands on:
+    #: "before" leaves the old full journal, "after" the new compacted
+    #: one — the two halves of the crash-mid-compaction window.
+    compaction_mode: str = "before"
     #: The first k writes/appends fail once each with OSError (transient).
     transient_errors: int = 0
 
@@ -83,6 +89,11 @@ class FaultPlan:
         if not 0.0 < self.tear_fraction < 1.0:
             raise ValueError(
                 f"tear_fraction must be in (0, 1), got {self.tear_fraction}"
+            )
+        if self.compaction_mode not in ("before", "after"):
+            raise ValueError(
+                f"compaction_mode must be before|after, "
+                f"got {self.compaction_mode!r}"
             )
 
     def check_pump(self, now: float) -> None:
@@ -110,6 +121,7 @@ class FaultyIO(StorageIO):
         self.plan = plan
         self._snapshot_writes = 0
         self._journal_appends = 0
+        self._compaction_writes = 0
         self._transients_left = plan.transient_errors
         #: Wall-clock the retry path would have slept (asserted by tests).
         self.slept_s = 0.0
@@ -124,6 +136,18 @@ class FaultyIO(StorageIO):
 
     def _pre_write(self, path: str, blob: bytes) -> None:
         self._take_transient()
+        # A whole-file .wal write is a compaction rewrite (appends go
+        # through _pre_append); "before" kills it ahead of the temp
+        # file, so the old journal survives intact.
+        if path.endswith(".wal"):
+            self._compaction_writes += 1
+            if (
+                self._compaction_writes == self.plan.crash_on_compaction
+                and self.plan.compaction_mode == "before"
+            ):
+                raise SimulatedCrash(
+                    f"pre-compaction #{self._compaction_writes} {path}"
+                )
 
     def _pre_append(self, path: str, blob: bytes, handle) -> None:
         self._take_transient()
@@ -139,6 +163,15 @@ class FaultyIO(StorageIO):
                 )
 
     def _post_write(self, path: str, blob: bytes) -> None:
+        if path.endswith(".wal"):
+            if (
+                self._compaction_writes == self.plan.crash_on_compaction
+                and self.plan.compaction_mode == "after"
+            ):
+                raise SimulatedCrash(
+                    f"post-compaction #{self._compaction_writes} {path}"
+                )
+            return
         if not path.endswith(".snap"):
             return
         self._snapshot_writes += 1

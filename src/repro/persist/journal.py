@@ -35,6 +35,12 @@ Record kinds (the schema recovery interprets — see
 ``snapshot``
     A snapshot generation was written covering everything up to this
     point.
+``compact``
+    A compaction rewrite dropped every record between the ``begin``
+    record and this marker's ``seq`` (they were older than every
+    surviving snapshot generation, so no recovery path could need
+    them).  The marker bridges the sequence chain: the scan accepts a
+    forward jump exactly here, nowhere else.
 
 Torn tails: a crash mid-append leaves a final record that is truncated
 or fails its CRC.  :meth:`Journal.open` scans the file, keeps the
@@ -140,10 +146,14 @@ class Journal:
             if newline == -1:
                 break  # unterminated tail: torn append
             record = _decode_line(raw[pos:newline])
-            if record is None or record.seq != expected_seq:
+            if record is None:
                 break  # corrupt record; everything after is unreachable
+            if record.seq != expected_seq and not (
+                record.kind == "compact" and record.seq > expected_seq
+            ):
+                break  # broken chain (a compact marker may jump forward)
             self._records.append(record)
-            expected_seq += 1
+            expected_seq = record.seq + 1
             pos = newline + 1
         if pos < len(raw):
             self.repaired_bytes = len(raw) - pos
@@ -187,6 +197,53 @@ class Journal:
             for r in self._records
             if r.seq > after_seq and (kinds is None or r.kind in kinds)
         ]
+
+    def compact(self, up_to_seq: int) -> int:
+        """Drop committed records with ``seq <= up_to_seq``; return count.
+
+        The head record (the ``begin`` spec — resumes always need it)
+        survives, and a ``compact`` marker at ``seq == up_to_seq``
+        bridges the chain so the open-time scan still verifies.  The
+        rewrite is atomic (temp file + rename via :class:`StorageIO`),
+        so a crash mid-compaction leaves either the old journal or the
+        new one — both recover.  Sequence numbers are preserved:
+        snapshot headers referencing ``journal_seq`` positions after
+        ``up_to_seq`` stay valid.  Callers must pick ``up_to_seq`` no
+        newer than the oldest surviving snapshot's journal position —
+        compaction removes the cold-rebuild rung for the dropped span.
+        """
+        if self._handle is None:
+            raise JournalError("journal is closed")
+        if not self._records:
+            return 0
+        head = self._records[0]
+        suffix = [r for r in self._records if r.seq > max(up_to_seq, head.seq)]
+        dropped = len(self._records) - 1 - len(suffix)
+        if dropped <= 0:
+            return 0
+        marker = JournalRecord(
+            seq=int(up_to_seq),
+            kind="compact",
+            data={"first_kept": int(up_to_seq) + 1, "dropped": dropped},
+        )
+        lines = []
+        for record in (head, marker, *suffix):
+            body = {
+                "seq": record.seq,
+                "kind": record.kind,
+                "data": record.data,
+            }
+            lines.append(_canonical({**body, "crc": _crc(body)}) + b"\n")
+        self._handle.close()
+        self._handle = None
+        try:
+            self._io.write_file_atomic(self.path, b"".join(lines))
+        finally:
+            # Reopen even if the rewrite died short of the rename — the
+            # old file is then still the journal and stays appendable.
+            self._handle = open(self.path, "ab")
+        self._records = [head, marker, *suffix]
+        return dropped
 
     def find_first(self, kind: str) -> Optional[JournalRecord]:
         """The earliest record of one kind (the ``begin`` lookup)."""

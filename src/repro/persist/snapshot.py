@@ -280,17 +280,48 @@ def load_latest_good(directory: str) -> LoadedSnapshot:
     )
 
 
+def _quick_verify(path: str) -> bool:
+    """Cheap integrity screen: header parses, file length matches it.
+
+    Catches torn and vanished files without reading the payload; a
+    byte-flip corruption still needs the checksum, which
+    :func:`read_snapshot` pays only when a generation is actually
+    loaded.
+    """
+    try:
+        header = read_header(path)
+        with open(path, "rb") as handle:
+            header_len = len(handle.readline())
+        expected = header_len + int(header["payload_bytes"])
+        return os.path.getsize(path) == expected
+    except (SnapshotCorruptError, KeyError, TypeError, ValueError, OSError):
+        return False
+
+
 def prune_snapshots(
     directory: str, keep: int = 3
 ) -> List[str]:
     """Delete all but the newest ``keep`` generations; returns removals.
 
     ``keep`` must stay >= 2 — the ladder needs a previous generation to
-    fall back to when the newest turns out corrupt.
+    fall back to when the newest turns out corrupt.  When none of the
+    newest ``keep`` generations passes a quick integrity screen (header
+    + length — torn or vanished writes), the newest *older* generation
+    that does pass is spared too: pruning must never delete the only
+    generation the ladder could still load.  Files that vanish mid-walk
+    (a concurrent ``load_latest_good`` or prune) are skipped, not
+    errors.
     """
     if keep < 2:
         raise ValueError(f"keep must be >= 2, got {keep}")
-    doomed = list_snapshots(directory)[:-keep]
+    snapshots = list_snapshots(directory)
+    doomed = snapshots[:-keep]
+    kept = snapshots[-keep:]
+    if doomed and not any(_quick_verify(path) for _, path in kept):
+        for generation, path in reversed(doomed):
+            if _quick_verify(path):
+                doomed = [d for d in doomed if d[0] != generation]
+                break
     removed = []
     for _, path in doomed:
         try:

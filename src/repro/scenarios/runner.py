@@ -62,6 +62,10 @@ class ScenarioResult:
     final_cost: float = 0.0
     #: Per-phase wall clock + cache counters (None unless profiled).
     profile: Optional[object] = None
+    #: True when a graceful-shutdown request (SIGINT/SIGTERM through a
+    #: durable run's ``stop_requested`` hook) ended the run early — the
+    #: final checkpoint was still flushed, so ``--recover-from`` resumes.
+    interrupted: bool = False
 
     @property
     def total_migrations(self) -> int:
@@ -116,6 +120,7 @@ def run_scenario(
     checkpoint_dir: Optional[str] = None,
     checkpoint_every: int = 1,
     recover_from: Optional[str] = None,
+    stop_requested=None,
 ) -> ScenarioResult:
     """Run one scenario (by value or registered name) end to end.
 
@@ -142,13 +147,18 @@ def run_scenario(
     rounds so a killed run can resume.  ``recover_from`` resumes a
     previously checkpointed run from its directory instead of starting
     one (all other scenario arguments come from the directory's journal
-    and are ignored).
+    and are ignored).  ``stop_requested`` (a zero-argument callable —
+    only honored on the durable paths) requests a graceful drain: the
+    in-flight round finishes, a final checkpoint is flushed, and the
+    result comes back with ``interrupted=True``.
     """
     if recover_from is not None:
         from repro.persist.durable import resume_durable_scenario
 
         return resume_durable_scenario(
-            recover_from, validate=validate or None
+            recover_from,
+            validate=validate or None,
+            stop_requested=stop_requested,
         )
     if checkpoint_dir is not None:
         from repro.persist.durable import run_durable_scenario
@@ -162,6 +172,7 @@ def run_scenario(
             seed=seed,
             checkpoint_every=checkpoint_every,
             validate=validate,
+            stop_requested=stop_requested,
         )
     if isinstance(scenario, str):
         scenario = scenario_by_name(scenario)

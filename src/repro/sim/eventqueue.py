@@ -57,8 +57,23 @@ class Event:
     events (staggered restores, budget lifts) via ``runner.schedule``.
     """
 
+    #: Admission class (see :mod:`repro.service.admission`): rate-only
+    #: events carry no structural churn — under overload they may be
+    #: coalesced into a pending peer or shed outright.  Structural
+    #: events (arrivals, retirements, outages, capacity changes — the
+    #: default) are never dropped.
+    RATE_ONLY = False
+
     def apply(self, runner: "EventQueueRunner", now: float) -> bool:
         raise NotImplementedError
+
+    def coalesce(self, other: "Event") -> Optional["Event"]:
+        """Merge a *later* rate-only event into this one, or ``None``.
+
+        Only consulted for ``RATE_ONLY`` events under admission-control
+        overload; the merged event replaces ``self`` in the queue.
+        """
+        return None
 
     def describe(self) -> str:
         """One-line human description (CLI tables, logs)."""
@@ -200,7 +215,14 @@ class Retirement(Event):
 class TrafficSurge(Event):
     """Traffic drift burst: the ``top_pairs`` heaviest pairs scale by
     ``factor`` (a flash surge > 1, a cool-down < 1), through the
-    scheduler's paired delta path."""
+    scheduler's paired delta path.
+
+    A surge is pure rate drift — no VM appears, leaves or moves — so it
+    is the one event class admission control may shed under overload,
+    and two surges over the same pair window compose multiplicatively
+    (:meth:`coalesce`)."""
+
+    RATE_ONLY = True
 
     def __init__(self, factor: float, top_pairs: int = 8) -> None:
         check_positive("factor", factor)
@@ -208,6 +230,16 @@ class TrafficSurge(Event):
             raise ValueError(f"top_pairs must be >= 1, got {top_pairs}")
         self.factor = factor
         self.top_pairs = top_pairs
+
+    def coalesce(self, other: Event) -> Optional["TrafficSurge"]:
+        if (
+            isinstance(other, TrafficSurge)
+            and other.top_pairs == self.top_pairs
+        ):
+            return TrafficSurge(
+                self.factor * other.factor, top_pairs=self.top_pairs
+            )
+        return None
 
     def apply(self, runner: "EventQueueRunner", now: float) -> bool:
         matrix = runner.scheduler.traffic
@@ -400,7 +432,9 @@ class EventQueueRunner:
     ``on_event`` (``callable(AppliedEvent)``) observes the log as it
     grows, and ``on_before_event`` (``callable(time_s, Event)``) fires
     *before* each event applies — the write-ahead seam the journal of
-    :mod:`repro.persist` records through.
+    :mod:`repro.persist` records through.  ``fault`` wires a
+    :class:`~repro.persist.faults.FaultPlan`'s between-waves kill point
+    into the pump (its ``check_pump`` runs before any due event).
     """
 
     def __init__(
@@ -410,12 +444,14 @@ class EventQueueRunner:
         validate: bool = False,
         on_event: Optional[Callable[[AppliedEvent], None]] = None,
         on_before_event: Optional[Callable[[float, Event], None]] = None,
+        fault=None,
     ) -> None:
         self.scheduler = scheduler
         self.environment = environment
         self.validate = validate
         self.on_event = on_event
         self.on_before_event = on_before_event
+        self.fault = fault
         self.round_seconds = len(scheduler.token) * scheduler.token_interval_s
         self.log: List[AppliedEvent] = []
         self._heap: List[Tuple[float, int, Event]] = []
@@ -450,6 +486,8 @@ class EventQueueRunner:
         themselves due-checked in the same pump (an outage's restore can
         never fire in the same pump: its time is strictly later).
         """
+        if self.fault is not None:
+            self.fault.check_pump(now)
         changed = False
         while self._heap and self._heap[0][0] <= now + 1e-12:
             time_s, _, event = heapq.heappop(self._heap)

@@ -112,3 +112,57 @@ class TestScenarioCommand:
     def test_unknown_scenario_errors(self):
         with pytest.raises(ValueError, match="unknown scenario"):
             main(["scenario", "not-a-scenario"])
+
+
+class TestServeCommand:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--state-dir", "/tmp/x"])
+        assert args.scale == "toy"
+        assert args.source == "poisson"
+        assert args.resume is False
+
+    def test_state_dir_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_then_resume_round_trip(self, tmp_path, capsys):
+        where = str(tmp_path / "svc")
+        code = main(
+            ["serve", "--state-dir", where, "--scale", "toy",
+             "--horizon-rounds", "3", "--rate", "2", "--print-plans"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan round=" in out
+        assert "stopped: stream absorbed and scheduler quiesced" in out
+        assert "admission:" in out
+
+        # A finished service resumes idempotently: same committed cost,
+        # no re-work, recovery provenance printed.
+        assert main(["serve", "--state-dir", where, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered from: snapshot-" in out
+        assert "(0 live)" in out
+
+    def test_serve_from_jsonl_file(self, tmp_path, capsys):
+        feed = tmp_path / "events.jsonl"
+        feed.write_text(
+            "# one arrival, one surge\n"
+            '{"at_round": 1.0, "kind": "arrival", "count": 2, "rate": 300}\n'
+            '{"at_round": 1.5, "kind": "traffic_surge", "factor": 1.3}\n'
+        )
+        code = main(
+            ["serve", "--state-dir", str(tmp_path / "svc"),
+             "--source", f"jsonl:{feed}"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "events: " in out
+        assert "stopped: stream absorbed and scheduler quiesced" in out
+
+    def test_serve_max_rounds_stops_early(self, tmp_path, capsys):
+        code = main(
+            ["serve", "--state-dir", str(tmp_path / "svc"), "--rounds", "2"]
+        )
+        assert code == 0
+        assert "stopped: max_rounds=2 reached" in capsys.readouterr().out

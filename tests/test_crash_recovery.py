@@ -267,3 +267,106 @@ def test_fuzzed_kill_matrix(seed, policy):
     directory = crash(policy, plan, validate=True)
     recovered = resume_durable_scenario(directory, validate=True)
     assert_twin_equivalent(policy, directory, recovered)
+
+
+# ---------------------------------------------------------------------------
+# Journal compaction on checkpoint (the daemon-lifetime boundedness rider)
+# ---------------------------------------------------------------------------
+
+
+def journal_seqs(directory):
+    with Journal(os.path.join(directory, JOURNAL_NAME)) as journal:
+        return [r.seq for r in journal]
+
+
+class TestJournalCompaction:
+    def test_compaction_bounds_the_journal_and_preserves_the_run(
+        self, tmp_path
+    ):
+        plain = run_durable_scenario(
+            _scenario("hlf"), str(tmp_path / "plain"), epochs=EPOCHS
+        )
+        compacted = run_durable_scenario(
+            _scenario("hlf"),
+            str(tmp_path / "compacted"),
+            epochs=EPOCHS,
+            compact_journal=True,
+            keep_generations=2,
+        )
+        # Same trajectory, strictly fewer live records on disk.
+        assert compacted.final_cost == pytest.approx(
+            plain.final_cost, rel=RELTOL
+        )
+        assert compacted.total_migrations == plain.total_migrations
+        plain_seqs = journal_seqs(str(tmp_path / "plain"))
+        short_seqs = journal_seqs(str(tmp_path / "compacted"))
+        assert len(short_seqs) < len(plain_seqs)
+        with Journal(
+            os.path.join(str(tmp_path / "compacted"), JOURNAL_NAME)
+        ) as journal:
+            marker = journal.find_first("compact")
+            assert marker is not None
+            # The dropped span is exactly what the surviving snapshots
+            # cover: every kept record replays on top of one of them.
+            assert marker.data["dropped"] >= 1
+
+    def test_resume_after_compaction_changes_nothing(self, tmp_path):
+        first = run_durable_scenario(
+            "steady",
+            str(tmp_path),
+            scale="toy",
+            epochs=2,
+            compact_journal=True,
+            keep_generations=2,
+        )
+        again = resume_durable_scenario(str(tmp_path))
+        assert again.final_cost == pytest.approx(first.final_cost, rel=RELTOL)
+
+    @pytest.mark.parametrize("mode", ["before", "after"])
+    def test_crash_mid_compaction_recovers_twin_equivalent(
+        self, tmp_path, mode
+    ):
+        """The atomic-rewrite window: a kill on either side of the
+        rename leaves a journal (old or new) the ladder recovers from."""
+        plan = FaultPlan(crash_on_compaction=2, compaction_mode=mode)
+        directory = str(tmp_path / "victim")
+        with pytest.raises(SimulatedCrash):
+            run_durable_scenario(
+                _scenario("hlf"),
+                directory,
+                epochs=EPOCHS,
+                compact_journal=True,
+                keep_generations=2,
+                io=FaultyIO(plan),
+                fault=plan,
+            )
+        recovered = resume_durable_scenario(directory)
+        twin_dir, reference = twin("hlf")
+        assert recovered.final_cost == pytest.approx(
+            reference.final_cost, rel=RELTOL
+        )
+        assert final_mapping(recovered) == final_mapping(reference)
+        # The compacted journal keeps only a round suffix — it must be
+        # exactly the tail of the twin's digest chain.
+        survivors = round_digests(directory)
+        full = round_digests(twin_dir)
+        assert survivors == full[len(full) - len(survivors):]
+
+    def test_cold_rebuild_is_refused_once_compacted(self, tmp_path):
+        """Compaction trades the cold-rebuild rung for boundedness; the
+        resume path must say so, typed, instead of replaying a hole."""
+        directory = str(tmp_path)
+        run_durable_scenario(
+            "steady",
+            directory,
+            scale="toy",
+            epochs=2,
+            compact_journal=True,
+            keep_generations=2,
+        )
+        with Journal(os.path.join(directory, JOURNAL_NAME)) as journal:
+            assert journal.find_first("compact") is not None
+        for snap in glob.glob(os.path.join(directory, "*.snap")):
+            os.remove(snap)
+        with pytest.raises(RecoveryError, match="compact"):
+            resume_durable_scenario(directory)

@@ -169,3 +169,98 @@ class TestWriteAheadOrdering:
         # Both ops were journaled even though neither executed: on disk
         # first, in memory second — the definition of write-ahead.
         assert recorded == ["retire_vms", "set_bandwidth_threshold"]
+
+
+class TestCompaction:
+    """``Journal.compact``: bounded daemons without losing the chain."""
+
+    def _filled(self, tmp_path, n=8):
+        journal = make_journal(tmp_path)
+        journal.append("begin", {"spec": "head"})
+        for i in range(n):
+            journal.append("op" if i % 2 else "round", {"i": i})
+        return journal
+
+    def test_drops_span_and_bridges_with_a_marker(self, tmp_path):
+        with self._filled(tmp_path) as journal:
+            assert journal.compact(up_to_seq=5) == 4
+            records = list(journal)
+            assert [r.seq for r in records] == [1, 5, 6, 7, 8, 9]
+            marker = records[1]
+            assert marker.kind == "compact"
+            assert marker.data == {"first_kept": 6, "dropped": 4}
+            # The head (begin) record always survives.
+            assert records[0].kind == "begin"
+            # Sequence numbering is preserved: appends continue the chain.
+            assert journal.last_seq == 9
+            assert journal.append("round", {"i": 99}) == 10
+
+    def test_compacted_journal_reopens_identically(self, tmp_path):
+        with self._filled(tmp_path) as journal:
+            journal.compact(up_to_seq=5)
+            view = list(journal)
+        with make_journal(tmp_path) as reopened:
+            # The open-time scan accepts the marker's forward seq jump.
+            assert list(reopened) == view
+            assert reopened.repaired_bytes == 0
+            assert reopened.append("op", {}) == 10
+
+    def test_nothing_to_drop_is_a_no_op(self, tmp_path):
+        with self._filled(tmp_path) as journal:
+            before = list(journal)
+            assert journal.compact(up_to_seq=1) == 0  # only the head
+            assert journal.compact(up_to_seq=0) == 0
+            assert list(journal) == before
+
+    def test_repeated_compaction_advances(self, tmp_path):
+        with self._filled(tmp_path, n=10) as journal:
+            assert journal.compact(up_to_seq=4) == 3
+            # The second pass swallows the first marker too: 5 records.
+            assert journal.compact(up_to_seq=8) == 5
+            records = list(journal)
+            assert [r.seq for r in records] == [1, 8, 9, 10, 11]
+            assert records[1].data["first_kept"] == 9
+
+    def test_closed_journal_refuses_compaction(self, tmp_path):
+        journal = self._filled(tmp_path)
+        journal.close()
+        with pytest.raises(JournalError):
+            journal.compact(up_to_seq=5)
+
+    def test_torn_tail_after_compaction_still_repairs(self, tmp_path):
+        with self._filled(tmp_path) as journal:
+            journal.compact(up_to_seq=5)
+            kept = [r.seq for r in journal]
+        path = str(tmp_path / "journal.wal")
+        with open(path, "ab") as fh:
+            fh.write(b'{"seq": 10, "kind": "round", "da')  # torn append
+        with make_journal(tmp_path) as reopened:
+            assert [r.seq for r in reopened] == kept
+            assert reopened.repaired_bytes > 0
+
+    def test_crash_before_rewrite_keeps_the_old_journal(self, tmp_path):
+        plan = FaultPlan(crash_on_compaction=1, compaction_mode="before")
+        journal = make_journal(tmp_path, io=FaultyIO(plan))
+        journal.append("begin", {})
+        for i in range(6):
+            journal.append("round", {"i": i})
+        with pytest.raises(SimulatedCrash):
+            journal.compact(up_to_seq=4)
+        # The wreckage is the *old* journal, complete and appendable.
+        with make_journal(tmp_path) as reopened:
+            assert [r.seq for r in reopened] == [1, 2, 3, 4, 5, 6, 7]
+            assert reopened.append("round", {}) == 8
+
+    def test_crash_after_rewrite_keeps_the_new_journal(self, tmp_path):
+        plan = FaultPlan(crash_on_compaction=1, compaction_mode="after")
+        journal = make_journal(tmp_path, io=FaultyIO(plan))
+        journal.append("begin", {})
+        for i in range(6):
+            journal.append("round", {"i": i})
+        with pytest.raises(SimulatedCrash):
+            journal.compact(up_to_seq=4)
+        # The rename landed first: the wreckage is the compacted journal.
+        with make_journal(tmp_path) as reopened:
+            assert [r.seq for r in reopened] == [1, 4, 5, 6, 7]
+            assert reopened.find_first("compact").data["first_kept"] == 5
+            assert reopened.append("round", {}) == 8

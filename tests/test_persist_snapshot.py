@@ -283,3 +283,82 @@ class TestSchedulerRoundTrip:
         write_snapshot(str(tmp_path / "other"), {"scheduler": "not one"})
         with pytest.raises(TypeError):
             SCOREScheduler.restore(str(tmp_path / "other"))
+
+
+# ---------------------------------------------------------------------------
+# Prune edge cases: the keep floor and concurrent-walk races
+# ---------------------------------------------------------------------------
+
+
+def _truncate(path):
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    with open(path, "wb") as fh:
+        fh.write(blob[: len(blob) // 2])
+
+
+class TestPruneEdgeCases:
+    def test_empty_and_missing_directories_prune_to_nothing(self, tmp_path):
+        assert prune_snapshots(str(tmp_path), keep=2) == []
+        assert prune_snapshots(str(tmp_path / "never-made"), keep=2) == []
+
+    def test_keep_floor_spares_the_only_good_older_generation(self, tmp_path):
+        d = str(tmp_path)
+        for i in range(5):
+            write_snapshot(d, i)
+        # Both generations inside the keep window are torn: pruning must
+        # not delete generation 3, the only one the ladder could load.
+        _truncate(snapshot_path(d, 4))
+        _truncate(snapshot_path(d, 5))
+        removed = prune_snapshots(d, keep=2)
+        assert [g for g, _ in list_snapshots(d)] == [3, 4, 5]
+        assert len(removed) == 2
+        assert load_latest_good(d).generation == 3
+
+    def test_every_generation_corrupt_still_prunes_outside_the_window(
+        self, tmp_path
+    ):
+        d = str(tmp_path)
+        for i in range(5):
+            write_snapshot(d, i)
+        for generation in range(1, 6):
+            _truncate(snapshot_path(d, generation))
+        # Nothing loadable anywhere: no spare to protect, the window
+        # survives, and the ladder reports the outage loudly.
+        removed = prune_snapshots(d, keep=2)
+        assert len(removed) == 3
+        assert [g for g, _ in list_snapshots(d)] == [4, 5]
+        with pytest.raises(NoSnapshotError):
+            load_latest_good(d)
+
+    def test_prune_skips_files_a_concurrent_prune_already_removed(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.persist.snapshot as snapshot_module
+
+        d = str(tmp_path)
+        for i in range(4):
+            write_snapshot(d, i)
+        stale = list_snapshots(d)
+        monkeypatch.setattr(
+            snapshot_module, "list_snapshots", lambda _: stale
+        )
+        os.remove(snapshot_path(d, 1))  # the concurrent prune won
+        removed = prune_snapshots(d, keep=2)
+        assert snapshot_path(d, 1) not in removed
+        assert removed == [snapshot_path(d, 2)]
+
+    def test_load_skips_a_file_pruned_mid_walk(self, tmp_path, monkeypatch):
+        import repro.persist.snapshot as snapshot_module
+
+        d = str(tmp_path)
+        for i in range(3):
+            write_snapshot(d, i)
+        stale = list_snapshots(d)
+        monkeypatch.setattr(
+            snapshot_module, "list_snapshots", lambda _: stale
+        )
+        os.remove(snapshot_path(d, 3))  # vanished between list and read
+        loaded = load_latest_good(d)
+        assert loaded.generation == 2
+        assert any("unreadable" in reason for _, reason in loaded.skipped)
