@@ -50,6 +50,28 @@ SPEEDUP_PREFIXES = ("speedup",)
 RATE_SUFFIXES = ("_per_second",)
 
 
+def _flatten_phases(record: dict) -> dict:
+    """Lift a nested ``"phases"`` dict into dotted ``phases.<name>_s`` fields.
+
+    Sharded bench records carry per-phase wall-clocks (partition /
+    domain-build / domain-solve / merge / reconcile) as a sub-dict; the
+    field loop below only looks at top-level scalars, so each phase is
+    flattened to ``phases.<name>_s`` and trended like any other seconds
+    field.
+    """
+    phases = record.get("phases")
+    if not isinstance(phases, dict):
+        return record
+    flat = {k: v for k, v in record.items() if k != "phases"}
+    for phase, seconds in phases.items():
+        if isinstance(seconds, (int, float)) and not isinstance(seconds, bool):
+            key = phase.replace(" ", "_").replace("-", "_")
+            if not key.endswith("_s"):
+                key += "_s"
+            flat[f"phases.{key}"] = seconds
+    return flat
+
+
 def _records(path: str) -> dict:
     try:
         with open(path) as handle:
@@ -57,7 +79,10 @@ def _records(path: str) -> dict:
     except (OSError, ValueError) as error:
         print(f"bench-trend: cannot read {path}: {error}")
         return {}
-    return {record.get("name"): record for record in report.get("results", [])}
+    return {
+        record.get("name"): _flatten_phases(record)
+        for record in report.get("results", [])
+    }
 
 
 def main(argv: list) -> int:

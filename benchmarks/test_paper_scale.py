@@ -207,9 +207,16 @@ def test_batched_rounds_at_paper_scale(emit):
 
 
 #: The committed wave-batched 5-iteration wall clock (BENCH_fastcost.json
-#: `run_s` before the round cache landed) — both the cached path's
-#: no-regression floor and the denominator of its recorded headline.
+#: `run_s` before the round cache landed) — the denominator of the
+#: cached path's recorded headline.
 CACHED_RUN_BASELINE_S = 2.829
+
+#: No-regression bound for the cold cached run, relative to the uncached
+#: run measured in the same process: cache bookkeeping on an all-dirty
+#: system may cost some overhead, but never this much.  A same-runner
+#: ratio, unlike an absolute wall-clock, stays stable when the suite
+#: runs on a loaded or slower box.
+CACHED_COLD_OVERHEAD_CAP = 1.6
 
 #: Acceptance floor: with a warm round cache, a converged 5-iteration
 #: run (mostly-clean owners → sparse re-scores) must beat the same
@@ -230,8 +237,9 @@ def test_cached_rounds_at_paper_scale(emit):
     turns rounds into sparse re-scores.  Asserts the tentpole
     exact-equivalence guarantee — identical migrations and final cost,
     cold and warm — plus the converged-run speedup on the same runner
-    (machine-independent) and a no-regression floor for the cold run
-    against the recorded pre-cache 2.829 s.
+    (machine-independent) and a same-runner overhead cap on the cold
+    cached run vs the uncached one; the recorded pre-cache 2.829 s
+    stays in the JSON record as ``speedup_vs_recorded_run``.
     """
     config = ExperimentConfig.paper_canonical(policy="rr", n_iterations=5)
 
@@ -298,9 +306,10 @@ def test_cached_rounds_at_paper_scale(emit):
         f"warm round cache gives only {converged_speedup:.2f}x on the "
         f"converged run; >= {CACHED_CONVERGED_FLOOR:.1f}x is required"
     )
-    assert cold_c_s <= CACHED_RUN_BASELINE_S, (
-        f"cached cold run {cold_c_s:.3f}s regressed past the recorded "
-        f"pre-cache {CACHED_RUN_BASELINE_S:.3f}s"
+    assert cold_c_s <= CACHED_COLD_OVERHEAD_CAP * cold_u_s, (
+        f"cached cold run {cold_c_s:.3f}s is more than "
+        f"{CACHED_COLD_OVERHEAD_CAP:.1f}x the uncached {cold_u_s:.3f}s "
+        "measured on the same runner"
     )
 
 

@@ -70,6 +70,21 @@ def _add_experiment_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--iterations", type=int, default=5)
     parser.add_argument("--migration-cost", type=float, default=0.0)
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="run sharded: partition into up to N scheduling domains "
+        "with a cross-domain reconciliation pass (canonical tree only)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="forked worker processes for the sharded domains (with "
+        "--shards; 1 = in-process)",
+    )
+    parser.add_argument(
+        "--shard-compact", action="store_true",
+        help="run the domain engines on the compact int32/float32 "
+        "snapshot (with --shards; the global cost gate stays float64)",
+    )
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
@@ -89,6 +104,10 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         n_iterations=args.iterations,
         migration_cost=args.migration_cost,
         seed=args.seed,
+        sharding=args.shards is not None,
+        shard_domains=args.shards,
+        shard_workers=args.workers,
+        shard_compact=args.shard_compact,
     )
 
 

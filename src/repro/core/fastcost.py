@@ -116,6 +116,7 @@ class TrafficSnapshot:
         traffic: TrafficMatrix,
         vm_ids: Sequence[int],
         strict: bool = False,
+        compact: bool = False,
     ) -> "TrafficSnapshot":
         """Snapshot ``traffic`` over the given VM population.
 
@@ -123,6 +124,13 @@ class TrafficSnapshot:
         is set, in which case they raise (the scheduler guarantees the
         traffic matrix only references placed VMs, so the engine builds in
         strict mode to catch drift).
+
+        ``compact`` stores the CSR/pair index arrays as int32 and the rate
+        arrays as float32 — half the footprint, sized for 1M-VM
+        populations (the hyperscale sharding path builds its domain
+        sub-snapshots this way).  Scoring still runs in float64 (numpy
+        promotes), but last-ulp sums can differ from the default build, so
+        the 1e-9 differential pins keep ``compact=False``.
         """
         ids = np.array(sorted(vm_ids), dtype=np.int64)
         index = {int(vm_id): i for i, vm_id in enumerate(ids)}
@@ -153,10 +161,22 @@ class TrafficSnapshot:
             pair_rate = rates[known]
 
         n = len(ids)
+        index_dtype = np.int32 if compact else np.int64
+        rate_dtype = np.float32 if compact else np.float64
+        pair_u = pair_u.astype(index_dtype, copy=False)
+        pair_v = pair_v.astype(index_dtype, copy=False)
+        pair_rate = pair_rate.astype(rate_dtype, copy=False)
         # Directed edge list (each pair twice) -> CSR sorted by (owner, peer).
-        row = np.concatenate([pair_u, pair_v])
-        col = np.concatenate([pair_v, pair_u])
-        val = np.concatenate([pair_rate, pair_rate])
+        # Preallocated at exactly 2·|pairs| capacity and filled in halves —
+        # no concatenate temporaries, so peak memory stays proportional to
+        # the final arrays even at 1M-VM scale.
+        m = len(pair_rate)
+        row = np.empty(2 * m, dtype=index_dtype)
+        col = np.empty(2 * m, dtype=index_dtype)
+        val = np.empty(2 * m, dtype=rate_dtype)
+        row[:m], row[m:] = pair_u, pair_v
+        col[:m], col[m:] = pair_v, pair_u
+        val[:m], val[m:] = pair_rate, pair_rate
         order = np.lexsort((col, row))
         row, col, val = row[order], col[order], val[order]
         ptr = np.zeros(n + 1, dtype=np.int64)
@@ -182,6 +202,29 @@ class TrafficSnapshot:
     def n_pairs(self) -> int:
         """Number of communicating (unordered) pairs captured."""
         return len(self.pair_rate)
+
+    @property
+    def index_dtype(self) -> np.dtype:
+        """Dtype of the CSR/pair index arrays (int32 under ``compact``)."""
+        return self.peer.dtype
+
+    @property
+    def rate_dtype(self) -> np.dtype:
+        """Dtype of the rate arrays (float32 under ``compact``)."""
+        return self.rate.dtype
+
+    def arrays_nbytes(self) -> int:
+        """Total bytes of every array the snapshot holds.
+
+        The memory-audit budget the hyperscale suite asserts: a compact
+        1M-VM snapshot must stay inside a fixed byte envelope, so a
+        float64/int64 copy sneaking back into a delta path fails loudly.
+        """
+        return sum(
+            getattr(self, name).nbytes
+            for name in self.__slots__
+            if name != "vm_index"
+        )
 
     def peers_slice(self, dense_vm: int) -> Tuple[np.ndarray, np.ndarray]:
         """(peer dense indices, rates) of one VM, ascending by peer id."""
@@ -707,8 +750,13 @@ class FastCostEngine:
         allocation: Allocation,
         traffic: TrafficMatrix,
         weights: Optional[LinkWeights] = None,
+        compact: bool = False,
     ) -> None:
         topology: Topology = allocation.topology
+        #: Compact snapshot dtypes (int32 indices / float32 rates) — the
+        #: hyperscale memory mode; defaults off so the 1e-9 differential
+        #: pins against the naive model stay bit-stable.
+        self._compact = bool(compact)
         self._weights = weights or LinkWeights.paper()
         if self._weights.max_level < topology.max_level:
             raise ValueError(
@@ -792,7 +840,10 @@ class FastCostEngine:
         which the delta differential suite asserts.
         """
         self._snap = TrafficSnapshot.build(
-            self._traffic, list(self._allocation.vm_ids()), strict=True
+            self._traffic,
+            list(self._allocation.vm_ids()),
+            strict=True,
+            compact=self._compact,
         )
         self._sync_allocation_mirrors()
         self._index_pairs()
@@ -899,11 +950,13 @@ class FastCostEngine:
         """
         snap = self._snap
         n = snap.n_vms
-        key = snap.pair_u * n + snap.pair_v
+        # Keys are packed as u·n + v: force int64 so compact (int32)
+        # snapshots cannot overflow at large populations.
+        key = snap.pair_u.astype(np.int64) * n + snap.pair_v
         self._pair_sorted_order = np.argsort(key, kind="stable")
         self._pair_key_sorted = key[self._pair_sorted_order]
         # CSR entries are sorted by (row, peer), so this key is ascending.
-        self._csr_key = snap.row * n + snap.peer
+        self._csr_key = snap.row.astype(np.int64) * n + snap.peer
 
     def _recompute_cost_caches(self) -> None:
         """Per-VM Eq. (1) costs, the Eq. (2) total and §V-C egress, from
@@ -1138,9 +1191,12 @@ class FastCostEngine:
         the same VM population and rebuild the CSR, indexes and caches."""
         snap = self._snap
         n = snap.n_vms
-        pair_u = np.asarray(pair_u, dtype=np.int64)
-        pair_v = np.asarray(pair_v, dtype=np.int64)
-        pair_rate = np.asarray(pair_rate, dtype=float)
+        # Preserve the snapshot's (possibly compact) dtypes: a structural
+        # delta must not silently promote a compact snapshot to int64/
+        # float64 arrays.
+        pair_u = np.asarray(pair_u).astype(snap.index_dtype, copy=False)
+        pair_v = np.asarray(pair_v).astype(snap.index_dtype, copy=False)
+        pair_rate = np.asarray(pair_rate).astype(snap.rate_dtype, copy=False)
         row = np.concatenate([pair_u, pair_v])
         col = np.concatenate([pair_v, pair_u])
         val = np.concatenate([pair_rate, pair_rate])
@@ -1194,10 +1250,11 @@ class FastCostEngine:
         )
         snap.vm_ids = np.insert(snap.vm_ids, pos, add_ids)
         snap.vm_index = {int(v): i for i, v in enumerate(snap.vm_ids)}
-        snap.peer = old_to_new[snap.peer]
-        snap.row = old_to_new[snap.row]
-        snap.pair_u = old_to_new[snap.pair_u]
-        snap.pair_v = old_to_new[snap.pair_v]
+        idx = snap.index_dtype
+        snap.peer = old_to_new[snap.peer].astype(idx, copy=False)
+        snap.row = old_to_new[snap.row].astype(idx, copy=False)
+        snap.pair_u = old_to_new[snap.pair_u].astype(idx, copy=False)
+        snap.pair_v = old_to_new[snap.pair_v].astype(idx, copy=False)
         new_n = old_n + len(add_ids)
         ptr = np.zeros(new_n + 1, dtype=np.int64)
         np.cumsum(np.bincount(snap.row, minlength=new_n), out=ptr[1:])

@@ -175,6 +175,10 @@ class RoundScoreCache:
         self.refreshes = 0
         self.owners_seen = 0
         self.owners_rescored = 0
+        # Hybrid-splice accounting: dirty owners whose fresh scores were
+        # scattered into their existing segments vs spliced (renumbering).
+        self.owners_scattered = 0
+        self.owners_spliced = 0
 
     # -- invalidation --------------------------------------------------------
 
@@ -247,7 +251,8 @@ class RoundScoreCache:
                 new_counts = fresh.ptr[1:] - fresh.ptr[:-1]
                 old_counts = self._ptr[dirty + 1] - self._ptr[dirty]
                 state = self.decision_state
-                if np.array_equal(new_counts, old_counts):
+                same = new_counts == old_counts
+                if same.all():
                     # Candidate-set sizes unchanged (rate-only deltas,
                     # rack-local moves): scatter the fresh scores into
                     # the existing segments — no row renumbering, so
@@ -259,15 +264,43 @@ class RoundScoreCache:
                     self._source[dirty] = fresh.source
                     self._degree[dirty] = fresh.degree
                     self._total_rate[dirty] = fresh.total_rate
+                    self.owners_scattered += int(dirty.size)
                 else:
+                    if same.any():
+                        # Hybrid splice: owners whose candidate count is
+                        # unchanged take the in-place scatter; only the
+                        # changed-count subset pays the renumbering
+                        # splice.  The scattered owners are marked valid
+                        # *before* `_splice` runs so it copies their
+                        # just-updated segments as clean ones.
+                        keep = dirty[same]
+                        dst_rows, _ = segment_rows(self._ptr, keep)
+                        src_rows, _ = segment_rows(
+                            fresh.ptr, np.nonzero(same)[0]
+                        )
+                        self._host[dst_rows] = fresh.host[src_rows]
+                        self._delta[dst_rows] = fresh.delta[src_rows]
+                        self._onto[dst_rows] = fresh.onto_rate[src_rows]
+                        self._source[keep] = fresh.source[same]
+                        self._degree[keep] = fresh.degree[same]
+                        self._total_rate[keep] = fresh.total_rate[same]
+                        self._valid[keep] = True
+                        changed_pos = np.nonzero(~same)[0]
+                        changed = dirty[changed_pos]
+                        sub = fresh.select(changed_pos)
+                    else:
+                        changed = dirty
+                        sub = fresh
                     old_ptr = self._ptr
-                    self._splice(dirty, fresh)
+                    self._splice(changed, sub)
                     if state is not None:
                         dirty_mask = np.zeros(n, dtype=bool)
-                        dirty_mask[dirty] = True
+                        dirty_mask[changed] = True
                         state.remap_rows(
                             old_ptr, self._ptr, dirty_mask, len(self._host)
                         )
+                    self.owners_scattered += int(same.sum())
+                    self.owners_spliced += int(changed.size)
                 if state is not None and state.owner_pods is not None:
                     if fresh.n_pairs:
                         n_pods = state.owner_pods.shape[1]

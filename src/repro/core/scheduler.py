@@ -175,6 +175,11 @@ class SCOREScheduler:
         use_fastcost: bool = True,
         use_batched_rounds: bool = True,
         use_round_cache: bool = True,
+        use_sharding: bool = False,
+        n_domains: Optional[int] = None,
+        n_workers: int = 1,
+        shard_policy_factory=None,
+        shard_compact: bool = False,
     ) -> None:
         """
         ``use_fastcost`` (default on) builds a
@@ -199,6 +204,19 @@ class SCOREScheduler:
         epoch actually touched are re-scored, with the exact same
         trajectory as the uncached wave loop (which ``False`` pins as the
         reference).
+
+        ``use_sharding`` (default off) runs each schedule as
+        community-partitioned parallel domains with a cross-domain
+        reconciliation pass (:mod:`repro.shard`; requires the fast
+        engine and a CanonicalTree topology).  ``n_domains`` caps the
+        partition (default: one domain per pod, at most 16);
+        ``n_workers`` > 1 fans domains out over forked worker processes.
+        ``shard_policy_factory`` builds each domain's private policy
+        instance; by default the scheduler's policy type is instantiated
+        with no arguments.  ``shard_compact`` runs the *domain* engines
+        on the compact (int32/float32) snapshot — the global engine that
+        gates and applies every move stays float64, so the incremental
+        global cost remains exact.
         """
         check_positive("token_interval_s", token_interval_s)
         missing = traffic.vms_with_traffic - set(allocation.vm_ids())
@@ -220,6 +238,13 @@ class SCOREScheduler:
         self._use_fastcost = use_fastcost
         self._use_batched_rounds = use_batched_rounds
         self._use_round_cache = use_round_cache
+        self._use_sharding = use_sharding
+        self._n_domains = n_domains
+        self._n_workers = n_workers
+        self._shard_policy_factory = shard_policy_factory
+        self._shard_compact = shard_compact
+        if use_sharding and not use_fastcost:
+            raise ValueError("use_sharding requires use_fastcost")
         self._fast: Optional[FastCostEngine] = None
         self._profile = None
         self._saved_capacity: dict = {}
@@ -326,6 +351,15 @@ class SCOREScheduler:
         if n_iterations < 1:
             raise ValueError(f"n_iterations must be >= 1, got {n_iterations}")
         cost_model = self._prepare_engines()
+        if self._use_sharding:
+            if event_pump is not None:
+                raise ValueError(
+                    "sharded runs do not support an event_pump; drive "
+                    "events at run boundaries instead"
+                )
+            return self._run_sharded(
+                cost_model, n_iterations, stop_when_stable
+            )
         if self._use_batched_rounds and self._fast is not None:
             order = self._policy.round_order(
                 self._token,
@@ -608,6 +642,109 @@ class SCOREScheduler:
                 )
         report.final_cost = cost
         report.next_holder = holder
+        return report
+
+    def _default_policy_factory(self):
+        """Clone the scheduler's policy type for a domain (no-arg ctor)."""
+        policy_type = type(self._policy)
+
+        def factory():
+            try:
+                return policy_type()
+            except TypeError as error:
+                raise TypeError(
+                    f"cannot build a per-domain {policy_type.__name__} "
+                    "with no arguments; pass shard_policy_factory"
+                ) from error
+
+        return factory
+
+    def _run_sharded(
+        self,
+        cost_model: CostModel,
+        n_iterations: int,
+        stop_when_stable: bool,
+    ) -> SchedulerReport:
+        """Community-partitioned parallel domains + boundary reconcile.
+
+        Each iteration fans one wave-batched round out to every domain
+        (:mod:`repro.shard`), merges the returned waves into the global
+        allocation/fast engine (exact incremental cost), and after the
+        last iteration runs the Theorem-1 reconciliation passes over the
+        cross-domain boundary VMs.  The report keeps iteration-granular
+        time-series points (per-hold attribution is a single-engine
+        notion); the reconcile passes append one extra
+        :class:`IterationStats` entry when they ran.
+        """
+        from repro.shard import ShardedCoordinator
+
+        assert self._fast is not None
+        topology = self._allocation.topology
+        n_pods = int(topology.host_pod_ids().max()) + 1
+        n_domains = (
+            self._n_domains
+            if self._n_domains is not None
+            else min(16, n_pods)
+        )
+        coordinator = ShardedCoordinator(
+            self._allocation,
+            self._traffic,
+            self._engine,
+            self._fast,
+            self._shard_policy_factory or self._default_policy_factory(),
+            n_domains=n_domains,
+            n_workers=self._n_workers,
+            compact_domains=self._shard_compact,
+            use_round_cache=self._use_round_cache,
+            profile=self._profile,
+        )
+        # The global fast engine is authoritative for the whole sharded
+        # run (merge and reconcile maintain it move by move), so anchor
+        # the report on it too — the naive O(pairs × levels) recompute
+        # costs seconds at hyperscale.
+        cost = float(self._fast.total_cost())
+        report = SchedulerReport(initial_cost=cost, final_cost=cost)
+        report.recovered_from = self._recovered_from
+        report.time_series.append((self._clock, cost))
+        try:
+            for iteration in range(1, n_iterations + 1):
+                outcome = coordinator.run_iteration(iteration)
+                for block in outcome.decision_blocks:
+                    report.decisions.extend(block)
+                self._clock += self._interval * outcome.visits
+                cost = outcome.cost_at_end
+                report.iterations.append(
+                    IterationStats(
+                        index=iteration,
+                        visits=outcome.visits,
+                        migrations=outcome.migrations,
+                        cost_at_end=cost,
+                        waves=outcome.waves,
+                    )
+                )
+                report.time_series.append((self._clock, cost))
+                if stop_when_stable and outcome.migrations == 0:
+                    break
+            reconcile = coordinator.reconcile()
+            if reconcile.passes:
+                for block in reconcile.decision_blocks:
+                    report.decisions.extend(block)
+                visits = reconcile.boundary_vms * reconcile.passes
+                self._clock += self._interval * visits
+                cost = float(self._fast.total_cost())
+                report.iterations.append(
+                    IterationStats(
+                        index=len(report.iterations) + 1,
+                        visits=visits,
+                        migrations=reconcile.migrations,
+                        cost_at_end=cost,
+                    )
+                )
+                report.time_series.append((self._clock, cost))
+        finally:
+            coordinator.close()
+        report.final_cost = cost
+        report.next_holder = self._token.lowest_id
         return report
 
     def save_snapshot(

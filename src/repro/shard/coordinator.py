@@ -1,0 +1,178 @@
+"""The sharded run coordinator: partition, fan out, merge, reconcile.
+
+One :class:`ShardedCoordinator` drives a whole sharded schedule against
+the scheduler's *global* state:
+
+1. **Partition** the population into pod-aligned domains from the live
+   traffic matrix (:mod:`repro.shard.partition`).
+2. **Build** each domain's compacted stack (:mod:`repro.shard.domain`)
+   and an executor over them (:mod:`repro.shard.executor`).
+3. Per iteration, **fan out** one round to every domain, then **merge**
+   the returned per-wave move lists into the global allocation and fast
+   engine — wave by wave, in wave order, domains interleaved in id
+   order.  Waves from different domains touch disjoint host sets, so
+   each merged wave still satisfies the interference-free wave contract
+   of :meth:`~repro.core.fastcost.FastCostEngine.apply_moves`, and the
+   global incremental cost stays exact move for move.
+4. After the last iteration, **reconcile** the cross-domain edge set
+   with exact Theorem-1 passes over the boundary VMs
+   (:mod:`repro.shard.reconcile`).
+
+The global cost is tracked by the global fast engine throughout, so the
+coordinator's reported costs are exact (not a per-domain approximation).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.shard.domain import ShardDomain
+from repro.shard.executor import make_executor
+from repro.shard.partition import Partition, build_partition
+from repro.shard.reconcile import ReconcileOutcome, reconcile_boundary
+
+
+@dataclass
+class ShardedIteration:
+    """One fan-out/merge cycle over every domain."""
+
+    index: int
+    visits: int
+    migrations: int
+    waves: int
+    cost_at_end: float
+    #: Per-domain decision column blocks (global hosts), id order.
+    decision_blocks: List[object] = field(default_factory=list)
+
+
+@dataclass
+class ShardedRunOutcome:
+    """Everything the scheduler needs to shape a report."""
+
+    partition: Partition
+    iterations: List[ShardedIteration] = field(default_factory=list)
+    reconcile: Optional[ReconcileOutcome] = None
+
+    @property
+    def total_migrations(self) -> int:
+        moved = sum(it.migrations for it in self.iterations)
+        if self.reconcile is not None:
+            moved += self.reconcile.migrations
+        return moved
+
+
+class ShardedCoordinator:
+    """Owns the domain fleet for one sharded schedule."""
+
+    def __init__(
+        self,
+        allocation,
+        traffic,
+        engine,
+        fast,
+        policy_factory,
+        n_domains: int,
+        n_workers: int = 1,
+        compact_domains: bool = False,
+        collect_decisions: bool = True,
+        use_round_cache: bool = True,
+        profile=None,
+    ) -> None:
+        self._allocation = allocation
+        self._traffic = traffic
+        self._engine = engine
+        self._fast = fast
+        self._profile = profile
+        self._collect_decisions = collect_decisions
+
+        t0 = time.perf_counter()
+        self.partition = build_partition(
+            allocation, traffic, allocation.topology, n_domains
+        )
+        self._lap("partition", t0)
+
+        t0 = time.perf_counter()
+        self.domains: List[ShardDomain] = [
+            ShardDomain(
+                domain_id=d,
+                pods=self.partition.pods_of_domain[d],
+                vm_ids=self.partition.vms_of_domain[d],
+                intra_pairs=self.partition.intra_pairs[d],
+                global_allocation=allocation,
+                policy=policy_factory(),
+                migration_cost=engine.migration_cost,
+                bandwidth_threshold=engine.bandwidth_threshold,
+                max_candidates=engine.max_candidates,
+                weights=engine.cost_model.weights,
+                compact=compact_domains,
+                collect_decisions=collect_decisions,
+                use_cache=use_round_cache,
+            )
+            for d in range(self.partition.n_domains)
+        ]
+        self._lap("domain-build", t0)
+        self._executor = make_executor(self.domains, n_workers)
+
+    @property
+    def n_workers(self) -> int:
+        workers = getattr(self._executor, "_workers", None)
+        return len(workers) if workers else 1
+
+    def _lap(self, phase: str, t0: float) -> None:
+        if self._profile is not None:
+            self._profile.add(phase, time.perf_counter() - t0)
+
+    def run_iteration(self, index: int) -> ShardedIteration:
+        """Fan one round out to every domain and merge the moves back."""
+        t0 = time.perf_counter()
+        outcomes = self._executor.run_all()
+        self._lap("domain-solve", t0)
+
+        t0 = time.perf_counter()
+        max_waves = max((len(o.wave_moves) for o in outcomes), default=0)
+        for wave_index in range(max_waves):
+            moves = [
+                (vm, tgt)
+                for outcome in outcomes
+                if wave_index < len(outcome.wave_moves)
+                for vm, _src, tgt in outcome.wave_moves[wave_index]
+            ]
+            if not moves:
+                continue
+            self._allocation.migrate_many(moves)
+            self._fast.apply_moves(
+                self._fast.dense_indices([vm for vm, _ in moves]),
+                np.array([tgt for _, tgt in moves], dtype=np.int64),
+            )
+        self._lap("merge", t0)
+        return ShardedIteration(
+            index=index,
+            visits=sum(domain.n_vms for domain in self.domains),
+            migrations=sum(o.migrations for o in outcomes),
+            waves=max((o.waves for o in outcomes), default=0),
+            cost_at_end=float(self._fast.total_cost()),
+            decision_blocks=[
+                o.decisions for o in outcomes if o.decisions is not None
+            ],
+        )
+
+    def reconcile(self, max_passes: int = 4) -> ReconcileOutcome:
+        """Exact global correction over the cross-domain boundary."""
+        t0 = time.perf_counter()
+        outcome = reconcile_boundary(
+            self._allocation,
+            self._traffic,
+            self._engine,
+            self._fast,
+            self.partition.boundary_vms,
+            max_passes=max_passes,
+        )
+        self._lap("reconcile", t0)
+        return outcome
+
+    def close(self) -> None:
+        self._executor.close()

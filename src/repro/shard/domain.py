@@ -1,0 +1,253 @@
+"""One scheduling domain: a compacted sub-cluster with its own engines.
+
+A :class:`ShardDomain` owns a full, independent S-CORE stack — a
+renumbered :class:`~repro.topology.tree.CanonicalTree` over just its
+pods, a :class:`~repro.cluster.cluster.Cluster`/
+:class:`~repro.cluster.allocation.Allocation` mirroring the global
+capacities and placement, a :class:`~repro.traffic.matrix.TrafficMatrix`
+holding only intra-domain pairs, and its own policy + token +
+:class:`~repro.core.fastcost.FastCostEngine` +
+:class:`~repro.core.rounds.BatchedRoundEngine`.  Host renumbering is the
+whole trick: the dense candidate grids of ``candidate_batch`` are sized
+by the *local* rack/host counts, so D domains do ~1/D of the single
+engine's grid work between them — the decomposition is a speedup even on
+one core, and embarrassingly parallel across workers.
+
+Because pods keep their ascending global order, local host ``i`` is the
+``i``-th host of the domain's sorted global host list; rack and pod
+adjacency (and therefore every Eq. 1 level and §V-B5 probing order) are
+preserved exactly.  On a domain whose traffic is fully confined, the
+domain round is *bit-identical* to what the global engine would decide
+for those VMs — the differential suite pins this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.allocation import Allocation
+from repro.cluster.cluster import Cluster
+from repro.cluster.server import ServerCapacity
+from repro.core.cost import CostModel
+from repro.core.fastcost import FastCostEngine
+from repro.core.migration import MigrationEngine
+from repro.core.policies import TokenPolicy
+from repro.core.rounds import BatchedRoundEngine, RoundResult
+from repro.core.token import Token
+from repro.topology.tree import CanonicalTree
+from repro.traffic.matrix import TrafficMatrix
+
+
+@dataclass
+class DomainRoundOutcome:
+    """What one domain round sends back to the coordinator.
+
+    Hosts are *global* ids throughout — the domain translates on the way
+    out so the coordinator (and any fork-pool pipe) never sees local
+    numbering.
+    """
+
+    domain_id: int
+    #: Per-wave applied moves ``(vm_id, source_host, target_host)``.
+    wave_moves: List[List[Tuple[int, int, int]]]
+    migrations: int
+    waves: int
+    deferrals: int
+    #: Final per-hold decision columns (global hosts), or ``None`` when
+    #: the caller asked to skip decision collection.
+    decisions: Optional[object] = None
+
+
+class ShardDomain:
+    """The per-domain stack plus its round runner."""
+
+    def __init__(
+        self,
+        domain_id: int,
+        pods: np.ndarray,
+        vm_ids: np.ndarray,
+        intra_pairs: Tuple[np.ndarray, np.ndarray, np.ndarray],
+        global_allocation: Allocation,
+        policy: TokenPolicy,
+        migration_cost: float = 0.0,
+        bandwidth_threshold: Optional[float] = None,
+        max_candidates: Optional[int] = None,
+        weights=None,
+        compact: bool = False,
+        collect_decisions: bool = True,
+        use_cache: bool = True,
+    ) -> None:
+        topology = global_allocation.topology
+        if not isinstance(topology, CanonicalTree):
+            raise TypeError(
+                "sharded domains require a CanonicalTree topology "
+                f"(whole-pod sub-trees); got {type(topology).__name__}"
+            )
+        self.domain_id = int(domain_id)
+        self._collect_decisions = collect_decisions
+        hosts_per_rack = topology.hosts_per_rack
+        tors_per_agg = topology.n_racks // topology.n_aggs
+        hosts_per_pod = hosts_per_rack * tors_per_agg
+
+        # Global host ids of this domain, ascending (pods are contiguous
+        # host ranges, and ascending pods keep the global order).
+        pods = np.asarray(pods, dtype=np.int64)
+        self.global_hosts = (
+            pods[:, None] * hosts_per_pod + np.arange(hosts_per_pod)
+        ).reshape(-1)
+        n_local = len(self.global_hosts)
+        local_of_global = {
+            int(g): i for i, g in enumerate(self.global_hosts.tolist())
+        }
+
+        sub_topology = CanonicalTree(
+            n_racks=len(pods) * tors_per_agg,
+            hosts_per_rack=hosts_per_rack,
+            tors_per_agg=tors_per_agg,
+            n_cores=topology.n_cores,
+        )
+        # Mirror the global per-host capacities (drained hosts included).
+        # One shared base capacity plus overrides only where a host
+        # deviates — hyperscale clusters are near-uniform, and building
+        # tens of thousands of identical ServerCapacity objects per
+        # domain fleet dominates the construction profile otherwise.
+        slots, ram, cpu, nic = global_allocation.cluster.capacity_arrays()
+        g = self.global_hosts
+        base = ServerCapacity(
+            max_vms=int(slots[g[0]]),
+            ram_mb=int(ram[g[0]]),
+            cpu=float(cpu[g[0]]),
+            nic_bps=float(nic[g[0]]),
+        )
+        deviants = np.flatnonzero(
+            (slots[g] != slots[g[0]])
+            | (ram[g] != ram[g[0]])
+            | (cpu[g] != cpu[g[0]])
+            | (nic[g] != nic[g[0]])
+        )
+        overrides = {
+            int(i): ServerCapacity(
+                max_vms=int(slots[g[i]]),
+                ram_mb=int(ram[g[i]]),
+                cpu=float(cpu[g[i]]),
+                nic_bps=float(nic[g[i]]),
+            )
+            for i in deviants
+        }
+        cluster = Cluster(sub_topology, base, per_host_capacity=overrides)
+        self.allocation = Allocation(cluster)
+        vm_ids = np.asarray(vm_ids, dtype=np.int64)
+        if vm_ids.size:
+            global_hosts_of_vms, _, _ = global_allocation.mapping_arrays(
+                vm_ids
+            )
+            self.allocation.add_vms(
+                [global_allocation.vm(int(v)) for v in vm_ids.tolist()],
+                [local_of_global[int(h)] for h in global_hosts_of_vms],
+            )
+        # Slices of the global pair_arrays are unique and canonical, so
+        # the bulk constructor applies.
+        self.traffic = TrafficMatrix.from_pair_arrays(
+            intra_pairs[0], intra_pairs[1], intra_pairs[2]
+        )
+        self.policy = policy
+        self.token = Token(self.allocation.vm_ids())
+        self.engine = MigrationEngine(
+            CostModel(sub_topology, weights),
+            migration_cost=migration_cost,
+            bandwidth_threshold=bandwidth_threshold,
+            max_candidates=max_candidates,
+        )
+        self.fast = FastCostEngine(
+            self.allocation, self.traffic, weights=weights, compact=compact
+        )
+        self.engine.attach_fastcost(self.fast)
+        self.rounds = BatchedRoundEngine(
+            self.allocation,
+            self.traffic,
+            self.engine,
+            self.fast,
+            record_waves=True,
+            use_cache=use_cache,
+        )
+        self.holder: Optional[int] = None
+        assert n_local == sub_topology.n_hosts
+
+    @property
+    def n_vms(self) -> int:
+        return self.allocation.n_vms
+
+    def run_round(self) -> DomainRoundOutcome:
+        """One wave-batched token round over this domain's population."""
+        if self.allocation.n_vms == 0:
+            return DomainRoundOutcome(self.domain_id, [], 0, 0, 0)
+        first = (
+            self.holder
+            if self.holder is not None and self.holder in self.token
+            else self.token.lowest_id
+        )
+        order = self.policy.round_order(
+            self.token, first, self.allocation, self.traffic, self.fast
+        )
+        if order is None:
+            raise ValueError(
+                f"policy {type(self.policy).__name__} cannot freeze a "
+                "round order; sharded domains require an order-known "
+                "policy (rr/hlf)"
+            )
+        result = self.rounds.run_round(order)
+        self.holder = self.policy.end_round(
+            self.token, order, self.allocation, self.traffic, self.fast
+        )
+        return DomainRoundOutcome(
+            domain_id=self.domain_id,
+            wave_moves=[
+                self._globalize_wave(wave) for wave in result.wave_moves
+            ],
+            migrations=result.migrations,
+            waves=result.waves,
+            deferrals=result.deferrals,
+            decisions=(
+                self._globalize_decisions(result)
+                if self._collect_decisions
+                else None
+            ),
+        )
+
+    def _to_global(self, local_host: int) -> int:
+        return int(self.global_hosts[local_host])
+
+    def _globalize_wave(
+        self, wave: List[Tuple[int, int, int]]
+    ) -> List[Tuple[int, int, int]]:
+        """Translate one wave's (vm, src, tgt) moves to global hosts."""
+        if not wave:
+            return []
+        moves = np.asarray(wave, dtype=np.int64)
+        return list(
+            zip(
+                moves[:, 0].tolist(),
+                self.global_hosts[moves[:, 1]].tolist(),
+                self.global_hosts[moves[:, 2]].tolist(),
+            )
+        )
+
+    def _globalize_decisions(self, result: RoundResult):
+        """Rewrite the round's decision columns to global host ids."""
+        cols = result.decisions
+        cols.source = self.global_hosts[cols.source]
+        migrated = cols.target >= 0
+        cols.target[migrated] = self.global_hosts[cols.target[migrated]]
+        for pos, decision in list(cols.overlay.items()):
+            cols.overlay[pos] = decision._replace(
+                source_host=self._to_global(decision.source_host),
+                target_host=(
+                    self._to_global(decision.target_host)
+                    if decision.target_host is not None
+                    else None
+                ),
+            )
+        return cols

@@ -65,6 +65,16 @@ class ExperimentConfig:
     # Wave-batched token rounds (default) vs the per-hold reference loop;
     # only takes effect with fastcost and an order-known policy (rr/hlf).
     batched_rounds: bool = True
+    # Hyperscale sharding (repro.shard): community-partitioned parallel
+    # domains + cross-domain reconciliation.  Default off; requires
+    # fastcost and the canonical-tree topology.
+    sharding: bool = False
+    # Domain cap for the partition (None: one per pod, at most 16).
+    shard_domains: Optional[int] = None
+    # Forked worker processes fanning the domains out (1 = in-process).
+    shard_workers: int = 1
+    # Compact (int32/float32) domain engines; the global gate stays float64.
+    shard_compact: bool = False
 
     def __post_init__(self) -> None:
         if self.topology not in ("canonical", "fattree"):
@@ -202,6 +212,15 @@ def make_scheduler(
         token_interval_s=config.token_interval_s,
         use_fastcost=config.fastcost,
         use_batched_rounds=config.batched_rounds,
+        use_sharding=config.sharding,
+        n_domains=config.shard_domains,
+        n_workers=config.shard_workers,
+        shard_compact=config.shard_compact,
+        shard_policy_factory=(
+            (lambda: policy_by_name(config.policy, seed=config.seed))
+            if config.sharding
+            else None
+        ),
     )
 
 

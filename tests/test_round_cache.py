@@ -485,3 +485,102 @@ class TestEngineTouchedSets:
         touched = fast.add_vms([new_vm])
         assert touched.structural
         assert cache._valid is None  # flushed
+
+
+class TestHybridSplice:
+    """The hybrid refresh splice: same-candidate-count owners take an
+    in-place scatter, only the changed-count subset pays the renumbering
+    splice — pinned bit-exact against a from-scratch full batch."""
+
+    def make_engine(self, seed=12):
+        env = build_environment(
+            ExperimentConfig(
+                n_racks=8,
+                hosts_per_rack=4,
+                tors_per_agg=2,
+                n_cores=2,
+                vms_per_host=4,
+                seed=seed,
+            )
+        )
+        fast = FastCostEngine(env.allocation, env.traffic)
+        cache = fast.round_cache()
+        cache.refresh()
+        return env, fast, cache
+
+    @staticmethod
+    def assert_pinned(fast, cache):
+        """The cache's full batch must equal a from-scratch re-score."""
+        n = fast.snapshot.n_vms
+        cached, _ = cache.refresh()
+        fresh = fast.candidate_batch(
+            np.arange(n, dtype=np.int64), cache.max_candidates
+        )
+        assert np.array_equal(cached.ptr, fresh.ptr)
+        assert np.array_equal(cached.host, fresh.host)
+        assert np.array_equal(cached.delta, fresh.delta)
+        assert np.array_equal(cached.onto_rate, fresh.onto_rate)
+        assert np.array_equal(cached.source, fresh.source)
+        assert np.array_equal(cached.degree, fresh.degree)
+        assert np.array_equal(cached.total_rate, fresh.total_rate)
+
+    def test_rate_only_delta_takes_scatter_path(self):
+        env, fast, cache = self.make_engine()
+        us, vs, rates = env.traffic.pair_arrays()
+        delta = [
+            (int(us[i]), int(vs[i]), float(rates[i]) * 1.7) for i in range(6)
+        ]
+        env.traffic.apply_delta(delta)
+        fast.apply_traffic_delta(delta)
+        spliced_before = cache.owners_spliced
+        self.assert_pinned(fast, cache)
+        assert cache.owners_scattered > 0
+        assert cache.owners_spliced == spliced_before  # no renumbering paid
+
+    def test_mixed_delta_takes_hybrid_path(self):
+        env, fast, cache = self.make_engine()
+        us, vs, rates = env.traffic.pair_arrays()
+        # Rate-only changes keep those owners' candidate counts; removing
+        # pairs entirely shrinks the endpoints' candidate racks — one
+        # refresh sees both kinds of dirty owner at once.
+        rate_only = [
+            (int(us[i]), int(vs[i]), float(rates[i]) * 2.1) for i in range(5)
+        ]
+        removed = [
+            (int(us[i]), int(vs[i]), 0.0) for i in range(len(us) - 4, len(us))
+        ]
+        delta = rate_only + removed
+        env.traffic.apply_delta(delta)
+        fast.apply_traffic_delta(delta)
+        scattered_before = cache.owners_scattered
+        spliced_before = cache.owners_spliced
+        self.assert_pinned(fast, cache)
+        assert cache.owners_scattered > scattered_before
+        assert cache.owners_spliced > spliced_before
+
+    def test_hybrid_trajectory_stays_exact_across_rounds(self):
+        """Cached vs uncached twins agree over epochs alternating rate-only
+        and structural deltas — the hybrid path is exercised by the former,
+        the splice by the latter, and the trajectory must not drift."""
+        (env_c, sched_c), (env_u, sched_u) = build_twins(
+            seed=14, policy="rr", n_iterations=2
+        )
+        rng = make_rng(14)
+        for epoch in range(4):
+            us, vs, rates = env_c.traffic.pair_arrays()
+            picked = rng.choice(len(us), 10, replace=False)
+            delta = []
+            for j, i in enumerate(picked):
+                if j < 5:
+                    delta.append(
+                        (int(us[i]), int(vs[i]), float(rates[i]) * 1.3)
+                    )
+                else:
+                    delta.append((int(us[i]), int(vs[i]), 0.0))
+            sched_c.apply_traffic_delta(delta)
+            sched_u.apply_traffic_delta(delta)
+            assert_reports_equal(
+                sched_c.run(n_iterations=2), sched_u.run(n_iterations=2)
+            )
+        cache = sched_c.fastcost.round_cache()
+        assert cache.owners_scattered > 0

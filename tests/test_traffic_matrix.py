@@ -182,3 +182,67 @@ class TestApplyDelta:
         assert tm.version == v0 + 2
         tm.apply_delta([])
         assert tm.version == v0 + 2
+
+
+class TestFromPairArrays:
+    def _random_canonical(self, rng, n_vms=200, n_pairs=400):
+        u = rng.integers(0, n_vms, n_pairs)
+        v = rng.integers(0, n_vms, n_pairs)
+        keep = u != v
+        us = np.minimum(u[keep], v[keep])
+        vs = np.maximum(u[keep], v[keep])
+        key = us * np.int64(n_vms) + vs
+        _, first = np.unique(key, return_index=True)
+        us, vs = us[first], vs[first]
+        rates = rng.uniform(1.0, 100.0, len(us))
+        return us, vs, rates
+
+    def test_matches_from_pairs(self):
+        rng = np.random.default_rng(7)
+        us, vs, rates = self._random_canonical(rng)
+        bulk = TrafficMatrix.from_pair_arrays(us, vs, rates)
+        loop = TrafficMatrix.from_pairs(zip(us.tolist(), vs.tolist(), rates.tolist()))
+        assert bulk.n_pairs == loop.n_pairs == len(us)
+        for u, v, rate in loop.pairs():
+            assert bulk.rate(u, v) == rate
+            assert bulk.rate(v, u) == rate
+        assert bulk.vms_with_traffic == loop.vms_with_traffic
+        assert bulk.total_rate() == pytest.approx(loop.total_rate())
+
+    def test_empty(self):
+        tm = TrafficMatrix.from_pair_arrays([], [], [])
+        assert tm.n_pairs == 0
+
+    def test_rejects_non_canonical_pairs(self):
+        with pytest.raises(ValueError, match="canonical"):
+            TrafficMatrix.from_pair_arrays([2], [1], [5.0])
+        with pytest.raises(ValueError, match="canonical"):
+            TrafficMatrix.from_pair_arrays([3], [3], [5.0])
+
+    def test_rejects_zero_rates_and_duplicates(self):
+        with pytest.raises(ValueError, match="> 0"):
+            TrafficMatrix.from_pair_arrays([1], [2], [0.0])
+        with pytest.raises(ValueError, match="duplicate"):
+            TrafficMatrix.from_pair_arrays([1, 1], [2, 2], [5.0, 7.0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            TrafficMatrix.from_pair_arrays([1, 2], [3], [5.0])
+
+    def test_pair_arrays_cache_survives_reads_not_writes(self):
+        rng = np.random.default_rng(11)
+        us, vs, rates = self._random_canonical(rng)
+        tm = TrafficMatrix.from_pair_arrays(us, vs, rates)
+        cached_us, cached_vs, cached_rates = tm.pair_arrays()
+        assert not cached_us.flags.writeable
+        assert set(zip(cached_us.tolist(), cached_vs.tolist())) == set(
+            zip(us.tolist(), vs.tolist())
+        )
+        # The caller's input arrays stay writable (the cache is a copy).
+        us[0] = us[0]
+        # A mutation invalidates the cache; the rebuilt arrays see it.
+        u0, v0 = int(cached_us[0]), int(cached_vs[0])
+        tm.set_rate(u0, v0, 0.0)
+        us2, vs2, _ = tm.pair_arrays()
+        assert len(us2) == len(us) - 1
+        assert (u0, v0) not in set(zip(us2.tolist(), vs2.tolist()))
