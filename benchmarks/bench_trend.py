@@ -13,11 +13,19 @@ annotation; improvements and new records are reported informationally.
 The exit code is always 0 — CI runner speed varies too much for a hard
 gate, but the annotations make a real regression visible on the pull
 request.
+
+Records carrying a per-phase split (the sharded benches: partition /
+domain-build / domain-solve / merge / reconcile) additionally feed a
+**per-PR phase report** — a markdown table of each phase's baseline vs
+current wall-clock plus the worker imbalance ratio — appended to the
+CI job summary (``$GITHUB_STEP_SUMMARY``) when one exists, printed
+otherwise.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import sys
 
 #: A current wall-clock more than this factor above the baseline warns.
@@ -70,6 +78,88 @@ def _flatten_phases(record: dict) -> dict:
                 key += "_s"
             flat[f"phases.{key}"] = seconds
     return flat
+
+
+#: Dimensionless per-record gauges shown alongside the phase split.
+GAUGE_FIELDS = ("imbalance",)
+
+
+def _delta_cell(reference, value) -> str:
+    """A signed percentage change, or a dash when it is meaningless."""
+    if not isinstance(reference, (int, float)) or reference <= 0:
+        return "—"
+    return f"{(value / reference - 1.0):+.0%}"
+
+
+def _phase_report(baseline: dict, current: dict) -> list:
+    """Markdown lines: per-phase wall-clocks + gauges, current vs base.
+
+    Works off the flattened records (``phases.<name>_s`` fields), so it
+    covers exactly what the trend loop trends — plus the dimensionless
+    gauges (the shard imbalance ratio) the loop skips.
+    """
+    rows = []
+    for name, record in sorted(current.items()):
+        base = baseline.get(name, {})
+        fields = [f for f in sorted(record) if f.startswith("phases.")]
+        gauges = [f for f in GAUGE_FIELDS if f in record]
+        if not fields:
+            continue
+        for field in fields:
+            value = record[field]
+            if not isinstance(value, (int, float)):
+                continue
+            reference = base.get(field)
+            shown = field[len("phases."):]
+            ref_cell = (
+                f"{reference:.3f}s"
+                if isinstance(reference, (int, float))
+                else "—"
+            )
+            rows.append(
+                f"| {name} | {shown} | {ref_cell} | {value:.3f}s "
+                f"| {_delta_cell(reference, value)} |"
+            )
+        for field in gauges:
+            value = record[field]
+            if not isinstance(value, (int, float)):
+                continue
+            reference = base.get(field)
+            ref_cell = (
+                f"{reference:.2f}"
+                if isinstance(reference, (int, float))
+                else "—"
+            )
+            rows.append(
+                f"| {name} | {field} (gauge) | {ref_cell} | {value:.2f} "
+                f"| {_delta_cell(reference, value)} |"
+            )
+    if not rows:
+        return []
+    return [
+        "## Bench phase report",
+        "",
+        "| record | phase | baseline | current | Δ |",
+        "|---|---|--:|--:|--:|",
+        *rows,
+        "",
+    ]
+
+
+def _emit_phase_report(lines: list) -> None:
+    """Append to the CI job summary when one exists, else print."""
+    if not lines:
+        return
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        try:
+            with open(summary_path, "a") as handle:
+                handle.write("\n".join(lines) + "\n")
+            return
+        except OSError as error:
+            print(f"bench-trend: cannot write job summary: {error}")
+    for line in lines:
+        print(line)
 
 
 def _records(path: str) -> dict:
@@ -150,6 +240,7 @@ def main(argv: list) -> int:
         )
     else:
         print("bench-trend: no regressions beyond threshold")
+    _emit_phase_report(_phase_report(baseline, current))
     return 0
 
 

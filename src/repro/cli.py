@@ -85,6 +85,11 @@ def _add_experiment_flags(parser: argparse.ArgumentParser) -> None:
         help="run the domain engines on the compact int32/float32 "
         "snapshot (with --shards; the global cost gate stays float64)",
     )
+    parser.add_argument(
+        "--shard-transport", choices=["shm", "pipe"], default="shm",
+        help="worker outcome transport (with --shards --workers>1): "
+        "zero-copy shared-memory slabs (default) or pickled pipes",
+    )
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
@@ -108,6 +113,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         shard_domains=args.shards,
         shard_workers=args.workers,
         shard_compact=args.shard_compact,
+        shard_transport=args.shard_transport,
     )
 
 
@@ -133,6 +139,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
           f"{result.report.total_migrations} migrations, "
           f"converged at iteration "
           f"{convergence_iteration(result.report, tolerance=0.01)})")
+    if result.report.shard_executor is not None:
+        print(f"shard executor: {result.report.shard_executor}")
     reference = (
         min(ga_cost, result.final_cost) if ga_cost is not None else None
     )

@@ -75,6 +75,19 @@ class Allocation:
         """Iterate over all placed VMs (unspecified order)."""
         return iter(self._vms.values())
 
+    def vms_of(self, vm_ids: Sequence[int]) -> List[VM]:
+        """The VM objects with the given ids, in order (KeyError on misses).
+
+        Bulk sibling of :meth:`vm` — one ``itemgetter`` probe instead of
+        a Python-level lookup per id.
+        """
+        ids = list(vm_ids)
+        if not ids:
+            return []
+        if len(ids) == 1:
+            return [self._vms[ids[0]]]
+        return list(itemgetter(*ids)(self._vms))
+
     def vm_ids(self) -> Iterator[int]:
         """Iterate over all placed VM IDs."""
         return iter(self._vms.keys())
@@ -191,6 +204,76 @@ class Allocation:
             self._used_cpu[host] += vm.cpu
         if vms:
             self._version += 1
+
+    @classmethod
+    def from_placement(
+        cls, cluster: Cluster, vms: Sequence[VM], hosts: Sequence[int]
+    ) -> "Allocation":
+        """Bulk-construct an allocation mirroring a known placement.
+
+        The replica path for sharded domain construction: every
+        ``(vm, host)`` pair is copied from an allocation that already
+        passed admission, so the per-VM bookkeeping of :meth:`add_vms`
+        collapses into C-speed ``dict(zip(...))`` builds and per-host
+        ``bincount`` reductions (summed in the same element order as the
+        sequential loop, so the accounting is bit-identical), followed by
+        one vectorized per-host capacity audit.  A placement that does
+        violate capacity still raises :class:`CapacityError`.
+        """
+        allocation = cls(cluster)
+        vms = list(vms)
+        host_arr = np.asarray(hosts, dtype=np.int64)
+        if len(vms) != len(host_arr):
+            raise ValueError(
+                f"{len(vms)} VMs but {len(host_arr)} hosts in the placement"
+            )
+        if not vms:
+            return allocation
+        n = cluster.n_servers
+        if int(host_arr.min()) < 0 or int(host_arr.max()) >= n:
+            bad = host_arr[(host_arr < 0) | (host_arr >= n)][0]
+            raise ValueError(f"host index {int(bad)} out of range")
+        ids = [vm.vm_id for vm in vms]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate VM IDs in the placement")
+        host_list = host_arr.tolist()
+        allocation._vms = dict(zip(ids, vms))
+        allocation._host_of = dict(zip(ids, host_list))
+        count = len(vms)
+        ram = np.fromiter((vm.ram_mb for vm in vms), dtype=np.int64, count=count)
+        cpu = np.fromiter((vm.cpu for vm in vms), dtype=float, count=count)
+        used_slots = np.bincount(host_arr, minlength=n)
+        used_ram = np.bincount(host_arr, weights=ram, minlength=n).astype(
+            np.int64
+        )
+        used_cpu = np.bincount(host_arr, weights=cpu, minlength=n)
+        cap_slots, cap_ram, cap_cpu, _nic = cluster.capacity_arrays()
+        over = np.flatnonzero(
+            (used_slots > cap_slots)
+            | (used_ram > cap_ram)
+            | (used_cpu > cap_cpu)
+        )
+        if over.size:
+            host = int(over[0])
+            raise CapacityError(
+                f"placement rejected: host {host} over capacity "
+                f"(slots {int(used_slots[host])}/{int(cap_slots[host])}, "
+                f"ram {int(used_ram[host])}/{int(cap_ram[host])}MiB, "
+                f"cpu {float(used_cpu[host])}/{float(cap_cpu[host])})"
+            )
+        order = np.argsort(host_arr, kind="stable")
+        sorted_hosts = host_arr[order]
+        sorted_ids = np.asarray(ids, dtype=np.int64)[order]
+        uniq, starts = np.unique(sorted_hosts, return_index=True)
+        bounds = np.append(starts, sorted_hosts.size).tolist()
+        id_list = sorted_ids.tolist()
+        vms_on = allocation._vms_on
+        for i, host in enumerate(uniq.tolist()):
+            vms_on[host] = set(id_list[bounds[i]:bounds[i + 1]])
+        allocation._used_ram = used_ram.tolist()
+        allocation._used_cpu = used_cpu.tolist()
+        allocation._version = 1
+        return allocation
 
     def remove_vm(self, vm_id: int) -> VM:
         """Remove a VM from the allocation entirely and return it."""

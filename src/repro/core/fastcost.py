@@ -913,9 +913,13 @@ class FastCostEngine:
         flat = np.repeat(snap.ptr[movers] - ptr[:-1], counts) + np.arange(
             int(ptr[-1])
         )
+        candidates = np.concatenate((movers, snap.peer[flat]))
+        # Sorted-unique either way; the dense bitmap only pays off when
+        # the footprint is a sizable fraction of the snapshot.
+        if len(candidates) * 8 < snap.n_vms:
+            return np.unique(candidates)
         hit = np.zeros(snap.n_vms, dtype=bool)
-        hit[movers] = True
-        hit[snap.peer[flat]] = True
+        hit[candidates] = True
         return np.nonzero(hit)[0]
 
     def _sync_allocation_mirrors(self) -> None:
@@ -2129,10 +2133,20 @@ class FastCostEngine:
             )
             deltas = np.bincount(owner, weights=contrib, minlength=n_moves)
             # A non-moving VM may be the peer of several movers, so peer
-            # cost updates accumulate (bincount), never overwrite.
-            self._vm_cost -= np.bincount(
-                peers, weights=contrib, minlength=snap.n_vms
-            )
+            # cost updates accumulate (bincount), never overwrite.  A
+            # small wave touches few peers; scatter into the unique set
+            # instead of materialising an n_vms-length bincount (the two
+            # are bit-identical: per-peer sums accumulate in the same
+            # element order, applied as one subtraction either way).
+            if total_e * 8 < snap.n_vms:
+                uniq_peers, inverse = np.unique(peers, return_inverse=True)
+                self._vm_cost[uniq_peers] -= np.bincount(
+                    inverse, weights=contrib, minlength=len(uniq_peers)
+                )
+            else:
+                self._vm_cost -= np.bincount(
+                    peers, weights=contrib, minlength=snap.n_vms
+                )
             self._vm_cost[movers] -= deltas
             self._total -= float(deltas.sum())
             # Egress (§V-C): disjoint sources/targets make the per-host
@@ -2153,11 +2167,8 @@ class FastCostEngine:
         self._ram_used[targets] += self._vm_ram[movers]
         self._cpu_used[sources] -= self._vm_cpu[movers]
         self._cpu_used[targets] += self._vm_cpu[movers]
-        host_hit = np.zeros(len(self._slot_cap), dtype=bool)
-        host_hit[sources] = True
-        host_hit[targets] = True
         touched = TouchedSet(
-            hosts=np.nonzero(host_hit)[0],
+            hosts=np.unique(np.concatenate((sources, targets))),
             owners=self._movers_footprint(movers),
         )
         if n_moves:

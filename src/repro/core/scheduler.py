@@ -125,6 +125,9 @@ class SchedulerReport:
     #: Provenance label when this scheduler state descends from a
     #: restored snapshot (``None`` for a never-restored scheduler).
     recovered_from: Optional[str] = None
+    #: Executor a sharded run actually used (``"shm ×8"``, ``"serial"``,
+    #: ``"serial (fallback: ...)"``); ``None`` for non-sharded runs.
+    shard_executor: Optional[str] = None
 
     @property
     def total_migrations(self) -> int:
@@ -180,6 +183,7 @@ class SCOREScheduler:
         n_workers: int = 1,
         shard_policy_factory=None,
         shard_compact: bool = False,
+        shard_transport: str = "shm",
     ) -> None:
         """
         ``use_fastcost`` (default on) builds a
@@ -216,7 +220,16 @@ class SCOREScheduler:
         with no arguments.  ``shard_compact`` runs the *domain* engines
         on the compact (int32/float32) snapshot — the global engine that
         gates and applies every move stays float64, so the incremental
-        global cost remains exact.
+        global cost remains exact.  ``shard_transport`` picks the worker
+        payload path (``"shm"`` zero-copy slabs, default, or ``"pipe"``
+        pickled outcomes).
+
+        A sharded scheduler keeps its domain fleet (and worker
+        processes) alive across :meth:`run` calls; the churn / delta /
+        capacity APIs forward their mutations to the live domains, and
+        mutations the fleet cannot absorb trigger a transparent rebuild
+        at the next run.  Call :meth:`close` to tear the fleet down
+        deterministically.
         """
         check_positive("token_interval_s", token_interval_s)
         missing = traffic.vms_with_traffic - set(allocation.vm_ids())
@@ -243,6 +256,9 @@ class SCOREScheduler:
         self._n_workers = n_workers
         self._shard_policy_factory = shard_policy_factory
         self._shard_compact = shard_compact
+        self._shard_transport = shard_transport
+        self._shard_coordinator = None
+        self._shard_solve_hints: dict = {}
         if use_sharding and not use_fastcost:
             raise ValueError("use_sharding requires use_fastcost")
         self._fast: Optional[FastCostEngine] = None
@@ -352,13 +368,8 @@ class SCOREScheduler:
             raise ValueError(f"n_iterations must be >= 1, got {n_iterations}")
         cost_model = self._prepare_engines()
         if self._use_sharding:
-            if event_pump is not None:
-                raise ValueError(
-                    "sharded runs do not support an event_pump; drive "
-                    "events at run boundaries instead"
-                )
             return self._run_sharded(
-                cost_model, n_iterations, stop_when_stable
+                cost_model, n_iterations, stop_when_stable, event_pump
             )
         if self._use_batched_rounds and self._fast is not None:
             order = self._policy.round_order(
@@ -449,8 +460,10 @@ class SCOREScheduler:
                 # last run (direct allocation moves, out-of-band set_rate):
                 # pay one full resync.  Mutations routed through the
                 # scheduler's churn/delta APIs keep the engine in sync, so
-                # multi-epoch dynamic runs skip this entirely.
+                # multi-epoch dynamic runs skip this entirely.  Whatever
+                # desynced the engine also bypassed the shard fleet.
                 self._fast.rebuild()
+                self._close_shard_fleet()
         # Policies take whichever implementation is active — the fast engine
         # answers highest_level from its arrays with the CostModel signature.
         return self._fast or self._engine.cost_model
@@ -659,45 +672,117 @@ class SCOREScheduler:
 
         return factory
 
+    def _ensure_shard_fleet(self):
+        """The live domain fleet, (re)built when absent or stale.
+
+        The fleet — domains, worker processes, shared-memory slabs —
+        persists across :meth:`run` calls; the delta-forwarding APIs
+        keep it synchronized, and anything they could not absorb marked
+        it stale.  A rebuild seeds the LPT worker packing with the
+        measured per-domain solve times of the previous fleet.
+        """
+        from repro.shard import ShardedCoordinator
+
+        assert self._fast is not None
+        coordinator = self._shard_coordinator
+        if coordinator is not None and (
+            coordinator.stale or coordinator._traffic is not self._traffic
+        ):
+            self._close_shard_fleet()
+            coordinator = None
+        if coordinator is None:
+            topology = self._allocation.topology
+            n_pods = int(topology.host_pod_ids().max()) + 1
+            n_domains = (
+                self._n_domains
+                if self._n_domains is not None
+                else min(16, n_pods)
+            )
+            coordinator = ShardedCoordinator(
+                self._allocation,
+                self._traffic,
+                self._engine,
+                self._fast,
+                self._shard_policy_factory or self._default_policy_factory(),
+                n_domains=n_domains,
+                n_workers=self._n_workers,
+                compact_domains=self._shard_compact,
+                use_round_cache=self._use_round_cache,
+                transport=self._shard_transport,
+                solve_hints=self._shard_solve_hints,
+                profile=self._profile,
+            )
+            self._shard_coordinator = coordinator
+        return coordinator
+
+    def _close_shard_fleet(self) -> None:
+        """Tear the live fleet down, keeping its solve times as hints."""
+        coordinator = self._shard_coordinator
+        if coordinator is not None:
+            self._shard_solve_hints.update(coordinator.solve_hints)
+            self._shard_coordinator = None
+            coordinator.close()
+
+    def close(self) -> None:
+        """Release live resources (the sharded worker fleet and slabs).
+
+        Idempotent; non-sharded schedulers have nothing to release.
+        The object remains usable — a subsequent sharded run simply
+        rebuilds the fleet.
+        """
+        self._close_shard_fleet()
+
+    def _forward_shard(self, forward) -> None:
+        """Forward one mutation to the live fleet (rebuild if refused)."""
+        coordinator = self._shard_coordinator
+        if coordinator is None:
+            return
+        if not forward(coordinator):
+            self._close_shard_fleet()
+
+    def __getstate__(self):
+        # Snapshots pickle the whole scheduler graph; the live fleet
+        # (worker processes, pipes, shared-memory slabs) never travels.
+        # A restored scheduler rebuilds it lazily at its next run.
+        state = self.__dict__.copy()
+        state["_shard_coordinator"] = None
+        return state
+
+    def __setstate__(self, state):
+        # Snapshots written before the persistent fleet existed restore
+        # with the fleet fields defaulted.
+        state.setdefault("_shard_coordinator", None)
+        state.setdefault("_shard_solve_hints", {})
+        state.setdefault("_shard_transport", "shm")
+        self.__dict__.update(state)
+
     def _run_sharded(
         self,
         cost_model: CostModel,
         n_iterations: int,
         stop_when_stable: bool,
+        event_pump=None,
     ) -> SchedulerReport:
         """Community-partitioned parallel domains + boundary reconcile.
 
         Each iteration fans one wave-batched round out to every domain
-        (:mod:`repro.shard`), merges the returned waves into the global
-        allocation/fast engine (exact incremental cost), and after the
-        last iteration runs the Theorem-1 reconciliation passes over the
-        cross-domain boundary VMs.  The report keeps iteration-granular
-        time-series points (per-hold attribution is a single-engine
-        notion); the reconcile passes append one extra
+        (:mod:`repro.shard`), merges each domain's waves into the global
+        allocation/fast engine as they arrive (exact incremental cost),
+        and after the last iteration runs the Theorem-1 reconciliation
+        passes over the cross-domain boundary VMs.  The report keeps
+        iteration-granular time-series points (per-hold attribution is
+        a single-engine notion); the reconcile passes append one extra
         :class:`IterationStats` entry when they ran.
-        """
-        from repro.shard import ShardedCoordinator
 
+        An ``event_pump`` is driven at *iteration boundaries* (domain
+        rounds have no mid-round seam by construction): events route
+        through the scheduler's mutation APIs, which forward them to
+        the live fleet, and each boundary re-anchors the cost from the
+        engine's exact total.  Pipelined look-ahead is disabled while a
+        pump (or ``stop_when_stable``) could change what the next
+        iteration is.
+        """
         assert self._fast is not None
-        topology = self._allocation.topology
-        n_pods = int(topology.host_pod_ids().max()) + 1
-        n_domains = (
-            self._n_domains
-            if self._n_domains is not None
-            else min(16, n_pods)
-        )
-        coordinator = ShardedCoordinator(
-            self._allocation,
-            self._traffic,
-            self._engine,
-            self._fast,
-            self._shard_policy_factory or self._default_policy_factory(),
-            n_domains=n_domains,
-            n_workers=self._n_workers,
-            compact_domains=self._shard_compact,
-            use_round_cache=self._use_round_cache,
-            profile=self._profile,
-        )
         # The global fast engine is authoritative for the whole sharded
         # run (merge and reconcile maintain it move by move), so anchor
         # the report on it too — the naive O(pairs × levels) recompute
@@ -706,43 +791,61 @@ class SCOREScheduler:
         report = SchedulerReport(initial_cost=cost, final_cost=cost)
         report.recovered_from = self._recovered_from
         report.time_series.append((self._clock, cost))
-        try:
-            for iteration in range(1, n_iterations + 1):
-                outcome = coordinator.run_iteration(iteration)
-                for block in outcome.decision_blocks:
-                    report.decisions.extend(block)
-                self._clock += self._interval * outcome.visits
-                cost = outcome.cost_at_end
-                report.iterations.append(
-                    IterationStats(
-                        index=iteration,
-                        visits=outcome.visits,
-                        migrations=outcome.migrations,
-                        cost_at_end=cost,
-                        waves=outcome.waves,
-                    )
+        coordinator = None
+        for iteration in range(1, n_iterations + 1):
+            coordinator = self._ensure_shard_fleet()
+            more_coming = (
+                iteration < n_iterations
+                and not stop_when_stable
+                and event_pump is None
+            )
+            outcome = coordinator.run_iteration(iteration, more_coming)
+            for block in outcome.decision_blocks:
+                report.decisions.extend(block)
+            self._clock += self._interval * outcome.visits
+            cost = outcome.cost_at_end
+            report.iterations.append(
+                IterationStats(
+                    index=iteration,
+                    visits=outcome.visits,
+                    migrations=outcome.migrations,
+                    cost_at_end=cost,
+                    waves=outcome.waves,
                 )
-                report.time_series.append((self._clock, cost))
-                if stop_when_stable and outcome.migrations == 0:
-                    break
-            reconcile = coordinator.reconcile()
-            if reconcile.passes:
-                for block in reconcile.decision_blocks:
-                    report.decisions.extend(block)
-                visits = reconcile.boundary_vms * reconcile.passes
-                self._clock += self._interval * visits
+            )
+            report.time_series.append((self._clock, cost))
+            if event_pump is not None and event_pump(self._clock):
+                # Boundary events mutated engine state out-of-band (the
+                # mutation APIs kept the fleet in step, or retired it);
+                # re-anchor from the engine's exact incremental total.
                 cost = float(self._fast.total_cost())
-                report.iterations.append(
-                    IterationStats(
-                        index=len(report.iterations) + 1,
-                        visits=visits,
-                        migrations=reconcile.migrations,
-                        cost_at_end=cost,
-                    )
-                )
                 report.time_series.append((self._clock, cost))
-        finally:
-            coordinator.close()
+            if stop_when_stable and outcome.migrations == 0:
+                break
+        coordinator = self._ensure_shard_fleet()
+        reconcile = coordinator.reconcile()
+        if reconcile.passes:
+            for block in reconcile.decision_blocks:
+                report.decisions.extend(block)
+            visits = reconcile.boundary_vms * reconcile.passes
+            self._clock += self._interval * visits
+            cost = float(self._fast.total_cost())
+            report.iterations.append(
+                IterationStats(
+                    index=len(report.iterations) + 1,
+                    visits=visits,
+                    migrations=reconcile.migrations,
+                    cost_at_end=cost,
+                )
+            )
+            report.time_series.append((self._clock, cost))
+        self._shard_solve_hints.update(coordinator.solve_hints)
+        label = coordinator.executor_kind
+        if coordinator.n_workers > 1:
+            label = f"{label} ×{coordinator.n_workers}"
+        if coordinator.executor_fallback:
+            label = f"{label} (fallback: {coordinator.executor_fallback})"
+        report.shard_executor = label
         report.final_cost = cost
         report.next_holder = self._token.lowest_id
         return report
@@ -860,11 +963,13 @@ class SCOREScheduler:
         through :meth:`apply_traffic_delta` afterwards.
         """
         vms = list(vms)
+        hosts = [int(h) for h in hosts]
         self._allocation.add_vms(vms, hosts)
         for vm in vms:
             self._token.add_vm(vm.vm_id)
         if self._fast is not None:
             self._fast.add_vms(vms)
+        self._forward_shard(lambda c: c.forward_admissions(vms, hosts))
 
     def retire_vm(self, vm_id: int) -> None:
         """Take a VM offline: remove it from the allocation, the token and
@@ -902,6 +1007,7 @@ class SCOREScheduler:
             self._token.remove_vm(vm_id)
         if self._fast is not None:
             self._fast.remove_vms(ids)
+        self._forward_shard(lambda c: c.forward_retirements(ids))
 
     def apply_traffic_delta(self, changed_pairs) -> int:
         """Patch λ for one batch of pairs — the incremental epoch transition.
@@ -934,6 +1040,9 @@ class SCOREScheduler:
             applied = self._fast.apply_traffic_delta(engine_delta)
             if applied:
                 self._traffic.apply_delta(triples)
+                self._forward_shard(
+                    lambda c: c.forward_traffic_delta(engine_delta)
+                )
             return applied
         placed = set(self._allocation.vm_ids())
         endpoints = {int(u) for u, _, _ in triples} | {
@@ -967,6 +1076,9 @@ class SCOREScheduler:
         :meth:`restore_hosts` brings the saved capacity back.
         """
         drained = set(int(h) for h in hosts)
+        # Drain moves bypass the domain round engines (and may cross
+        # domain boundaries): retire the live fleet rather than chase it.
+        self._close_shard_fleet()
         topology = self._allocation.topology
         moves: List[Tuple[int, int]] = []
         for host in sorted(drained):
@@ -1037,6 +1149,13 @@ class SCOREScheduler:
             self._fast.set_host_capacity(
                 host, max_vms=max_vms, nic_bps=nic_bps, ram_mb=ram_mb, cpu=cpu
             )
+            self._forward_shard(
+                lambda c: c.forward_capacity(
+                    host,
+                    dict(max_vms=max_vms, nic_bps=nic_bps, ram_mb=ram_mb,
+                         cpu=cpu),
+                )
+            )
             return
         from repro.cluster.server import ServerCapacity
 
@@ -1068,6 +1187,7 @@ class SCOREScheduler:
         self._engine.set_bandwidth_threshold(threshold)
         if self._fast is not None:
             self._fast.invalidate_round_decisions()
+        self._forward_shard(lambda c: c.forward_threshold(threshold))
 
     def update_traffic(self, traffic: TrafficMatrix) -> None:
         """Install a fresh traffic-matrix estimate (next measurement window).
@@ -1083,5 +1203,7 @@ class SCOREScheduler:
                 f"{sorted(missing)[:5]}..."
             )
         self._traffic = traffic
+        # The fleet's domain matrices were sliced from the old estimate.
+        self._close_shard_fleet()
         if self._fast is not None:
             self._fast.update_traffic(traffic)

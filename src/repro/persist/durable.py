@@ -821,6 +821,8 @@ class DurableScenarioRun:
         return self._result
 
     def close(self) -> None:
+        if self._scheduler is not None:
+            self._scheduler.close()
         self._journal.close()
 
 

@@ -208,6 +208,21 @@ def run_scenario(
     result = ScenarioResult(scenario=scenario, environment=environment)
     former_hosts: Dict[int, Set[int]] = {}
 
+    try:
+        _run_epochs(
+            environment, scheduler, drift, churn, events_runner,
+            n_epochs, iterations, validate, result, former_hosts,
+        )
+    finally:
+        scheduler.close()
+    result.profile = scheduler.profile
+    return result
+
+
+def _run_epochs(
+    environment, scheduler, drift, churn, events_runner,
+    n_epochs, iterations, validate, result, former_hosts,
+) -> None:
     for epoch in range(n_epochs):
         t0 = time.perf_counter()
         arrivals, departures, drained = churn.apply(
@@ -253,5 +268,3 @@ def run_scenario(
                 events=epoch_events,
             )
         )
-    result.profile = scheduler.profile
-    return result

@@ -882,6 +882,8 @@ class SchedulerService:
         return report
 
     def close(self) -> None:
+        if self._scheduler is not None:
+            self._scheduler.close()
         self._journal.close()
 
     def __enter__(self) -> "SchedulerService":

@@ -18,8 +18,11 @@ from repro.shard.domain import DomainRoundOutcome, ShardDomain
 from repro.shard.executor import (
     ForkExecutor,
     SerialExecutor,
+    ShardWorkerError,
+    ShmExecutor,
     fork_available,
     make_executor,
+    pack_workers,
 )
 from repro.shard.partition import Partition, build_partition
 from repro.shard.reconcile import ReconcileOutcome, reconcile_boundary
@@ -31,11 +34,14 @@ __all__ = [
     "ReconcileOutcome",
     "SerialExecutor",
     "ShardDomain",
+    "ShardWorkerError",
     "ShardedCoordinator",
     "ShardedIteration",
     "ShardedRunOutcome",
+    "ShmExecutor",
     "build_partition",
     "fork_available",
     "make_executor",
+    "pack_workers",
     "reconcile_boundary",
 ]

@@ -99,9 +99,10 @@ class ShardDomain:
             pods[:, None] * hosts_per_pod + np.arange(hosts_per_pod)
         ).reshape(-1)
         n_local = len(self.global_hosts)
-        local_of_global = {
+        self.local_of_global = {
             int(g): i for i, g in enumerate(self.global_hosts.tolist())
         }
+        local_of_global = self.local_of_global
 
         sub_topology = CanonicalTree(
             n_racks=len(pods) * tors_per_agg,
@@ -138,16 +139,34 @@ class ShardDomain:
             for i in deviants
         }
         cluster = Cluster(sub_topology, base, per_host_capacity=overrides)
-        self.allocation = Allocation(cluster)
         vm_ids = np.asarray(vm_ids, dtype=np.int64)
         if vm_ids.size:
             global_hosts_of_vms, _, _ = global_allocation.mapping_arrays(
                 vm_ids
             )
-            self.allocation.add_vms(
-                [global_allocation.vm(int(v)) for v in vm_ids.tolist()],
-                [local_of_global[int(h)] for h in global_hosts_of_vms],
+            if np.all(np.diff(self.global_hosts) > 0):
+                # The usual case: ascending pods × contiguous per-pod
+                # blocks, so a local host id is just the searchsorted
+                # position — no per-VM dict probe.
+                local_hosts = np.searchsorted(
+                    self.global_hosts, global_hosts_of_vms
+                )
+            else:
+                local_hosts = np.fromiter(
+                    (
+                        local_of_global[int(h)]
+                        for h in global_hosts_of_vms.tolist()
+                    ),
+                    dtype=np.int64,
+                    count=len(global_hosts_of_vms),
+                )
+            self.allocation = Allocation.from_placement(
+                cluster,
+                global_allocation.vms_of(vm_ids.tolist()),
+                local_hosts,
             )
+        else:
+            self.allocation = Allocation(cluster)
         # Slices of the global pair_arrays are unique and canonical, so
         # the bulk constructor applies.
         self.traffic = TrafficMatrix.from_pair_arrays(
@@ -174,7 +193,94 @@ class ShardDomain:
             use_cache=use_cache,
         )
         self.holder: Optional[int] = None
+        #: When the delta channel retires the domain's whole population,
+        #: the token keeps its last entry (a token cannot be emptied);
+        #: the stale id is remembered here and evicted at the next admit.
+        self._stale_token_vm: Optional[int] = None
+        self._n_intra_pairs = int(len(intra_pairs[0]))
+        self._n_local_racks = int(sub_topology.n_racks)
         assert n_local == sub_topology.n_hosts
+
+    def work_estimate(self) -> float:
+        """Static solve-cost proxy for LPT worker packing.
+
+        The wave loop's dominant term is candidate scoring: one row per
+        intra-domain pair endpoint against a candidate grid whose width
+        scales with the local rack count.  Measured ``domain-solve``
+        seconds supersede this estimate once a fleet has run
+        (:func:`repro.shard.executor.pack_workers` hints).
+        """
+        return float(max(1, self._n_intra_pairs) * max(1, self._n_local_racks))
+
+    # -- delta channel ------------------------------------------------------
+    #
+    # Compact per-domain operations the coordinator slices out of the
+    # scheduler's global mutations, so a long-lived fleet (possibly in a
+    # forked worker) tracks epoch transitions without a rebuild.  Call
+    # order mirrors the scheduler's own update paths exactly.
+
+    def apply_traffic(self, us, vs, rates) -> None:
+        """Patch λ for intra-domain pairs (both endpoints live here)."""
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        rates = np.asarray(rates, dtype=np.float64)
+        if us.size == 0:
+            return
+        # Engine-side validation first, then the matrix — the same
+        # ordering (and version-bump accounting) as the scheduler's
+        # apply_traffic_delta.
+        applied = self.fast.apply_traffic_delta((us, vs, rates))
+        if applied:
+            self.traffic.apply_delta(
+                list(zip(us.tolist(), vs.tolist(), rates.tolist()))
+            )
+
+    def admit(self, vms, global_hosts) -> None:
+        """Place arriving VMs (hosts are global ids of this domain)."""
+        vms = list(vms)
+        local = [self.local_of_global[int(h)] for h in global_hosts]
+        self.allocation.add_vms(vms, local)
+        for vm in vms:
+            if vm.vm_id not in self.token:
+                self.token.add_vm(vm.vm_id)
+        self.fast.add_vms(vms)
+        if self._stale_token_vm is not None:
+            stale = self._stale_token_vm
+            self._stale_token_vm = None
+            if stale not in self.allocation and stale in self.token:
+                self.token.remove_vm(stale)
+
+    def retire(self, vm_ids) -> None:
+        """Remove departing VMs (their flows were already zeroed)."""
+        ids = [int(v) for v in vm_ids if int(v) in self.allocation]
+        if not ids:
+            return
+        self.allocation.remove_vms(ids)
+        for vm_id in ids:
+            if len(self.token) > 1:
+                self.token.remove_vm(vm_id)
+            else:
+                # A token must keep one entry; leave it stale and let
+                # run_round's n_vms == 0 guard skip the empty domain.
+                self._stale_token_vm = vm_id
+        self.fast.remove_vms(ids)
+
+    def set_capacity(self, global_host: int, kwargs: dict) -> None:
+        """Resize one of this domain's hosts in place."""
+        self.fast.set_host_capacity(
+            self.local_of_global[int(global_host)], **kwargs
+        )
+
+    def set_bandwidth_threshold(self, threshold) -> None:
+        """Mirror a mid-run §V-C budget change onto the domain engine."""
+        self.engine.set_bandwidth_threshold(threshold)
+        self.fast.invalidate_round_decisions()
+
+    def apply_migration(self, vm_id: int, global_target: int) -> None:
+        """Mirror one reconciliation move that stayed inside the domain."""
+        local = self.local_of_global[int(global_target)]
+        self.allocation.migrate(int(vm_id), local)
+        self.fast.apply_migration(int(vm_id), local)
 
     @property
     def n_vms(self) -> int:

@@ -22,7 +22,7 @@ Invariants (pinned by the differential suite):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
 
@@ -40,6 +40,10 @@ class ReconcileOutcome:
     decision_blocks: List[object] = field(default_factory=list)
     #: Whether the last pass moved nothing (certified quiescent).
     settled: bool = True
+    #: Applied moves ``(vm, source, target)`` in application order —
+    #: populated only with ``record_moves=True`` (the coordinator uses
+    #: them to mirror in-domain corrections onto a long-lived fleet).
+    moves: List[Tuple[int, int, int]] = field(default_factory=list)
 
 
 def reconcile_boundary(
@@ -50,6 +54,7 @@ def reconcile_boundary(
     boundary_vms: np.ndarray,
     max_passes: int = 4,
     profile=None,
+    record_moves: bool = False,
 ) -> ReconcileOutcome:
     """Re-score and re-gate the boundary VMs on the global engine."""
     boundary = np.asarray(boundary_vms, dtype=np.int64)
@@ -62,13 +67,17 @@ def reconcile_boundary(
     if boundary.size == 0 or fast.snapshot.n_vms == 0:
         return outcome
     rounds = BatchedRoundEngine(
-        allocation, traffic, engine, fast, use_cache=False, profile=profile
+        allocation, traffic, engine, fast, use_cache=False, profile=profile,
+        record_waves=record_moves,
     )
     for _ in range(max_passes):
         result = rounds.run_round(boundary.tolist())
         outcome.passes += 1
         outcome.migrations += result.migrations
         outcome.decision_blocks.append(result.decisions)
+        if record_moves:
+            for wave in result.wave_moves:
+                outcome.moves.extend(wave)
         if result.migrations == 0:
             outcome.settled = True
             return outcome

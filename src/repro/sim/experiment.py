@@ -75,6 +75,9 @@ class ExperimentConfig:
     shard_workers: int = 1
     # Compact (int32/float32) domain engines; the global gate stays float64.
     shard_compact: bool = False
+    # Worker outcome transport: zero-copy shared-memory slabs ("shm",
+    # default) or pickled pipes ("pipe").  Only matters with workers > 1.
+    shard_transport: str = "shm"
 
     def __post_init__(self) -> None:
         if self.topology not in ("canonical", "fattree"):
@@ -85,6 +88,11 @@ class ExperimentConfig:
         if not 0 < self.fill_fraction <= 1:
             raise ValueError(
                 f"fill_fraction must be in (0, 1], got {self.fill_fraction}"
+            )
+        if self.shard_transport not in ("shm", "pipe"):
+            raise ValueError(
+                f"shard_transport must be 'shm' or 'pipe', "
+                f"got {self.shard_transport!r}"
             )
 
     def with_(self, **changes) -> "ExperimentConfig":
@@ -216,6 +224,7 @@ def make_scheduler(
         n_domains=config.shard_domains,
         n_workers=config.shard_workers,
         shard_compact=config.shard_compact,
+        shard_transport=config.shard_transport,
         shard_policy_factory=(
             (lambda: policy_by_name(config.policy, seed=config.seed))
             if config.sharding
@@ -303,7 +312,10 @@ def run_experiment(
         ga_result = ga.run()
 
     scheduler = make_scheduler(env, config)
-    report = scheduler.run(n_iterations=config.n_iterations)
+    try:
+        report = scheduler.run(n_iterations=config.n_iterations)
+    finally:
+        scheduler.close()
 
     utilization_after: Dict[int, List[float]] = {}
     if compute_utilization:

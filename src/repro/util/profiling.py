@@ -18,6 +18,7 @@ class PhaseTimings:
     def __init__(self) -> None:
         self.seconds: Dict[str, float] = {}
         self.counts: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
 
     def add(self, phase: str, seconds: float) -> None:
         """Accumulate wall-clock seconds under ``phase``."""
@@ -26,6 +27,10 @@ class PhaseTimings:
     def bump(self, counter: str, amount: int = 1) -> None:
         """Accumulate an integer counter (owners scored, cache hits...)."""
         self.counts[counter] = self.counts.get(counter, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record a last-value gauge (e.g. the shard imbalance ratio)."""
+        self.gauges[name] = float(value)
 
     @property
     def cache_hit_ratio(self) -> float:
@@ -41,6 +46,8 @@ class PhaseTimings:
         for phase, secs in sorted(self.seconds.items(), key=lambda i: -i[1]):
             share = f"  ({secs / total_s:5.1%})" if total_s > 0 else ""
             out.append(f"{phase:12s} {secs:8.3f}s{share}")
+        for name, value in sorted(self.gauges.items()):
+            out.append(f"{name:12s} {value:8.3f}")
         if self.counts.get("owners", 0):
             out.append(
                 f"{'cache':12s} {self.counts.get('owners_rescored', 0)}"

@@ -213,11 +213,33 @@ class TestCrossDomainReconciliation:
         assert report.final_cost <= report.initial_cost
         assert report.total_migrations > 0
 
-    def test_event_pump_rejected(self):
-        env = build_environment(SMALL.with_(seed=5))
-        scheduler = sharded_scheduler(env, env.traffic, n_domains=2)
-        with pytest.raises(ValueError, match="event_pump"):
-            scheduler.run(1, event_pump=lambda now: False)
+    def test_event_pump_boundary_granular(self):
+        """Sharded runs drive an event pump at iteration boundaries.
+
+        The pump mutates through the scheduler's delta APIs (which keep
+        the live fleet in step), and the final cost stays exactly equal
+        to a from-scratch recompute of the mutated state.
+        """
+        env = build_environment(SMALL.with_(seed=21))
+        traffic = mixed_traffic(env, 21)
+        scheduler = sharded_scheduler(env, traffic, n_domains=4)
+        boundaries = []
+
+        def pump(now_s):
+            boundaries.append(now_s)
+            us, vs, _ = scheduler.traffic.pair_arrays()
+            if len(boundaries) == 1 and us.size:
+                scheduler.apply_traffic_delta(
+                    [(int(us[0]), int(vs[0]), 5e6)]
+                )
+                return True
+            return False
+
+        report = scheduler.run(3, event_pump=pump)
+        scheduler.close()
+        assert len(boundaries) >= 3
+        exact = env.cost_model.total_cost(env.allocation, scheduler.traffic)
+        assert report.final_cost == pytest.approx(exact, rel=1e-9)
 
     def test_sharding_requires_fastcost(self):
         env = build_environment(SMALL.with_(seed=5))
